@@ -1,0 +1,90 @@
+"""Table 5: statistics of the three data sets.
+
+Regenerates the paper's data-set statistics table from the synthetic
+SYN / LIG / STA vehicles: signal-type counts per processing branch
+(verified against the pipeline's own classification, not just the
+generator's intent), example counts and the signals-per-message average.
+
+Paper values (20 h of driving):
+
+    =====  =====  ===  ===  ===  ==========  ====
+     set   types   α    β    γ    examples    ∅/msg
+    =====  =====  ===  ===  ===  ==========  ====
+    SYN      13     6    4    3  13,197,983  1.47
+    LIG     180    27   71   82  12,306,327  5.11
+    STA      78     6    1   71   4,807,891  3.66
+    =====  =====  ===  ===  ===  ==========  ====
+
+Example counts scale with the simulated duration; branch counts and the
+per-message average must reproduce exactly / closely.
+"""
+
+import pytest
+
+from benchmarks.conftest import DURATIONS, print_table
+from repro.core import PipelineConfig, PreprocessingPipeline
+from repro.engine import EngineContext
+
+PAPER = {
+    "SYN": {"types": 13, "alpha": 6, "beta": 4, "gamma": 3, "avg": 1.47},
+    "LIG": {"types": 180, "alpha": 27, "beta": 71, "gamma": 82, "avg": 5.11},
+    "STA": {"types": 78, "alpha": 6, "beta": 1, "gamma": 71, "avg": 3.66},
+}
+
+
+def classify_bundle(bundle, duration):
+    ctx = EngineContext.serial()
+    k_b = bundle.record_table(ctx, duration)
+    config = PipelineConfig(
+        catalog=bundle.catalog(), constraints=bundle.default_constraints()
+    )
+    result = PreprocessingPipeline(config).run(k_b)
+    counts = {"alpha": 0, "beta": 0, "gamma": 0}
+    for _dt, branch in result.classification_summary().values():
+        counts[branch] += 1
+    stats = bundle.statistics(ctx, duration)
+    return counts, stats
+
+
+@pytest.mark.parametrize("name", ["SYN", "LIG", "STA"])
+def test_table5_dataset(benchmark, bundles, name):
+    bundle = bundles[name]
+    duration = DURATIONS[name]
+    counts, stats = benchmark.pedantic(
+        classify_bundle, args=(bundle, duration), rounds=1, iterations=1
+    )
+    paper = PAPER[name]
+
+    print_table(
+        "Table 5 ({}) -- measured vs paper".format(name),
+        ["metric", "measured", "paper"],
+        [
+            ("# signal types", stats["signal_types"], paper["types"]),
+            ("# signal types - alpha", counts["alpha"], paper["alpha"]),
+            ("# signal types - beta", counts["beta"], paper["beta"]),
+            ("# signal types - gamma", counts["gamma"], paper["gamma"]),
+            ("# examples", stats["examples"],
+             "{:,} (20 h)".format(PAPER_EXAMPLES[name])),
+            ("avg signal types per message",
+             round(stats["avg_signals_per_message"], 2), paper["avg"]),
+        ],
+    )
+
+    # Branch counts must match Table 5 exactly: the pipeline classifies
+    # the generated signals into the paper's distribution.
+    assert stats["signal_types"] == paper["types"]
+    assert counts["alpha"] == paper["alpha"]
+    assert counts["beta"] == paper["beta"]
+    assert counts["gamma"] == paper["gamma"]
+    # The signals-per-message average approximates the paper's within 25%.
+    assert stats["avg_signals_per_message"] == pytest.approx(
+        paper["avg"], rel=0.25
+    )
+    assert stats["examples"] > 1000
+
+
+PAPER_EXAMPLES = {
+    "SYN": 13_197_983,
+    "LIG": 12_306_327,
+    "STA": 4_807_891,
+}

@@ -1,0 +1,211 @@
+"""Table 6: signal extraction times, proposed vs in-house tool.
+
+The paper extracts a fixed signal set from growing numbers of journeys:
+
+    ========  ==========  =========  ========  ========  ========
+    journeys  trace rows  extracted  #signals  proposed  in-house
+    ========  ==========  =========  ========  ========  ========
+       1        0.481e9    12.75e6       9       9.58 m    41.66 m
+       1        0.481e9    79.47e6      89     168.05 m    41.66 m
+       7        4.286e9    94.01e6       9      62.00 m   372.88 m
+       7        4.286e9   586.12e6      89     183.25 m   372.88 m
+      12        5.901e9   133.62e6       9      87.62 m   504.27 m
+      12        5.901e9   833.07e6      89     269.65 m   504.27 m
+    ========  ==========  =========  ========  ========  ========
+
+Measured protocol, scaled to this reproduction (3 journeys of the SYN
+vehicle; "few" = 3 of 13 signals, "all" = 13 signals):
+
+* proposed = preselection + interpretation + writing the result tables
+  to the store, on the measured-makespan cluster executor;
+* in-house  = sequential ingest (interpretation of every known signal on
+  ingest) of the same journeys.
+
+Asserted shape (the paper's findings):
+
+1. in-house time is independent of how many signals are extracted;
+2. in-house time scales linearly with the number of journeys;
+3. proposed time grows with the number of extracted signals;
+4. for few signals over several journeys the proposed approach wins;
+5. the proposed advantage shrinks (or flips) when all signals are
+   extracted -- the Table 6 crossover.
+"""
+
+import tempfile
+import time
+
+import pytest
+
+from benchmarks.conftest import CLUSTER_WORKERS, print_table
+from repro.baseline import InHouseTool
+from repro.core import PipelineConfig, PreprocessingPipeline
+from repro.datasets import SYN_SPEC
+from repro.engine import EngineContext, TableStore
+from repro.protocols.frames import BYTE_RECORD_COLUMNS
+
+
+def proposed_extraction(journeys, database, signal_ids, attempts=3):
+    """Proposed pipeline: returns (cluster seconds, extracted rows).
+
+    Best of *attempts* runs -- the sub-100 ms measurements at this scale
+    jitter with scheduler noise.
+    """
+    ctx = EngineContext.simulated_cluster(num_workers=CLUSTER_WORKERS)
+    catalog = database.translation_catalog(signal_ids)
+    pipeline = PreprocessingPipeline(PipelineConfig(catalog=catalog))
+    tables = [
+        ctx.table_from_rows(list(BYTE_RECORD_COLUMNS), j).cache()
+        for j in journeys
+    ]
+    best = None
+    extracted = 0
+    for _attempt in range(attempts):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = TableStore(tmp)
+            ctx.executor.reset_clock()
+            start = time.perf_counter()
+            extracted = 0
+            for index, k_b in enumerate(tables):
+                k_s = pipeline.extract_signals(k_b, cache=False)
+                manifest = store.write("j{:02d}".format(index), k_s)
+                extracted += manifest["num_rows"]
+            wall = time.perf_counter() - start
+            # Cluster tasks are modelled by the makespan clock;
+            # everything else (dominated by writing the result tables)
+            # is driver-side and charged at full wall time, as the paper
+            # does ("interpretation followed by writing the results to
+            # the database").
+            driver_share = max(wall - ctx.executor.serial_task_seconds, 0.0)
+            seconds = ctx.executor.simulated_seconds + driver_share
+            best = seconds if best is None else min(best, seconds)
+    return best, extracted
+
+
+def inhouse_extraction(journeys, database, signal_ids, attempts=3):
+    """Baseline: returns (seconds, extracted rows). Ingest dominates."""
+    best = None
+    count = 0
+    for _attempt in range(attempts):
+        tool = InHouseTool(database)
+        start = time.perf_counter()
+        tool.ingest_journeys(journeys)
+        extracted = tool.extract(signal_ids)
+        seconds = time.perf_counter() - start
+        count = sum(len(v) for v in extracted.values())
+        best = seconds if best is None else min(best, seconds)
+    return best, count
+
+
+@pytest.fixture(scope="module")
+def measured(journeys_syn):
+    from repro.datasets import build_dataset
+
+    bundle = build_dataset(SYN_SPEC)
+    database = bundle.database
+    few = list(bundle.alpha_ids[:3])
+    all_signals = list(bundle.signal_ids)
+    rows = []
+    for journey_count in (1, 3):
+        journeys = journeys_syn[:journey_count]
+        trace_rows = sum(len(j) for j in journeys)
+        for label, signal_ids in (("few", few), ("all", all_signals)):
+            proposed_s, extracted = proposed_extraction(
+                journeys, database, signal_ids
+            )
+            inhouse_s, _n = inhouse_extraction(journeys, database, signal_ids)
+            rows.append(
+                {
+                    "journeys": journey_count,
+                    "trace_rows": trace_rows,
+                    "signals": label,
+                    "num_signals": len(signal_ids),
+                    "extracted": extracted,
+                    "proposed": proposed_s,
+                    "inhouse": inhouse_s,
+                }
+            )
+    return rows
+
+
+def test_table6_report(benchmark, measured):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "Table 6 -- extraction time, proposed ({} simulated workers) vs "
+        "in-house (sequential)".format(CLUSTER_WORKERS),
+        [
+            "journeys", "trace rows", "extracted rows", "# signals",
+            "proposed [s]", "in-house [s]", "speedup",
+        ],
+        [
+            (
+                r["journeys"],
+                r["trace_rows"],
+                r["extracted"],
+                r["num_signals"],
+                round(r["proposed"], 3),
+                round(r["inhouse"], 3),
+                round(r["inhouse"] / r["proposed"], 2),
+            )
+            for r in measured
+        ],
+    )
+    assert len(measured) == 4
+
+
+def _cell(measured, journeys, signals):
+    return next(
+        r
+        for r in measured
+        if r["journeys"] == journeys and r["signals"] == signals
+    )
+
+
+class TestTable6Shape:
+    """Each test notes a finding; the trivial benchmark call keeps them
+    runnable under --benchmark-only."""
+
+    def test_inhouse_independent_of_signal_count(self, benchmark, measured):
+        """Finding 1: ingest interprets everything regardless."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for journeys in (1, 3):
+            few = _cell(measured, journeys, "few")["inhouse"]
+            all_s = _cell(measured, journeys, "all")["inhouse"]
+            assert all_s == pytest.approx(few, rel=0.35)
+
+    def test_inhouse_linear_in_journeys(self, benchmark, measured):
+        """Finding 2: 3x the journeys ~ 3x the ingest time."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        one = _cell(measured, 1, "few")["inhouse"]
+        three = _cell(measured, 3, "few")["inhouse"]
+        assert three / one == pytest.approx(3.0, rel=0.5)
+
+    def test_proposed_grows_with_signal_count(self, benchmark, measured):
+        """Finding 3: more extracted rows, more interpretation work."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for journeys in (1, 3):
+            few = _cell(measured, journeys, "few")
+            all_s = _cell(measured, journeys, "all")
+            assert all_s["extracted"] > few["extracted"]
+        # Time comparison on the multi-journey cells, where the signal
+        # grows well above measurement jitter.
+        few = _cell(measured, 3, "few")
+        all_s = _cell(measured, 3, "all")
+        assert all_s["proposed"] > few["proposed"]
+
+    def test_proposed_wins_for_few_signals_many_journeys(self, benchmark, measured):
+        """Finding 4: the paper's headline 5.7x cell (9 signals,
+        12 journeys); here 3 of 13 signals over 3 journeys."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        cell = _cell(measured, 3, "few")
+        speedup = cell["inhouse"] / cell["proposed"]
+        assert speedup > 1.5
+
+    def test_crossover_direction(self, benchmark, measured):
+        """Finding 5: extracting every signal erodes the advantage --
+        the speedup for 'all' must be smaller than for 'few'."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        few = _cell(measured, 3, "few")
+        all_s = _cell(measured, 3, "all")
+        speedup_few = few["inhouse"] / few["proposed"]
+        speedup_all = all_s["inhouse"] / all_s["proposed"]
+        assert speedup_all < speedup_few

@@ -1,0 +1,211 @@
+"""Fault diagnosis on the preprocessed representation (Sec. 4.4).
+
+Plants three kinds of faults in a simulated vehicle --
+
+* speed outliers (sensor glitches),
+* dropped cycles of a status message (cycle-time violations),
+* a wiper that blocks whenever it is active in freezing temperatures --
+
+then runs the pipeline and demonstrates all four applications the paper
+lists: outlier isolation with state context, cycle-violation detection
+through extensions, association-rule mining of the error cause and
+transition-graph analysis of rare transitions.
+
+Run with::
+
+    python examples/fault_diagnosis.py
+"""
+
+from repro.core import (
+    Constraint,
+    ConstraintSet,
+    CycleViolationExtension,
+    ExtensionSet,
+    PipelineConfig,
+    PreprocessingPipeline,
+    UnchangedWithinCycle,
+)
+from repro.engine import EngineContext
+from repro.mining import (
+    AssociationRuleMiner,
+    StateAnomalyDetector,
+    TransitionGraph,
+    find_cycle_violations,
+    find_outliers,
+    summarize_findings,
+)
+from repro.network import MessageDefinition, NetworkDatabase, SignalDefinition
+from repro.protocols import SignalEncoding
+from repro.vehicle import Cyclic, Ecu, VehicleSimulation
+from repro.vehicle import behaviors as bhv
+
+
+class WiperWithFault(bhv.Behavior):
+    """Wiper state coupled to temperature: blocks when active and cold."""
+
+    def __init__(self, temperature, activation):
+        self.temperature = temperature
+        self.activation = activation
+
+    def sample(self, t):
+        active = self.activation.sample(t) == "ON"
+        cold = self.temperature.sample(t) < -10.0
+        if active and cold:
+            return "error_blocked"
+        return "wiping" if active else "idle"
+
+    def reset(self):
+        self.temperature.reset()
+        self.activation.reset()
+
+
+def build_vehicle():
+    temp_behavior = bhv.Sine(amplitude=20.0, period=120.0, mean=-5.0, seed=3)
+    activation_behavior = bhv.Toggle(period=37.0, on_value="ON", off_value="OFF")
+
+    speed = SignalDefinition("speed", SignalEncoding(0, 16, scale=0.1))
+    temp = SignalDefinition(
+        "temperature", SignalEncoding(16, 8, signed=True), unit="degC"
+    )
+    drive_msg = MessageDefinition(
+        "DRIVE", 0x10, "DC", "CAN", 3, (speed, temp), cycle_time=0.05
+    )
+    wiper_active = SignalDefinition(
+        "wiper_active",
+        SignalEncoding(0, 1, value_table=((0, "OFF"), (1, "ON"))),
+        data_class="binary",
+    )
+    wiper_state = SignalDefinition(
+        "wiper_state",
+        SignalEncoding(
+            1, 2,
+            value_table=((0, "idle"), (1, "wiping"), (2, "error_blocked")),
+        ),
+        data_class="nominal",
+    )
+    wiper_msg = MessageDefinition(
+        "WIPER", 0x20, "FC", "CAN", 1,
+        (wiper_active, wiper_state), cycle_time=0.2,
+    )
+    status = SignalDefinition(
+        "status",
+        SignalEncoding(0, 1, value_table=((0, "OFF"), (1, "ON"))),
+        data_class="binary",
+    )
+    status_msg = MessageDefinition(
+        "STATUS", 0x30, "FC", "CAN", 1, (status,), cycle_time=0.1
+    )
+    database = NetworkDatabase((drive_msg, wiper_msg, status_msg))
+
+    ecu = (
+        Ecu("E")
+        .add_transmission(
+            drive_msg,
+            {
+                "speed": bhv.OutlierInjector(
+                    bhv.RandomWalk(step=0.8, seed=5, start=90.0,
+                                   minimum=0.0, maximum=180.0),
+                    rate=0.002, magnitude=500.0, seed=9,
+                ),
+                "temperature": temp_behavior,
+            },
+            Cyclic(0.05, seed=1),
+        )
+        .add_transmission(
+            wiper_msg,
+            {
+                "wiper_active": activation_behavior,
+                "wiper_state": WiperWithFault(
+                    bhv.Sine(amplitude=20.0, period=120.0, mean=-5.0, seed=3),
+                    bhv.Toggle(period=37.0, on_value="ON", off_value="OFF"),
+                ),
+            },
+            Cyclic(0.2, seed=2),
+        )
+        .add_transmission(
+            status_msg,
+            {"status": bhv.Toggle(20.0, "ON", "OFF")},
+            # 4% of cycles dropped: cycle-time violations to detect.
+            Cyclic(0.1, drop_rate=0.04, seed=6),
+        )
+    )
+    return VehicleSimulation(database, [ecu])
+
+
+def main():
+    sim = build_vehicle()
+    ctx = EngineContext.serial()
+    k_b = sim.record_table(ctx, 240.0)
+    print("trace rows:", k_b.count())
+
+    config = PipelineConfig(
+        catalog=sim.database.translation_catalog(
+            ["speed", "temperature", "wiper_active", "wiper_state", "status"]
+        ),
+        constraints=ConstraintSet((
+            Constraint("wiper_active", True, (UnchangedWithinCycle(0.2),)),
+            Constraint("wiper_state", True, (UnchangedWithinCycle(0.2),)),
+            # 'status' is deliberately NOT reduced: the cycle-violation
+            # extension (line 12 runs on K_red) should see the raw
+            # transmission gaps, not gaps between retained value changes.
+        )),
+        extensions=ExtensionSet((
+            CycleViolationExtension("status", 0.1, tolerance=1.8),
+        )),
+    )
+    result = PreprocessingPipeline(config).run(k_b)
+
+    print("\n--- Application 1: outliers as potential errors -------------")
+    findings = find_outliers(result, max_prior_states=2)
+    for line in summarize_findings(findings)[:5]:
+        print(" ", line)
+    print("  ({} outliers total)".format(len(findings)))
+
+    print("\n--- Application 2: cycle-time violations via extensions -----")
+    violations = find_cycle_violations(result)
+    for v in violations[:5]:
+        print(
+        "  t={:8.2f}s {}: gap = {:.1f}x expected cycle".format(
+            v.timestamp, v.signal_id, v.factor
+        ))
+    print("  ({} violations total)".format(len(violations)))
+
+    print("\n--- Application 3: association rules for the wiper fault ----")
+    rep = result.state_representation(
+        ["temperature", "wiper_active", "wiper_state"]
+    )
+    miner = AssociationRuleMiner(min_support=0.02, min_confidence=0.9)
+    rules = miner.mine(rep)
+    error_rules = miner.rules_for_consequent(
+        rules, "wiper_state", "error_blocked"
+    )
+    for rule in error_rules[:4]:
+        print(" ", rule)
+
+    print("\n--- Application 4: transition graph / rare transitions ------")
+    graph = TransitionGraph.from_representation(
+        rep, columns=["wiper_active", "wiper_state"]
+    )
+    print("  states: {}, transitions: {}".format(
+        len(graph.graph.nodes), graph.total_transitions
+    ))
+    for pred, node, count in graph.predecessors_of("wiper_state", "error_blocked")[:3]:
+        print("  into error: {} -> {} ({}x)".format(
+            dict(pred), dict(node), count
+        ))
+
+    print("\n--- Application 5: anomaly hot-spots -------------------------")
+    detector = StateAnomalyDetector(quantile=0.03, min_rows=20)
+    anomalies = detector.detect(rep)
+    for a in anomalies[:3]:
+        print("  t={:8.2f}s severity={:5.1f} rarest={}".format(
+            a.timestamp, a.severity, a.rare_items[0]
+        ))
+    recurrence_rules = detector.to_extension_rules(anomalies, "wiper_state")
+    print("  derived {} recurrence extension rule(s) for future runs".format(
+        len(recurrence_rules)
+    ))
+
+
+if __name__ == "__main__":
+    main()

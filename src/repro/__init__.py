@@ -1,0 +1,28 @@
+"""Reproduction of "Automated Interpretation and Reduction of In-Vehicle
+Network Traces at a Large Scale" (Mrowca et al., DAC 2018).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the parameterizable end-to-end
+    preprocessing pipeline (Algorithm 1).
+``repro.engine``
+    Distributed-style tabular dataflow engine (Spark stand-in).
+``repro.protocols`` / ``repro.network`` / ``repro.vehicle``
+    The in-vehicle network substrate: protocol codecs, communication
+    database and a deterministic vehicle simulator producing traces.
+``repro.analysis``
+    SWAB segmentation, SAX symbolization, outlier detection, smoothing
+    and trend estimation.
+``repro.mining``
+    Downstream applications: association rules, transition graphs,
+    anomaly detection and error diagnosis.
+``repro.baseline``
+    The sequential in-house tool used as comparison baseline.
+``repro.datasets``
+    Synthetic SYN / LIG / STA data sets mirroring Table 5.
+``repro.tracefile``
+    ASCII / binary trace log formats.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,54 @@
+"""Time-series algorithms used by the type-dependent processing stage."""
+
+from repro.analysis.outliers import (
+    HampelDetector,
+    IqrDetector,
+    ZScoreDetector,
+    split_outliers,
+)
+from repro.analysis.sax import SaxEncoder, gaussian_breakpoints, paa, znormalize
+from repro.analysis.segmentation import (
+    Segment,
+    bottom_up,
+    fit_segment,
+    segments_cover,
+    sliding_window,
+    swab,
+)
+from repro.analysis.smoothing import (
+    ExponentialSmoothing,
+    MedianFilter,
+    MovingAverage,
+)
+from repro.analysis.trend import (
+    DECREASING,
+    INCREASING,
+    STEADY,
+    TrendClassifier,
+    gradient,
+)
+
+__all__ = [
+    "Segment",
+    "swab",
+    "bottom_up",
+    "sliding_window",
+    "fit_segment",
+    "segments_cover",
+    "SaxEncoder",
+    "gaussian_breakpoints",
+    "paa",
+    "znormalize",
+    "ZScoreDetector",
+    "IqrDetector",
+    "HampelDetector",
+    "split_outliers",
+    "MovingAverage",
+    "ExponentialSmoothing",
+    "MedianFilter",
+    "TrendClassifier",
+    "gradient",
+    "INCREASING",
+    "DECREASING",
+    "STEADY",
+]

@@ -1,0 +1,174 @@
+"""Time-series segmentation: Sliding Window, Bottom-Up and SWAB.
+
+Implements the online segmentation algorithm of Keogh, Chu, Hart &
+Pazzani, "An online algorithm for segmenting time series" (ICDM 2001) --
+reference [7] of the paper -- from scratch: piecewise-linear
+approximation with sliding-window and bottom-up strategies and their
+combination SWAB (Sliding Window And Bottom-up), which the paper's α
+branch uses for trend estimation.
+
+Segments are least-squares linear fits; the error measure is the sum of
+squared residuals, as in the original paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A linear segment over samples [start, end] (inclusive indices).
+
+    ``slope``/``intercept`` describe the least-squares line against the
+    *local* sample index (0 at ``start``); ``error`` is the sum of squared
+    residuals.
+    """
+
+    start: int
+    end: int
+    slope: float
+    intercept: float
+    error: float
+
+    @property
+    def length(self):
+        return self.end - self.start + 1
+
+    def value_at(self, index):
+        """Fitted value at absolute sample *index*."""
+        return self.intercept + self.slope * (index - self.start)
+
+
+def fit_segment(values, start, end):
+    """Least-squares line over values[start:end+1]."""
+    y = np.asarray(values[start : end + 1], dtype=float)
+    n = len(y)
+    if n == 0:
+        raise ValueError("empty segment")
+    if n == 1:
+        return Segment(start, end, 0.0, float(y[0]), 0.0)
+    x = np.arange(n, dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    residuals = y - (intercept + slope * x)
+    return Segment(
+        start, end, float(slope), float(intercept), float(residuals @ residuals)
+    )
+
+
+def sliding_window(values, max_error):
+    """Grow segments left-to-right until the fit error exceeds max_error."""
+    if max_error < 0:
+        raise ValueError("max_error must be non-negative")
+    n = len(values)
+    segments = []
+    anchor = 0
+    while anchor < n:
+        end = anchor + 1
+        best = fit_segment(values, anchor, min(end - 1, n - 1))
+        while end < n:
+            candidate = fit_segment(values, anchor, end)
+            if candidate.error > max_error:
+                break
+            best = candidate
+            end += 1
+        segments.append(best)
+        anchor = best.end + 1
+    return segments
+
+
+def bottom_up(values, max_error):
+    """Merge the finest segmentation greedily while error permits."""
+    n = len(values)
+    if n == 0:
+        return []
+    if max_error < 0:
+        raise ValueError("max_error must be non-negative")
+    # Start from segments of length 2 (last may be length 1 or 3).
+    boundaries = list(range(0, n, 2))
+    segments = []
+    for i, start in enumerate(boundaries):
+        end = boundaries[i + 1] - 1 if i + 1 < len(boundaries) else n - 1
+        segments.append(fit_segment(values, start, end))
+    if len(segments) == 1:
+        return segments
+
+    def merge_cost(i):
+        return fit_segment(values, segments[i].start, segments[i + 1].end)
+
+    merged = [merge_cost(i) for i in range(len(segments) - 1)]
+    while merged:
+        best_index = min(range(len(merged)), key=lambda i: merged[i].error)
+        if merged[best_index].error > max_error:
+            break
+        segments[best_index] = merged[best_index]
+        del segments[best_index + 1]
+        del merged[best_index]
+        if best_index < len(merged):
+            merged[best_index] = merge_cost(best_index)
+        if best_index > 0:
+            merged[best_index - 1] = merge_cost(best_index - 1)
+    return segments
+
+
+def swab(values, max_error, buffer_size=None):
+    """SWAB: bottom-up inside a sliding buffer, emitting leftmost segments.
+
+    ``buffer_size`` defaults to enough samples for roughly five to six
+    segments, as recommended in the original paper.
+    """
+    values = list(values)
+    n = len(values)
+    if n == 0:
+        return []
+    if buffer_size is None:
+        buffer_size = max(min(n, 40), 8)
+    buffer_start = 0
+    buffer_end = min(buffer_size, n)  # exclusive
+    out = []
+    while True:
+        window = values[buffer_start:buffer_end]
+        segments = bottom_up(window, max_error)
+        if not segments:
+            break
+        leftmost = segments[0]
+        absolute = Segment(
+            leftmost.start + buffer_start,
+            leftmost.end + buffer_start,
+            leftmost.slope,
+            leftmost.intercept,
+            leftmost.error,
+        )
+        if buffer_end >= n:
+            # No more data: flush every remaining segment.
+            for seg in segments:
+                out.append(
+                    Segment(
+                        seg.start + buffer_start,
+                        seg.end + buffer_start,
+                        seg.slope,
+                        seg.intercept,
+                        seg.error,
+                    )
+                )
+            break
+        out.append(absolute)
+        consumed = leftmost.end + 1
+        buffer_start += consumed
+        # Take in enough new points to keep the buffer full.
+        buffer_end = min(buffer_start + buffer_size, n)
+        if buffer_start >= n:
+            break
+    return out
+
+
+def segments_cover(segments, n):
+    """True if *segments* partition indices 0..n-1 without gaps/overlap."""
+    expected = 0
+    for seg in segments:
+        if seg.start != expected:
+            return False
+        expected = seg.end + 1
+    return expected == n

@@ -1,0 +1,5 @@
+"""Baseline: the sequential in-house monitoring tool of the comparison."""
+
+from repro.baseline.inhouse import IngestStats, InHouseError, InHouseTool
+
+__all__ = ["InHouseTool", "InHouseError", "IngestStats"]

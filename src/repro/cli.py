@@ -1,0 +1,345 @@
+"""Command-line interface.
+
+The off-board analysis workflow of Fig. 1 as a tool: simulate journeys,
+inspect raw traces, extract domain signals into a table store and run the
+full preprocessing pipeline from a declarative parameter file.
+
+Subcommands
+-----------
+``simulate``  record a journey of one of the SYN/LIG/STA vehicles
+``stats``     row/channel/message statistics of a raw trace file
+``export-dbc`` write a data set's communication database as DBC files
+``extract``   lines 3-6: signal extraction into a table store
+``pipeline``  full Algorithm 1 run; prints summary + state representation
+
+Examples
+--------
+::
+
+    python -m repro.cli simulate --dataset SYN --duration 20 --out j0.trc
+    python -m repro.cli stats --trace j0.trc
+    python -m repro.cli extract --dataset SYN --trace j0.trc \
+        --signals syn_num_000,syn_num_001 --store ./store
+    python -m repro.cli pipeline --dataset SYN --trace j0.trc \
+        --params params.json --max-rows 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.params import config_from_dict, load_config
+from repro.core.pipeline import PipelineConfig, PreprocessingPipeline
+from repro.datasets import SPECS, build_dataset
+from repro.engine import EngineContext, TableStore
+from repro.network.dbcio import dump_database
+from repro.tracefile import asciilog, binlog
+
+
+def _trace_module(path):
+    """Pick the trace codec from the file suffix (.trc text, .btrc bin)."""
+    return binlog if str(path).endswith(".btrc") else asciilog
+
+
+def _load_trace(ctx, path):
+    return _trace_module(path).load_table(ctx, path)
+
+
+def _bundle(args):
+    spec = SPECS[args.dataset]
+    return build_dataset(spec, seed_offset=getattr(args, "journey", 0))
+
+
+def _context(args):
+    workers = getattr(args, "workers", None) or 1
+    if workers <= 1:
+        return EngineContext.serial()
+    return EngineContext.simulated_cluster(num_workers=workers)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_simulate(args, out=sys.stdout):
+    bundle = _bundle(args)
+    records = bundle.byte_records(args.duration)
+    count = _trace_module(args.out).dump_records(records, args.out)
+    print(
+        "wrote {} records ({} s of {} journey {}) to {}".format(
+            count, args.duration, args.dataset, args.journey, args.out
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_stats(args, out=sys.stdout):
+    records = _trace_module(args.trace).load_records(args.trace)
+    if not records:
+        print("empty trace", file=out)
+        return 0
+    channels = {}
+    messages = {}
+    for t, payload, b_id, m_id, _mi in records:
+        channels[b_id] = channels.get(b_id, 0) + 1
+        messages[(b_id, m_id)] = messages.get((b_id, m_id), 0) + 1
+    duration = records[-1][0] - records[0][0]
+    print("rows           : {}".format(len(records)), file=out)
+    print("duration       : {:.3f} s".format(duration), file=out)
+    print("message types  : {}".format(len(messages)), file=out)
+    for b_id in sorted(channels):
+        print(
+            "channel {:8s}: {} rows, {} message types".format(
+                str(b_id),
+                channels[b_id],
+                sum(1 for key in messages if key[0] == b_id),
+            ),
+            file=out,
+        )
+    return 0
+
+
+def cmd_export_dbc(args, out=sys.stdout):
+    bundle = _bundle(args)
+    database = bundle.database
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for channel in database.channels():
+        safe = str(channel).replace("/", "_")
+        path = out_dir / "{}_{}.dbc".format(args.dataset.lower(), safe)
+        dump_database(database, path, channels=[channel])
+        print("wrote {}".format(path), file=out)
+    return 0
+
+
+def cmd_extract(args, out=sys.stdout):
+    bundle = _bundle(args)
+    ctx = _context(args)
+    k_b = _load_trace(ctx, args.trace)
+    signals = [s for s in args.signals.split(",") if s]
+    catalog = bundle.database.translation_catalog(signals)
+    pipeline = PreprocessingPipeline(PipelineConfig(catalog=catalog))
+    store = TableStore(args.store)
+    start = time.perf_counter()
+    k_s = pipeline.extract_signals(k_b, cache=False)
+    manifest = store.write(args.table, k_s)
+    elapsed = time.perf_counter() - start
+    print(
+        "extracted {} signal instances of {} signals into {}/{} "
+        "in {:.2f} s".format(
+            manifest["num_rows"], len(signals), args.store, args.table, elapsed
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_pipeline(args, out=sys.stdout):
+    bundle = _bundle(args)
+    ctx = _context(args)
+    k_b = _load_trace(ctx, args.trace)
+    if args.params:
+        config = load_config(args.params, bundle.database)
+    else:
+        document = {
+            "signals": list(bundle.signal_ids),
+            "constraints": [
+                {
+                    "signal": s,
+                    "type": "unchanged_within_cycle",
+                    "cycle_time": bundle.cycle_times[s],
+                }
+                for s in bundle.signal_ids
+            ],
+        }
+        config = config_from_dict(document, bundle.database)
+    result = PreprocessingPipeline(config).run(k_b)
+    print("counts : {}".format(result.counts), file=out)
+    print(
+        "timings: {}".format(
+            {k: round(v, 3) for k, v in result.timings.items()}
+        ),
+        file=out,
+    )
+    print("classification:", file=out)
+    for s_id, (dtype, branch) in sorted(
+        result.classification_summary().items()
+    ):
+        print("  {:20s} {} ({})".format(s_id, dtype, branch), file=out)
+    representation = result.state_representation()
+    print(representation.to_markdown(max_rows=args.max_rows), file=out)
+    if args.output:
+        Path(args.output).write_text(representation.to_markdown())
+        print("state representation written to {}".format(args.output), file=out)
+    return 0
+
+
+def cmd_profile(args, out=sys.stdout):
+    """Per-signal profile of a trace (rates, gaps, expected branches)."""
+    from repro.core.interpretation import interpret
+    from repro.core.preselection import preselect
+    from repro.core.profiling import profile_report, profile_trace
+
+    bundle = _bundle(args)
+    ctx = _context(args)
+    k_b = _load_trace(ctx, args.trace)
+    catalog = bundle.database.translation_catalog()
+    k_s = interpret(preselect(k_b, catalog), catalog)
+    profiles = profile_trace(k_s)
+    print(profile_report(profiles, sort_by=args.sort), file=out)
+    return 0
+
+
+def cmd_report(args, out=sys.stdout):
+    """Full pipeline run + markdown verification report."""
+    from repro.mining.report import ReportOptions, generate_report
+
+    bundle = _bundle(args)
+    ctx = _context(args)
+    k_b = _load_trace(ctx, args.trace)
+    if args.params:
+        config = load_config(args.params, bundle.database)
+    else:
+        document = {
+            "signals": list(bundle.signal_ids),
+            "constraints": [
+                {
+                    "signal": s,
+                    "type": "unchanged_within_cycle",
+                    "cycle_time": bundle.cycle_times[s],
+                }
+                for s in bundle.signal_ids
+            ],
+        }
+        config = config_from_dict(document, bundle.database)
+    result = PreprocessingPipeline(config).run(k_b)
+    report = generate_report(
+        result,
+        title="Verification report: {} ({})".format(args.trace, args.dataset),
+        options=ReportOptions(state_rows=args.state_rows),
+    )
+    text = report.to_markdown()
+    if args.out:
+        Path(args.out).write_text(text)
+        print("report written to {}".format(args.out), file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def cmd_show_params(args, out=sys.stdout):
+    """Print a starter parameter document for a data set."""
+    bundle = _bundle(args)
+    document = {
+        "signals": list(bundle.signal_ids),
+        "constraints": [
+            {
+                "signal": s,
+                "type": "unchanged_within_cycle",
+                "cycle_time": bundle.cycle_times[s],
+                "tolerance": 1.5,
+            }
+            for s in bundle.signal_ids
+        ],
+        "extensions": [],
+        "branch": {"sax_alphabet": 3},
+        "dedup_channels": True,
+    }
+    json.dump(document, out, indent=2)
+    out.write("\n")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="In-vehicle network trace preprocessing (DAC'18 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset(p):
+        p.add_argument(
+            "--dataset", choices=sorted(SPECS), required=True,
+            help="which synthetic vehicle (Table 5 data set)",
+        )
+        p.add_argument(
+            "--journey", type=int, default=0,
+            help="journey index (varies behaviour seeds)",
+        )
+
+    p = sub.add_parser("simulate", help="record a journey to a trace file")
+    add_dataset(p)
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--out", required=True,
+                   help="output file (.trc = text, .btrc = binary)")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("stats", help="summarize a raw trace file")
+    p.add_argument("--trace", required=True)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("export-dbc", help="write per-channel DBC files")
+    add_dataset(p)
+    p.add_argument("--out-dir", required=True)
+    p.set_defaults(func=cmd_export_dbc)
+
+    p = sub.add_parser("extract", help="extract signals into a table store")
+    add_dataset(p)
+    p.add_argument("--trace", required=True)
+    p.add_argument("--signals", required=True,
+                   help="comma-separated signal ids")
+    p.add_argument("--store", required=True)
+    p.add_argument("--table", default="extraction")
+    p.add_argument("--workers", type=int, default=1)
+    p.set_defaults(func=cmd_extract)
+
+    p = sub.add_parser("pipeline", help="run the full Algorithm 1")
+    add_dataset(p)
+    p.add_argument("--trace", required=True)
+    p.add_argument("--params", help="JSON parameter file (see core.params)")
+    p.add_argument("--max-rows", type=int, default=10)
+    p.add_argument("--output", help="write the full state table here")
+    p.add_argument("--workers", type=int, default=1)
+    p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser("profile", help="per-signal trace profile")
+    add_dataset(p)
+    p.add_argument("--trace", required=True)
+    p.add_argument("--sort", choices=["count", "rate", "signal"],
+                   default="rate")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("report", help="markdown verification report")
+    add_dataset(p)
+    p.add_argument("--trace", required=True)
+    p.add_argument("--params", help="JSON parameter file")
+    p.add_argument("--out", help="write the report here (default: stdout)")
+    p.add_argument("--state-rows", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("show-params", help="print a starter parameter file")
+    add_dataset(p)
+    p.set_defaults(func=cmd_show_params)
+
+    return parser
+
+
+def main(argv=None, out=sys.stdout):
+    args = build_parser().parse_args(argv)
+    return args.func(args, out=out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

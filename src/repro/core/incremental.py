@@ -1,0 +1,178 @@
+"""Incremental (windowed) trace processing.
+
+The fleets of Fig. 1 deliver traces continuously ("500 cars produce
+1.5 TB per day"); a daily batch cannot hold a vehicle's full history in
+memory. :class:`IncrementalRunner` applies the front of Algorithm 1
+(preselection, interpretation, per-signal reduction -- lines 3-11) to
+consecutive time windows of a trace, carrying the last raw element per
+(signal, channel) across window boundaries so reduction decisions are
+*identical* to a whole-trace run. The type-dependent processing (lines
+13-28) runs once at ``finalize`` over the accumulated reduced sequences,
+because classification criteria (Eq. 2) are sequence-level statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.branches import R_COLUMNS, process_branch
+from repro.core.classification import classify
+from repro.core.extension import apply_extensions
+from repro.core.interpretation import interpret
+from repro.core.model import K_S_COLUMNS
+from repro.core.preselection import preselect
+from repro.core.representation import merge_results
+
+
+class IncrementalError(ValueError):
+    """Raised for out-of-order windows or misuse."""
+
+
+@dataclass
+class _SignalState:
+    """Accumulated per-(signal, channel) reduction state."""
+
+    reduced_rows: list = field(default_factory=list)
+    last_raw: tuple = None  # carry element for the marker functions
+
+
+@dataclass
+class IncrementalRunner:
+    """Windowed execution of a pipeline parameterization.
+
+    Feed windows in time order with :meth:`process_window`; call
+    :meth:`finalize` once at the end. Gateway-channel deduplication is
+    not applied (copies may drift across window boundaries); restrict
+    the catalog to representative channels instead, as the evaluation
+    does ("one channel per signal type is analyzed").
+    """
+
+    config: object  # PipelineConfig
+    _states: dict = field(default_factory=dict)
+    _last_window_end: float = None
+    _finalized: bool = False
+
+    def process_window(self, k_b_window):
+        """Run lines 3-11 on one window's K_b table; returns row count.
+
+        Windows must arrive in time order (their minimum timestamp must
+        not precede the previous window's maximum).
+        """
+        if self._finalized:
+            raise IncrementalError("runner already finalized")
+        k_pre = preselect(k_b_window, self.config.catalog)
+        k_s = interpret(k_pre, self.config.catalog)
+        rows = sorted(k_s.collect())
+        if rows:
+            window_start = rows[0][0]
+            window_end = rows[-1][0]
+            if (
+                self._last_window_end is not None
+                and window_start < self._last_window_end
+            ):
+                raise IncrementalError(
+                    "window starting at {} precedes previous end {}".format(
+                        window_start, self._last_window_end
+                    )
+                )
+            self._last_window_end = window_end
+        processed = 0
+        by_key = {}
+        for t, v, s_id, b_id in rows:
+            by_key.setdefault((s_id, b_id), []).append((t, v, s_id, b_id))
+        for key, sequence in sorted(by_key.items()):
+            state = self._states.setdefault(key, _SignalState())
+            kept = self._reduce_chunk(key[0], sequence, state)
+            state.reduced_rows.extend(kept)
+            state.last_raw = sequence[-1]
+            processed += len(sequence)
+        return processed
+
+    def _reduce_chunk(self, signal_id, sequence, state):
+        constraints = self.config.constraints.for_signal(signal_id)
+        functions = tuple(f for c in constraints for f in c.functions)
+        if not functions:
+            return list(sequence)
+        times = [row[0] for row in sequence]
+        values = [row[1] for row in sequence]
+        prev = None
+        if state.last_raw is not None:
+            prev = (state.last_raw[0], state.last_raw[1])
+        redundant = [False] * len(sequence)
+        for func in functions:
+            for i, flag in enumerate(func.flags(times, values, prev)):
+                if flag:
+                    redundant[i] = True
+        return [row for row, e in zip(sequence, redundant) if not e]
+
+    def finalize(self, context):
+        """Run classification, branches, extensions and the merge."""
+        if self._finalized:
+            raise IncrementalError("runner already finalized")
+        self._finalized = True
+        schema_names = list(K_S_COLUMNS)
+        branch_tables = []
+        extension_tables = []
+        outcomes = {}
+        for (s_id, b_id), state in sorted(self._states.items()):
+            rows = state.reduced_rows
+            if not rows:
+                continue
+            table = context.table_from_rows(schema_names, rows)
+            times = [r[0] for r in rows]
+            values = [r[1] for r in rows]
+            classification = classify(
+                times, values, self.config.branch_config.classifier
+            )
+            result_rows = process_branch(
+                rows, table.schema, classification, self.config.branch_config
+            )
+            branch_tables.append(
+                context.table_from_rows(list(R_COLUMNS), result_rows)
+            )
+            ext_rules = self.config.extensions.for_signal(s_id)
+            if ext_rules:
+                extension_tables.append(apply_extensions(table, ext_rules))
+            outcomes[(s_id, b_id)] = classification
+        r_out = merge_results(context, branch_tables, extension_tables)
+        return IncrementalResult(r_out=r_out.cache(), classifications=outcomes)
+
+    def reduced_rows(self, signal_id, channel_id):
+        """Accumulated reduced rows of one (signal, channel)."""
+        state = self._states.get((signal_id, channel_id))
+        return list(state.reduced_rows) if state else []
+
+
+@dataclass
+class IncrementalResult:
+    """Finalized output of an incremental run."""
+
+    r_out: object
+    classifications: dict  # (s_id, b_id) -> Classification
+
+    def state_representation(self, signal_order=None):
+        from repro.core.representation import build_state_representation
+
+        return build_state_representation(self.r_out, signal_order)
+
+
+def split_into_windows(records, window_seconds):
+    """Partition time-ordered byte records into window-sized chunks."""
+    if window_seconds <= 0:
+        raise IncrementalError("window_seconds must be positive")
+    windows = []
+    current = []
+    boundary = None
+    for record in records:
+        t = record[0]
+        if boundary is None:
+            boundary = t + window_seconds
+        if t >= boundary:
+            windows.append(current)
+            current = []
+            while t >= boundary:
+                boundary += window_seconds
+        current.append(record)
+    if current:
+        windows.append(current)
+    return windows

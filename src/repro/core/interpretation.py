@@ -1,0 +1,140 @@
+"""Information interpretation (paper Sec. 3.2, Algorithm 1 lines 4-6).
+
+The byte-to-signal mapping is made row-wise distributable by joining the
+preselected trace ``K_pre`` with the translation tuples ``U_comb`` on
+``(m_id, b_id)`` (line 4), then applying
+
+* ``u_1 : (l, u_info) -> l_rel`` -- relevant-byte extraction (line 5) and
+* ``u_2 : (l_rel, m_info, u_info) -> (t, (v, s_id))`` -- evaluation
+  (line 6)
+
+per row. The result is the signal-instance sequence ``K_s`` with columns
+``(t, v, s_id, b_id)``. Rows whose signal is absent in the instance
+(presence-conditional SOME/IP sections) are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import K_S_COLUMNS  # noqa: F401 (used by both paths)
+from repro.core.rules import ABSENT, U_REL_COLUMNS
+from repro.engine.expressions import apply, col
+
+
+@dataclass(frozen=True)
+class _U1:
+    """``u_1``: extract the relevant payload bytes per row."""
+
+    def __call__(self, payload, rule):
+        return rule.extract_relevant(payload)
+
+
+@dataclass(frozen=True)
+class _U2:
+    """``u_2``: evaluate relevant bytes to the physical signal value.
+
+    ``m_info`` is accepted for protocol-specific evaluation; the bundled
+    rules are self-contained, but data-dependent rules (e.g. scaling
+    switched by a header field) can inspect it.
+    """
+
+    def __call__(self, l_rel, m_info, rule):
+        return rule.evaluate(l_rel, m_info)
+
+
+def join_rules(k_pre, catalog_table):
+    """Line 4: ``K_join = K_pre ⋈ U_comb`` on (b_id, m_id).
+
+    *catalog_table* must have the ``U_REL_COLUMNS`` layout (built by
+    :meth:`RuleCatalog.to_table`). Every trace row is replicated once per
+    signal to extract from it.
+    """
+    missing = [c for c in ("b_id", "m_id") if c not in catalog_table.schema]
+    if missing:
+        raise ValueError(
+            "catalog table lacks join columns {}".format(missing)
+        )
+    return k_pre.join(catalog_table, on=["b_id", "m_id"], how="inner")
+
+
+def extract_relevant_bytes(k_join):
+    """Line 5: ``K_join2 = F_u1(K_join)`` -- add the ``l_rel`` column."""
+    return k_join.with_column("l_rel", apply(_U1(), "l", "u_info"))
+
+
+def evaluate_signals(k_join2):
+    """Line 6: ``K_s = F_u2(K_join2)`` -- signal instances per row."""
+    with_value = k_join2.with_column(
+        "v", apply(_U2(), "l_rel", "m_info", "u_info")
+    )
+    present = with_value.filter(col("v").is_not_null() if ABSENT is None
+                                else col("v") != ABSENT)
+    return present.select(*K_S_COLUMNS)
+
+
+@dataclass(frozen=True)
+class _FusedInterpreter:
+    """Broadcast-style interpretation: one flat-map over trace rows.
+
+    ``rules_by_key`` maps (m_id, b_id) -> ((s_id, rule), ...). Each trace
+    row expands directly into its signal-instance rows, fusing lines 4-6
+    into a single narrow stage (the mapPartitions formulation a Spark
+    implementation would use when the rule catalog fits in a broadcast
+    variable).
+    """
+
+    rules_by_key: dict
+
+    def __call__(self, row):
+        t, payload, b_id, m_id, m_info = row
+        out = []
+        for s_id, rule in self.rules_by_key.get((m_id, b_id), ()):
+            value = rule.evaluate(rule.extract_relevant(payload), m_info)
+            if value is not ABSENT:
+                out.append((t, value, s_id, b_id))
+        return out
+
+
+def interpret_fused(k_pre, catalog):
+    """Lines 4-6 as one fused flat-map stage (broadcast rules).
+
+    Produces exactly the rows of :func:`interpret`; preferable when the
+    catalog is small (it always is) and the engine benefits from fewer
+    stages.
+    """
+    rules_by_key = {}
+    for u in catalog:
+        rules_by_key.setdefault((u.message_id, u.channel_id), []).append(
+            (u.signal_id, u.rule)
+        )
+    frozen = {k: tuple(v) for k, v in rules_by_key.items()}
+    return k_pre.flat_map(_FusedInterpreter(frozen), list(K_S_COLUMNS))
+
+
+def interpret(k_pre, catalog, context=None, strategy="join"):
+    """Lines 4-6 composed: preselected trace + catalog -> ``K_s``.
+
+    *catalog* may be a :class:`~repro.core.rules.RuleCatalog` (loaded into
+    the trace's context) or an already-loaded engine table. *strategy*
+    selects the physical formulation: ``"join"`` (the paper's relational
+    join of line 4) or ``"fused"`` (broadcast flat-map; requires a
+    RuleCatalog).
+    """
+    if strategy == "fused":
+        if not hasattr(catalog, "preselection_keys"):
+            raise ValueError("fused interpretation needs a RuleCatalog")
+        return interpret_fused(k_pre, catalog)
+    if strategy != "join":
+        raise ValueError("unknown interpretation strategy {!r}".format(strategy))
+    if hasattr(catalog, "to_table"):
+        context = context if context is not None else k_pre.context
+        catalog_table = catalog.to_table(context)
+    else:
+        catalog_table = catalog
+    k_join = join_rules(k_pre, catalog_table)
+    k_join2 = extract_relevant_bytes(k_join)
+    return evaluate_signals(k_join2)
+
+
+_ = U_REL_COLUMNS  # re-exported context for readers of this module

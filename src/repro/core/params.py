@@ -1,0 +1,240 @@
+"""Declarative pipeline parameterization.
+
+The paper's framework "requires one-time parameterization" per domain
+(abstract). This module gives that parameterization a durable, reviewable
+form: a JSON-compatible dict describing the signals to extract, the
+reduction constraints ``C``, the extension rules ``E`` and the branch
+tuning -- convertible to a :class:`~repro.core.pipeline.PipelineConfig`
+against a communication database, and back.
+
+Schema::
+
+    {
+      "signals": ["wpos", "wvel"],
+      "constraints": [
+        {"signal": "wvel", "type": "unchanged_within_cycle",
+         "cycle_time": 0.1, "tolerance": 1.5},
+        {"signal": "heat", "type": "unchanged"},
+        {"signal": "x", "type": "minimum_gap", "min_gap": 0.5},
+        {"signal": "y", "type": "value_in_set", "values": ["idle"]}
+      ],
+      "extensions": [
+        {"signal": "wpos", "type": "gap"},
+        {"signal": "status", "type": "cycle_violation",
+         "expected_cycle": 0.1, "tolerance": 1.8},
+        {"signal": "wpos", "type": "rolling",
+         "window": 10.0, "statistic": "mean"}
+      ],
+      "branch": {"sax_alphabet": 3, "swab_error_fraction": 0.05,
+                 "trend_fraction": 0.02, "smoothing_window": 5,
+                 "rate_threshold": 1.0},
+      "dedup_channels": true
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.outliers import ZScoreDetector
+from repro.analysis.sax import SaxEncoder
+from repro.analysis.smoothing import MovingAverage
+from repro.core.branches import BranchConfig
+from repro.core.classification import ClassifierConfig
+from repro.core.extension import (
+    CycleViolationExtension,
+    ExtensionSet,
+    GapExtension,
+    RollingAggregateExtension,
+)
+from repro.core.pipeline import PipelineConfig
+from repro.core.reduction import (
+    Constraint,
+    ConstraintSet,
+    MinimumGap,
+    UnchangedValue,
+    UnchangedWithinCycle,
+    ValueInSet,
+)
+
+
+class ParameterizationError(ValueError):
+    """Raised for unknown rule types or malformed parameter documents."""
+
+
+def _build_constraint(spec):
+    kind = spec.get("type")
+    signal = spec.get("signal")
+    if not signal:
+        raise ParameterizationError("constraint needs a 'signal'")
+    if kind == "unchanged":
+        function = UnchangedValue()
+    elif kind == "unchanged_within_cycle":
+        function = UnchangedWithinCycle(
+            cycle_time=spec["cycle_time"],
+            tolerance=spec.get("tolerance", 1.5),
+        )
+    elif kind == "minimum_gap":
+        function = MinimumGap(min_gap=spec["min_gap"])
+    elif kind == "value_in_set":
+        function = ValueInSet(frozenset(spec["values"]))
+    else:
+        raise ParameterizationError(
+            "unknown constraint type {!r}".format(kind)
+        )
+    return Constraint(signal, spec.get("enabled", True), (function,))
+
+
+def _constraint_to_dict(constraint):
+    (function,) = constraint.functions
+    out = {"signal": constraint.signal_id}
+    if not constraint.enabled:
+        out["enabled"] = False
+    if isinstance(function, UnchangedValue):
+        out["type"] = "unchanged"
+    elif isinstance(function, UnchangedWithinCycle):
+        out.update(
+            type="unchanged_within_cycle",
+            cycle_time=function.cycle_time,
+            tolerance=function.tolerance,
+        )
+    elif isinstance(function, MinimumGap):
+        out.update(type="minimum_gap", min_gap=function.min_gap)
+    elif isinstance(function, ValueInSet):
+        out.update(type="value_in_set", values=sorted(function.values))
+    else:
+        raise ParameterizationError(
+            "constraint function {!r} has no declarative form".format(
+                type(function).__name__
+            )
+        )
+    return out
+
+
+def _build_extension(spec):
+    kind = spec.get("type")
+    signal = spec.get("signal")
+    if not signal:
+        raise ParameterizationError("extension needs a 'signal'")
+    if kind == "gap":
+        return GapExtension(signal, suffix=spec.get("suffix", "Gap"))
+    if kind == "cycle_violation":
+        return CycleViolationExtension(
+            signal,
+            expected_cycle=spec["expected_cycle"],
+            tolerance=spec.get("tolerance", 1.5),
+        )
+    if kind == "rolling":
+        return RollingAggregateExtension(
+            signal,
+            window=spec["window"],
+            statistic=spec.get("statistic", "mean"),
+        )
+    raise ParameterizationError("unknown extension type {!r}".format(kind))
+
+
+def _extension_to_dict(rule):
+    if isinstance(rule, GapExtension):
+        return {"signal": rule.signal_id, "type": "gap", "suffix": rule.suffix}
+    if isinstance(rule, CycleViolationExtension):
+        return {
+            "signal": rule.signal_id,
+            "type": "cycle_violation",
+            "expected_cycle": rule.expected_cycle,
+            "tolerance": rule.tolerance,
+        }
+    if isinstance(rule, RollingAggregateExtension):
+        return {
+            "signal": rule.signal_id,
+            "type": "rolling",
+            "window": rule.window,
+            "statistic": rule.statistic,
+        }
+    raise ParameterizationError(
+        "extension {!r} has no declarative form".format(type(rule).__name__)
+    )
+
+
+def _build_branch_config(spec):
+    classifier = ClassifierConfig(
+        rate_threshold=spec.get("rate_threshold", 1.0),
+    )
+    return BranchConfig(
+        outlier_detector=ZScoreDetector(
+            threshold=spec.get("outlier_threshold", 3.5)
+        ),
+        smoother=MovingAverage(window=spec.get("smoothing_window", 5)),
+        sax=SaxEncoder(alphabet_size=spec.get("sax_alphabet", 3)),
+        swab_error_fraction=spec.get("swab_error_fraction", 0.05),
+        swab_buffer=spec.get("swab_buffer", 40),
+        trend_fraction=spec.get("trend_fraction", 0.02),
+        classifier=classifier,
+    )
+
+
+def config_from_dict(document, database):
+    """Build a :class:`PipelineConfig` from a parameter document.
+
+    *database* supplies the translation catalog (``U_rel``); the
+    document's ``signals`` select ``U_comb`` from it.
+    """
+    signals = document.get("signals")
+    if not signals:
+        raise ParameterizationError("document must list 'signals'")
+    catalog = database.translation_catalog(signals)
+    constraints = ConstraintSet(
+        tuple(_build_constraint(c) for c in document.get("constraints", ()))
+    )
+    extensions = ExtensionSet(
+        tuple(_build_extension(e) for e in document.get("extensions", ()))
+    )
+    return PipelineConfig(
+        catalog=catalog,
+        constraints=constraints,
+        extensions=extensions,
+        branch_config=_build_branch_config(document.get("branch", {})),
+        dedup_channels=document.get("dedup_channels", True),
+    )
+
+
+def config_to_dict(config):
+    """Serialize a :class:`PipelineConfig` back to a parameter document.
+
+    Only declaratively-expressible constraints/extensions (one function
+    per constraint, the bundled rule types) are supported -- which is
+    exactly what :func:`config_from_dict` produces.
+    """
+    branch = config.branch_config
+    return {
+        "signals": sorted(set(config.catalog.signal_ids())),
+        "constraints": [
+            _constraint_to_dict(c) for c in config.constraints
+        ],
+        "extensions": [
+            _extension_to_dict(e) for e in config.extensions
+        ],
+        "branch": {
+            "sax_alphabet": branch.sax.alphabet_size,
+            "swab_error_fraction": branch.swab_error_fraction,
+            "swab_buffer": branch.swab_buffer,
+            "trend_fraction": branch.trend_fraction,
+            "rate_threshold": branch.classifier.rate_threshold,
+        },
+        "dedup_channels": config.dedup_channels,
+    }
+
+
+def load_config(path, database):
+    """Read a JSON parameter file into a :class:`PipelineConfig`."""
+    with open(Path(path)) as fh:
+        document = json.load(fh)
+    return config_from_dict(document, database)
+
+
+def save_config(config, path):
+    """Write a :class:`PipelineConfig` as a JSON parameter file."""
+    document = config_to_dict(config)
+    with open(Path(path), "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+    return document

@@ -1,0 +1,123 @@
+"""Signal splitting and gateway deduplication (Sec. 4.1, lines 7-9).
+
+``K_s`` is split per remaining signal type Σ*, and per type the equality
+check ``e`` exploits gateway routing: "by exploiting that identical
+signal instances are routed on multiple channels computational cost is
+reduced by processing signal instances for one channel only and using
+the result for corresponding signal instances."
+
+``e`` compares the per-channel value sequences of one signal type. The
+channel with the most instances becomes the representative ``K_sep``;
+channels with an identical value sequence are recorded as corresponding
+``K_scor`` (processed for free); channels whose sequence differs (frame
+loss, different sampling) become their own representatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.expressions import col
+
+
+@dataclass(frozen=True)
+class ChannelGroup:
+    """One equivalence group found by ``e`` for a signal type."""
+
+    signal_id: str
+    representative: str  # b_id processed
+    corresponding: tuple  # b_ids whose results are shared
+
+    def all_channels(self):
+        return (self.representative,) + self.corresponding
+
+
+@dataclass
+class SplitResult:
+    """Outcome of splitting + dedup for one signal type.
+
+    ``k_sep`` is the representative sequence (engine table, K_s layout
+    restricted to one channel); ``groups`` document which channels the
+    representative stands for; ``extra`` holds additional representative
+    tables for non-corresponding channels.
+    """
+
+    signal_id: str
+    k_sep: object
+    groups: list = field(default_factory=list)
+    extra: list = field(default_factory=list)  # (ChannelGroup, table)
+
+    def tables(self):
+        """All (group, table) pairs that must be processed."""
+        head_group = self.groups[0] if self.groups else None
+        return [(head_group, self.k_sep)] + list(self.extra)
+
+
+def split_signal_types(k_s, signal_ids=None):
+    """Line 7-8: one table per signal type ``K_s^{s_id}``.
+
+    Returns a dict s_id -> table. When *signal_ids* is None the ids are
+    discovered from the data (a distinct aggregation).
+    """
+    if signal_ids is None:
+        from repro.engine import aggregates
+
+        distinct = k_s.group_by("s_id").agg(("n", aggregates.Count(), None))
+        signal_ids = sorted(row[0] for row in distinct.collect())
+    out = {}
+    for s_id in signal_ids:
+        out[s_id] = k_s.filter(col("s_id") == s_id)
+    return out
+
+
+def equality_split(k_s_sid, signal_id):
+    """Line 9: the equality check ``e`` for one signal type's table.
+
+    Compares per-channel value sequences (time-ordered). Returns a
+    :class:`SplitResult` whose ``k_sep`` covers the representative
+    channel only.
+    """
+    ordered = k_s_sid.sort(["b_id", "t"]).cache()
+    sequences = {}
+    for t, v, s_id, b_id in ordered.collect():
+        sequences.setdefault(b_id, []).append(v)
+    if not sequences:
+        return SplitResult(signal_id, k_s_sid, groups=[])
+    # Deterministic representative choice: longest sequence, ties by name.
+    channels = sorted(sequences, key=lambda b: (-len(sequences[b]), str(b)))
+    groups = []
+    assigned = set()
+    for channel in channels:
+        if channel in assigned:
+            continue
+        corresponding = [
+            other
+            for other in channels
+            if other != channel
+            and other not in assigned
+            and sequences[other] == sequences[channel]
+        ]
+        assigned.add(channel)
+        assigned.update(corresponding)
+        groups.append(
+            ChannelGroup(signal_id, channel, tuple(sorted(map(str, corresponding))))
+        )
+    head = groups[0]
+    k_sep = ordered.filter(col("b_id") == head.representative)
+    extra = [
+        (group, ordered.filter(col("b_id") == group.representative))
+        for group in groups[1:]
+    ]
+    return SplitResult(signal_id, k_sep, groups=groups, extra=extra)
+
+
+def dedup_savings(result):
+    """Fraction of channels whose processing is saved by ``e``.
+
+    E.g. a signal routed on 3 identical channels yields 2/3 savings.
+    """
+    total = sum(len(g.all_channels()) for g in result.groups)
+    if total == 0:
+        return 0.0
+    processed = len(result.groups)
+    return 1.0 - processed / total

@@ -1,0 +1,166 @@
+"""Parameterization validation.
+
+A domain's configuration is written once and applied to many traces
+(abstract: "requires one-time parameterization"), so mistakes are
+expensive: a constraint on a signal that is not extracted silently does
+nothing; a cycle-time constraint far from the documented cycle reduces
+wrongly. :func:`validate_config` cross-checks a
+:class:`~repro.core.pipeline.PipelineConfig` against the communication
+database and reports findings before any trace is processed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reduction import UnchangedWithinCycle
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding."""
+
+    severity: str
+    subject: str
+    message: str
+
+    def __str__(self):
+        return "[{}] {}: {}".format(self.severity, self.subject, self.message)
+
+
+@dataclass
+class ValidationResult:
+    findings: list
+
+    @property
+    def errors(self):
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self):
+        return [f for f in self.findings if f.severity == WARNING]
+
+    def ok(self):
+        return not self.errors
+
+    def raise_on_error(self):
+        if self.errors:
+            raise ValueError(
+                "invalid parameterization:\n" + "\n".join(
+                    str(f) for f in self.errors
+                )
+            )
+        return self
+
+
+def validate_config(config, database=None):
+    """Cross-check *config*; optionally against its *database*.
+
+    Checks performed:
+
+    * every constraint / extension references a signal in the catalog
+      (otherwise it silently never applies -- ERROR);
+    * duplicate constraints for one signal (WARNING: their markers OR
+      together, which is often unintended);
+    * with a database: every cataloged signal exists in the database
+      (ERROR) and ``UnchangedWithinCycle`` cycle times lie within a
+      factor 3 of the documented message cycle (WARNING otherwise);
+    * gateway-duplicated signals without channel dedup (WARNING: copies
+      will be processed repeatedly).
+    """
+    findings = []
+    cataloged = set(config.catalog.signal_ids())
+
+    for constraint in config.constraints:
+        if constraint.signal_id not in cataloged:
+            findings.append(
+                Finding(
+                    ERROR,
+                    constraint.signal_id,
+                    "constraint references a signal that is not extracted",
+                )
+            )
+    seen = set()
+    for constraint in config.constraints:
+        if constraint.signal_id in seen:
+            findings.append(
+                Finding(
+                    WARNING,
+                    constraint.signal_id,
+                    "multiple constraints; their markers OR together (Eq. 1)",
+                )
+            )
+        seen.add(constraint.signal_id)
+
+    for rule in config.extensions:
+        if rule.signal_id not in cataloged:
+            findings.append(
+                Finding(
+                    ERROR,
+                    rule.signal_id,
+                    "extension references a signal that is not extracted",
+                )
+            )
+
+    if database is not None:
+        documented = set(database.alphabet().ids())
+        for s_id in sorted(cataloged - documented):
+            findings.append(
+                Finding(ERROR, s_id, "signal is not in the database")
+            )
+        cycle_by_signal = {}
+        for message in database.messages:
+            if message.cycle_time is None:
+                continue
+            for signal in message.signals:
+                cycle_by_signal.setdefault(signal.name, message.cycle_time)
+        for constraint in config.constraints:
+            documented_cycle = cycle_by_signal.get(constraint.signal_id)
+            for function in constraint.functions:
+                if not isinstance(function, UnchangedWithinCycle):
+                    continue
+                if documented_cycle is None:
+                    findings.append(
+                        Finding(
+                            WARNING,
+                            constraint.signal_id,
+                            "cycle constraint on an event-driven message",
+                        )
+                    )
+                elif not (
+                    documented_cycle / 3
+                    <= function.cycle_time
+                    <= documented_cycle * 3
+                ):
+                    findings.append(
+                        Finding(
+                            WARNING,
+                            constraint.signal_id,
+                            "constraint cycle {}s far from documented "
+                            "{}s".format(
+                                function.cycle_time, documented_cycle
+                            ),
+                        )
+                    )
+        if not config.dedup_channels:
+            per_signal_channels = {}
+            for u in config.catalog:
+                per_signal_channels.setdefault(u.signal_id, set()).add(
+                    u.channel_id
+                )
+            for s_id, channels in sorted(per_signal_channels.items()):
+                if len(channels) > 1:
+                    findings.append(
+                        Finding(
+                            WARNING,
+                            s_id,
+                            "extracted on {} channels with dedup disabled; "
+                            "copies are processed repeatedly".format(
+                                len(channels)
+                            ),
+                        )
+                    )
+    return ValidationResult(findings)

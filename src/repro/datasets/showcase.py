@@ -1,0 +1,258 @@
+"""The showcase vehicle: every advanced protocol feature in one trace.
+
+Not part of the paper's Table 5 evaluation -- a deliberately dense
+vehicle that exercises the corner cases of the interpretation layer in
+one journey:
+
+* a **multiplexed** CAN message (selector + page-dependent signals);
+* a **SOME/IP** message with a presence-conditional payload (optional
+  sections governed by the mask byte);
+* a message whose signal is **re-packaged by a signal-level gateway**
+  into a different layout on another channel (so the equality check
+  ``e`` must match values across layouts);
+* a signal present only in **notification-type** SOME/IP instances
+  (an m_info-dependent rule).
+
+Used by tests and as a template for modelling complex real messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.database import (
+    BINARY,
+    MessageDefinition,
+    NetworkDatabase,
+    NOMINAL,
+    NUMERIC,
+    SignalDefinition,
+)
+from repro.protocols.signalcodec import MOTOROLA, SignalEncoding
+from repro.protocols.someip import ConditionalLayout, OptionalSection, message_id
+from repro.vehicle import behaviors as bhv
+from repro.vehicle.ecu import Ecu
+from repro.vehicle.gateway import SignalGateway, SignalRoute
+from repro.vehicle.schedules import Cyclic
+from repro.vehicle.vehicle import VehicleSimulation
+
+
+@dataclass
+class ShowcaseBundle:
+    """The built showcase vehicle with its interesting signal ids."""
+
+    simulation: VehicleSimulation
+    mux_signals: tuple
+    optional_signals: tuple
+    repacked_signal: str
+    notification_signal: str
+
+    @property
+    def database(self):
+        return self.simulation.database
+
+    def catalog(self, signal_ids=None):
+        return self.database.translation_catalog(signal_ids)
+
+    def record_table(self, context, duration, num_partitions=None):
+        return self.simulation.record_table(
+            context, duration, num_partitions=num_partitions
+        )
+
+    def notification_catalog(self):
+        """Catalog for the door signal gated on SOME/IP notifications.
+
+        Demonstrates the m_info-dependent rule form: the signal is only
+        interpreted from instances whose message_type is NOTIFICATION
+        (0x02); error responses with the same id are skipped.
+        """
+        import dataclasses
+
+        from repro.core.rules import RuleCatalog
+
+        base = self.catalog([self.notification_signal])
+        gated = tuple(
+            dataclasses.replace(
+                u,
+                rule=dataclasses.replace(
+                    u.rule, required_info=(("message_type", 0x02),)
+                ),
+            )
+            for u in base
+        )
+        return RuleCatalog(gated)
+
+
+def build_showcase(seed=0):
+    """Build the showcase vehicle."""
+    # -- multiplexed suspension message ------------------------------------
+    page = SignalDefinition("sus_page", SignalEncoding(0, 8))
+    front = SignalDefinition(
+        "sus_front", SignalEncoding(8, 16, scale=0.1), mux_value=0,
+        data_class=NUMERIC,
+    )
+    rear = SignalDefinition(
+        "sus_rear", SignalEncoding(8, 16, scale=0.1), mux_value=1,
+        data_class=NUMERIC,
+    )
+    suspension = MessageDefinition(
+        "SUSPENSION", 0x310, "CH", "CAN", 3, (page, front, rear),
+        cycle_time=0.05, multiplexor="sus_page",
+    )
+
+    # -- SOME/IP message with optional sections --------------------------------
+    layout = ConditionalLayout(
+        (OptionalSection(0, 2), OptionalSection(1, 1))
+    )
+    obj_distance = SignalDefinition(
+        "obj_distance", SignalEncoding(0, 16, scale=0.01), section_bit=0,
+        unit="m", data_class=NUMERIC,
+    )
+    obj_class = SignalDefinition(
+        "obj_class",
+        SignalEncoding(
+            0, 3,
+            value_table=(
+                (0, "none"), (1, "car"), (2, "truck"), (3, "pedestrian"),
+            ),
+        ),
+        section_bit=1,
+        data_class=NOMINAL,
+    )
+    objects = MessageDefinition(
+        "OBJECT_LIST", message_id(0x0210, 0x8001), "ETH", "SOMEIP", 8,
+        (obj_distance, obj_class), cycle_time=0.1, layout=layout,
+    )
+
+    # -- yaw rate, re-packaged by the signal gateway ----------------------------
+    yaw = SignalDefinition(
+        "yaw_rate", SignalEncoding(0, 16, scale=0.01, offset=-300.0),
+        unit="deg/s", data_class=NUMERIC,
+    )
+    dynamics = MessageDefinition(
+        "DYNAMICS", 0x80, "CH", "CAN", 2, (yaw,), cycle_time=0.02
+    )
+    yaw_repack = SignalDefinition(
+        "yaw_rate",
+        SignalEncoding(15, 16, byte_order=MOTOROLA, scale=0.01, offset=-300.0),
+        unit="deg/s", data_class=NUMERIC,
+    )
+    dynamics_repack = MessageDefinition(
+        "DYNAMICS_REPACK", 0x81, "DC", "CAN", 4, (yaw_repack,),
+        cycle_time=0.02,
+    )
+
+    # -- door state: carried only in notifications ------------------------------
+    door = SignalDefinition(
+        "door_open",
+        SignalEncoding(0, 1, value_table=((0, "OFF"), (1, "ON"))),
+        data_class=BINARY,
+    )
+    doors = MessageDefinition(
+        "DOORS", message_id(0x0211, 0x8002), "ETH", "SOMEIP", 1, (door,),
+        cycle_time=0.5,
+    )
+
+    database = NetworkDatabase((suspension, objects, dynamics, doors))
+
+    ecu = (
+        Ecu("ShowcaseEcu")
+        .add_transmission(
+            suspension,
+            {
+                "sus_page": _PageSelector(),
+                "sus_front": _PageGated(
+                    bhv.Sine(20.0, 5.0, mean=50.0, seed=seed + 1),
+                    _PageSelector(), page=0,
+                ),
+                "sus_rear": _PageGated(
+                    bhv.Sine(20.0, 5.0, mean=55.0, seed=seed + 2),
+                    _PageSelector(), page=1,
+                ),
+            },
+            Cyclic(0.05, seed=seed + 3),
+        )
+        .add_transmission(
+            objects,
+            {
+                "obj_distance": bhv.RandomWalk(
+                    step=0.5, seed=seed + 4, start=30.0,
+                    minimum=1.0, maximum=120.0,
+                ),
+                "obj_class": bhv.StateMachine(
+                    ("none", "car", "truck", "pedestrian"),
+                    {
+                        "none": (("car", 1.0), ("none", 3.0)),
+                        "car": (("none", 1.0), ("truck", 0.3), ("car", 2.0)),
+                        "truck": (("car", 1.0), ("truck", 1.0)),
+                        "pedestrian": (("none", 1.0),),
+                    },
+                    dwell=2.0,
+                    seed=seed + 5,
+                ),
+            },
+            Cyclic(0.1, seed=seed + 6),
+        )
+        .add_transmission(
+            dynamics,
+            {"yaw_rate": bhv.Sine(15.0, 8.0, mean=0.0, noise=0.1, seed=seed + 7)},
+            Cyclic(0.02, seed=seed + 8),
+        )
+        .add_transmission(
+            doors,
+            {"door_open": bhv.Toggle(40.0, "ON", "OFF")},
+            Cyclic(0.5, seed=seed + 9),
+        )
+    )
+    simulation = VehicleSimulation(database, [ecu])
+    simulation.add_gateway(
+        SignalGateway(
+            "REPACK_GW",
+            database=database,
+            routes=(
+                SignalRoute("CH", 0x80, ("yaw_rate",), dynamics_repack,
+                            delay=0.001),
+            ),
+        )
+    )
+    return ShowcaseBundle(
+        simulation=simulation,
+        mux_signals=("sus_front", "sus_rear"),
+        optional_signals=("obj_distance", "obj_class"),
+        repacked_signal="yaw_rate",
+        notification_signal="door_open",
+    )
+
+
+@dataclass
+class _PageSelector(bhv.Behavior):
+    """Alternates the multiplexor page 0/1 deterministically per send.
+
+    Driven by time so it stays a pure function of the schedule.
+    """
+
+    period: float = 0.1
+
+    def sample(self, t):
+        return int(t / (self.period / 2)) % 2
+
+
+@dataclass
+class _PageGated(bhv.Behavior):
+    """A mux-page-dependent signal: None (absent) off its page.
+
+    The message encoder treats None as "not part of this instance", so
+    each frame carries only the active page's signals.
+    """
+
+    inner: bhv.Behavior
+    selector: _PageSelector
+    page: int
+
+    def sample(self, t):
+        if self.selector.sample(t) != self.page:
+            return None
+        return self.inner.sample(t)
+
+    def reset(self):
+        self.inner.reset()

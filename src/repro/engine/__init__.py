@@ -1,0 +1,56 @@
+"""A small distributed-style tabular dataflow engine.
+
+This package is the repository's stand-in for Apache Spark (see
+DESIGN.md): lazy logical plans over partitioned row tables, narrow-stage
+fusion, hash/broadcast joins, shuffled group-bys, global sorts and
+windowed partition maps, executed either serially or on a process pool.
+"""
+
+from repro.engine import aggregates
+from repro.engine.context import EngineContext
+from repro.engine.errors import EngineError, ExecutionError, PlanError, SchemaError
+from repro.engine.executor import (
+    MultiprocessingExecutor,
+    SerialExecutor,
+    SimulatedClusterExecutor,
+)
+from repro.engine.expressions import apply, col, lit, row_apply
+from repro.engine.schema import ANY, BOOL, BYTES, FLOAT, INT, STRING, Field, Schema
+from repro.engine.storage import TableStore
+from repro.engine.table import Table
+from repro.engine.window import (
+    drop_consecutive_duplicates,
+    forward_fill,
+    with_gap,
+    with_lag,
+)
+
+__all__ = [
+    "EngineContext",
+    "EngineError",
+    "ExecutionError",
+    "PlanError",
+    "SchemaError",
+    "MultiprocessingExecutor",
+    "SerialExecutor",
+    "SimulatedClusterExecutor",
+    "Table",
+    "TableStore",
+    "Schema",
+    "Field",
+    "aggregates",
+    "apply",
+    "col",
+    "lit",
+    "row_apply",
+    "with_lag",
+    "with_gap",
+    "drop_consecutive_duplicates",
+    "forward_fill",
+    "ANY",
+    "BOOL",
+    "BYTES",
+    "FLOAT",
+    "INT",
+    "STRING",
+]

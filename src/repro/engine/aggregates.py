@@ -1,0 +1,171 @@
+"""Aggregate functions for ``group_by``.
+
+Each aggregate is a picklable dataclass implementing the classic
+initialize / update / merge / finish protocol so that partial aggregation
+can run inside each shuffle bucket in parallel, the way combiners work in
+distributed engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Aggregate:
+    """Base class; subclasses implement the fold protocol."""
+
+    def initial(self):
+        raise NotImplementedError
+
+    def update(self, acc, value):
+        raise NotImplementedError
+
+    def merge(self, acc_a, acc_b):
+        raise NotImplementedError
+
+    def finish(self, acc):
+        return acc
+
+
+@dataclass(frozen=True)
+class Count(Aggregate):
+    """Number of rows in the group (value column is ignored)."""
+
+    def initial(self):
+        return 0
+
+    def update(self, acc, value):
+        return acc + 1
+
+    def merge(self, acc_a, acc_b):
+        return acc_a + acc_b
+
+
+@dataclass(frozen=True)
+class Sum(Aggregate):
+    def initial(self):
+        return 0
+
+    def update(self, acc, value):
+        return acc + value
+
+    def merge(self, acc_a, acc_b):
+        return acc_a + acc_b
+
+
+@dataclass(frozen=True)
+class Min(Aggregate):
+    def initial(self):
+        return None
+
+    def update(self, acc, value):
+        return value if acc is None or value < acc else acc
+
+    def merge(self, acc_a, acc_b):
+        if acc_a is None:
+            return acc_b
+        if acc_b is None:
+            return acc_a
+        return min(acc_a, acc_b)
+
+
+@dataclass(frozen=True)
+class Max(Aggregate):
+    def initial(self):
+        return None
+
+    def update(self, acc, value):
+        return value if acc is None or value > acc else acc
+
+    def merge(self, acc_a, acc_b):
+        if acc_a is None:
+            return acc_b
+        if acc_b is None:
+            return acc_a
+        return max(acc_a, acc_b)
+
+
+@dataclass(frozen=True)
+class Mean(Aggregate):
+    """Arithmetic mean, tracked as (sum, count) partials."""
+
+    def initial(self):
+        return (0.0, 0)
+
+    def update(self, acc, value):
+        return (acc[0] + value, acc[1] + 1)
+
+    def merge(self, acc_a, acc_b):
+        return (acc_a[0] + acc_b[0], acc_a[1] + acc_b[1])
+
+    def finish(self, acc):
+        total, n = acc
+        return total / n if n else None
+
+
+@dataclass(frozen=True)
+class First(Aggregate):
+    """First value seen in group order (deterministic within a sort)."""
+
+    def initial(self):
+        return (False, None)
+
+    def update(self, acc, value):
+        return acc if acc[0] else (True, value)
+
+    def merge(self, acc_a, acc_b):
+        return acc_a if acc_a[0] else acc_b
+
+    def finish(self, acc):
+        return acc[1]
+
+
+@dataclass(frozen=True)
+class Last(Aggregate):
+    """Last value seen in group order."""
+
+    def initial(self):
+        return (False, None)
+
+    def update(self, acc, value):
+        return (True, value)
+
+    def merge(self, acc_a, acc_b):
+        return acc_b if acc_b[0] else acc_a
+
+    def finish(self, acc):
+        return acc[1]
+
+
+@dataclass(frozen=True)
+class CollectList(Aggregate):
+    """Collect all group values into a list (order of arrival)."""
+
+    def initial(self):
+        return ()
+
+    def update(self, acc, value):
+        return acc + (value,)
+
+    def merge(self, acc_a, acc_b):
+        return acc_a + acc_b
+
+    def finish(self, acc):
+        return list(acc)
+
+
+@dataclass(frozen=True)
+class CountDistinct(Aggregate):
+    """Number of distinct values in the group (exact, set-based)."""
+
+    def initial(self):
+        return frozenset()
+
+    def update(self, acc, value):
+        return acc | {value}
+
+    def merge(self, acc_a, acc_b):
+        return acc_a | acc_b
+
+    def finish(self, acc):
+        return len(acc)

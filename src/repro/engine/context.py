@@ -1,0 +1,114 @@
+"""Engine context: the entry point for creating tables.
+
+An :class:`EngineContext` pairs an executor with table construction
+helpers, playing the role of a SparkSession in the paper's deployment.
+"""
+
+from __future__ import annotations
+
+from repro.engine import plan as logical
+from repro.engine.errors import PlanError
+from repro.engine.executor import (
+    MultiprocessingExecutor,
+    SerialExecutor,
+    SimulatedClusterExecutor,
+)
+from repro.engine.operations import split_evenly
+from repro.engine.schema import Schema
+from repro.engine.table import Table
+
+
+class EngineContext:
+    """Factory for :class:`~repro.engine.table.Table` objects.
+
+    Examples
+    --------
+    >>> ctx = EngineContext.serial()
+    >>> t = ctx.table_from_rows(["a", "b"], [(1, 2), (3, 4)])
+    >>> t.count()
+    2
+    """
+
+    def __init__(self, executor):
+        self.executor = executor
+
+    @classmethod
+    def serial(cls, default_parallelism=4):
+        """Context running everything in-process (reference executor)."""
+        return cls(SerialExecutor(default_parallelism=default_parallelism))
+
+    @classmethod
+    def parallel(cls, num_workers=None, default_parallelism=None):
+        """Context running partition tasks on worker processes."""
+        return cls(
+            MultiprocessingExecutor(
+                num_workers=num_workers,
+                default_parallelism=default_parallelism,
+            )
+        )
+
+    @classmethod
+    def simulated_cluster(cls, num_workers=10, stage_latency=0.001):
+        """Context with the measured cluster-makespan cost model.
+
+        Results are identical to :meth:`serial`; the executor's
+        ``simulated_seconds`` additionally estimates the wall time a
+        ``num_workers`` cluster would need (see DESIGN.md).
+        """
+        return cls(
+            SimulatedClusterExecutor(
+                num_workers=num_workers, stage_latency=stage_latency
+            )
+        )
+
+    @property
+    def default_parallelism(self):
+        return self.executor.default_parallelism
+
+    def close(self):
+        self.executor.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- table constructors -------------------------------------------------
+    def table_from_rows(self, columns, rows, dtypes=None, num_partitions=None):
+        """Create a table from row tuples, splitting into partitions."""
+        schema = Schema.of(*columns, dtypes=dtypes)
+        width = len(schema)
+        rows = [tuple(r) for r in rows]
+        for row in rows[:1]:
+            if len(row) != width:
+                raise PlanError(
+                    "row width {} does not match schema width {}".format(
+                        len(row), width
+                    )
+                )
+        if num_partitions is None:
+            num_partitions = self.default_parallelism
+        partitions = split_evenly(rows, max(num_partitions, 1))
+        node = logical.Source(schema, tuple(tuple(p) for p in partitions))
+        return Table(self, node)
+
+    def table_from_dicts(self, records, columns, dtypes=None, num_partitions=None):
+        """Create a table from dict records using *columns* ordering."""
+        rows = [tuple(rec[c] for c in columns) for rec in records]
+        return self.table_from_rows(
+            columns, rows, dtypes=dtypes, num_partitions=num_partitions
+        )
+
+    def table_from_partitions(self, columns, partitions, dtypes=None):
+        """Create a table preserving an existing partitioning."""
+        schema = Schema.of(*columns, dtypes=dtypes)
+        node = logical.Source(
+            schema, tuple(tuple(tuple(r) for r in p) for p in partitions)
+        )
+        return Table(self, node)
+
+    def empty_table(self, columns, dtypes=None):
+        """Create an empty table with the given schema."""
+        return self.table_from_rows(columns, [], dtypes=dtypes, num_partitions=1)

@@ -1,0 +1,208 @@
+"""Physical per-partition operations.
+
+Executors fuse chains of narrow plan nodes into a single
+:class:`PartitionTask` per input partition; the task is a picklable object
+so the multiprocessing executor can ship it to a worker process. Wide
+operations (joins, group-bys, sorts) are decomposed into hash/range
+shuffles on the driver plus per-bucket tasks defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FilterStep:
+    predicate: object
+
+    def run(self, rows):
+        pred = self.predicate
+        return [r for r in rows if pred(r)]
+
+
+@dataclass(frozen=True)
+class ProjectStep:
+    exprs: tuple
+
+    def run(self, rows):
+        exprs = self.exprs
+        return [tuple(e(r) for e in exprs) for r in rows]
+
+
+@dataclass(frozen=True)
+class FlatMapStep:
+    func: object
+
+    def run(self, rows):
+        func = self.func
+        out = []
+        for r in rows:
+            out.extend(func(r))
+        return out
+
+
+@dataclass(frozen=True)
+class MapPartitionStep:
+    func: object
+
+    def run(self, rows):
+        return self.func(rows)
+
+
+@dataclass(frozen=True)
+class PartitionTask:
+    """A fused chain of narrow steps applied to one partition."""
+
+    steps: tuple
+
+    def __call__(self, rows):
+        for step in self.steps:
+            rows = step.run(rows)
+        return rows
+
+
+@dataclass(frozen=True)
+class BroadcastJoinTask:
+    """Join one left partition against a broadcast hash map of right rows.
+
+    ``right_index`` maps join key -> list of right row remainders (right
+    rows with the key columns removed). ``left_key_indices`` locate the
+    key inside each left row.
+    """
+
+    left_key_indices: tuple
+    right_index: dict
+    how: str
+    right_width: int
+
+    def __call__(self, rows):
+        out = []
+        idx = self.right_index
+        keys = self.left_key_indices
+        empty = (None,) * self.right_width
+        left_outer = self.how == "left"
+        for row in rows:
+            key = tuple(row[i] for i in keys)
+            matches = idx.get(key)
+            if matches:
+                for rem in matches:
+                    out.append(row + rem)
+            elif left_outer:
+                out.append(row + empty)
+        return out
+
+
+@dataclass(frozen=True)
+class BucketJoinTask:
+    """Join one hash bucket of left rows against the matching right bucket."""
+
+    left_key_indices: tuple
+    right_key_indices: tuple
+    right_drop_indices: tuple
+    how: str
+    right_width: int
+
+    def __call__(self, bucket_pair):
+        left_rows, right_rows = bucket_pair
+        index = {}
+        rkeys = self.right_key_indices
+        drop = set(self.right_drop_indices)
+        for row in right_rows:
+            key = tuple(row[i] for i in rkeys)
+            rem = tuple(v for i, v in enumerate(row) if i not in drop)
+            index.setdefault(key, []).append(rem)
+        task = BroadcastJoinTask(
+            self.left_key_indices, index, self.how, self.right_width
+        )
+        return task(left_rows)
+
+
+@dataclass(frozen=True)
+class BucketAggregateTask:
+    """Aggregate one hash bucket of rows for a group-by.
+
+    ``aggregates`` is a tuple of (Aggregate, value column index or None).
+    Emits one row per group: key columns followed by finished aggregates.
+    """
+
+    key_indices: tuple
+    aggregates: tuple
+
+    def __call__(self, rows):
+        groups = {}
+        key_idx = self.key_indices
+        aggs = self.aggregates
+        for row in rows:
+            key = tuple(row[i] for i in key_idx)
+            accs = groups.get(key)
+            if accs is None:
+                accs = [agg.initial() for agg, _unused in aggs]
+                groups[key] = accs
+            for j, (agg, value_index) in enumerate(aggs):
+                value = row[value_index] if value_index is not None else None
+                accs[j] = agg.update(accs[j], value)
+        out = []
+        for key in sorted(groups, key=_group_sort_key):
+            accs = groups[key]
+            finished = tuple(
+                agg.finish(accs[j]) for j, (agg, _unused) in enumerate(aggs)
+            )
+            out.append(key + finished)
+        return out
+
+
+def _group_sort_key(key):
+    """Deterministic ordering for heterogeneous group keys."""
+    return tuple((type(v).__name__, v) for v in key)
+
+
+@dataclass(frozen=True)
+class SortPartitionTask:
+    """Sort a single partition by key columns with per-key direction."""
+
+    key_indices: tuple
+    ascending: tuple
+
+    def __call__(self, rows):
+        ordered = list(rows)
+        # Stable sorts applied from the least-significant key up give a
+        # correct multi-key ordering with mixed directions.
+        for idx, asc in reversed(list(zip(self.key_indices, self.ascending))):
+            ordered.sort(key=lambda r, i=idx: r[i], reverse=not asc)
+        return ordered
+
+
+@dataclass(frozen=True)
+class CarryMapTask:
+    """Run a windowed partition function with carry rows from predecessor."""
+
+    func: object
+
+    def __call__(self, partition_and_carry):
+        partition, carry = partition_and_carry
+        return self.func(partition, carry)
+
+
+def hash_partition(rows, key_indices, num_buckets):
+    """Split *rows* into ``num_buckets`` lists by hash of the key columns."""
+    buckets = [[] for _unused in range(num_buckets)]
+    for row in rows:
+        key = tuple(row[i] for i in key_indices)
+        buckets[hash(key) % num_buckets].append(row)
+    return buckets
+
+
+def split_evenly(rows, num_partitions):
+    """Split *rows* into ``num_partitions`` contiguous, balanced blocks."""
+    n = len(rows)
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    base, extra = divmod(n, num_partitions)
+    out = []
+    start = 0
+    for i in range(num_partitions):
+        size = base + (1 if i < extra else 0)
+        out.append(rows[start : start + size])
+        start += size
+    return out

@@ -1,0 +1,216 @@
+"""Logical plan optimizer.
+
+A small rule-based rewriter applied before execution, mirroring the
+always-on optimizations of production dataflow engines:
+
+* **filter fusion** -- adjacent filters combine into one conjunction;
+* **project fusion** -- adjacent projections compose into one;
+* **filter pushdown** -- a filter above a projection moves below it when
+  every column it references is a pure column reference in the
+  projection (no recomputation of derived columns);
+* **identity-project elimination** -- projections that neither reorder,
+  rename nor compute anything are dropped.
+
+All rewrites operate on *bound* expressions (index-resolved), using
+structural substitution; results are provably identical because bound
+expressions are pure functions of the row.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.engine import plan as logical
+from repro.engine.expressions import (
+    BoundAnd,
+    BoundApply,
+    BoundBinary,
+    BoundColumn,
+    BoundInSet,
+    BoundLiteral,
+    BoundOr,
+    BoundRowApply,
+    BoundUnary,
+)
+
+
+def optimize(node):
+    """Rewrite *node* bottom-up; returns an equivalent, cheaper plan."""
+    node = _rewrite_children(node)
+    while True:
+        rewritten = _apply_rules(node)
+        if rewritten is node:
+            return node
+        node = rewritten
+
+
+def _rewrite_children(node):
+    children = node.children()
+    if not children:
+        return node
+    new_children = tuple(optimize(c) for c in children)
+    if new_children == children:
+        return node
+    if len(children) == 1:
+        return dataclasses.replace(node, child=new_children[0])
+    return dataclasses.replace(
+        node, left=new_children[0], right=new_children[1]
+    )
+
+
+def _apply_rules(node):
+    if isinstance(node, logical.Filter):
+        child = node.child
+        if isinstance(child, logical.Filter):
+            # Filter fusion: evaluate the lower predicate first.
+            return logical.Filter(
+                child.child, BoundAnd(child.predicate, node.predicate)
+            )
+        if isinstance(child, logical.Project):
+            pushed = _push_filter_below_project(node, child)
+            if pushed is not None:
+                return pushed
+    if isinstance(node, logical.Project):
+        child = node.child
+        if isinstance(child, logical.Project):
+            composed = tuple(
+                substitute(e, child.exprs) for e in node.exprs
+            )
+            return logical.Project(child.child, node.out_schema, composed)
+        if _is_identity_project(node):
+            return node.child
+    return node
+
+
+def _push_filter_below_project(filter_node, project_node):
+    """Filter(Project(x)) -> Project(Filter(x)) when safe.
+
+    Safe when each column the predicate references is produced by a pure
+    ``BoundColumn`` in the projection -- substitution then renames
+    indices without duplicating computed work.
+    """
+    refs = references(filter_node.predicate)
+    for index in refs:
+        if not isinstance(project_node.exprs[index], BoundColumn):
+            return None
+    new_predicate = substitute(filter_node.predicate, project_node.exprs)
+    return logical.Project(
+        logical.Filter(project_node.child, new_predicate),
+        project_node.out_schema,
+        project_node.exprs,
+    )
+
+
+def _is_identity_project(node):
+    child_schema = node.child.schema
+    if node.out_schema.names != child_schema.names:
+        return False
+    return all(
+        isinstance(e, BoundColumn) and e.index == i
+        for i, e in enumerate(node.exprs)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bound-expression structural tools
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ComposedApply:
+    """A BoundApply whose inputs are arbitrary bound sub-expressions.
+
+    Produced by project fusion when a computed column feeds a function
+    column; keeps the fused projection a single pass over the row.
+    """
+
+    func: object
+    producers: tuple
+
+    def __call__(self, row):
+        return self.func(*(p(row) for p in self.producers))
+
+
+@dataclasses.dataclass(frozen=True)
+class ComposedRowApply:
+    """A BoundRowApply over a virtual row built from sub-expressions."""
+
+    func: object
+    names: tuple
+    producers: tuple
+
+    def __call__(self, row):
+        return self.func(
+            dict(zip(self.names, (p(row) for p in self.producers)))
+        )
+
+
+def references(expr):
+    """Set of column indices a bound expression reads."""
+    if isinstance(expr, BoundColumn):
+        return {expr.index}
+    if isinstance(expr, BoundLiteral):
+        return set()
+    if isinstance(expr, (BoundBinary, BoundAnd, BoundOr)):
+        return references(expr.left) | references(expr.right)
+    if isinstance(expr, BoundUnary):
+        return references(expr.operand)
+    if isinstance(expr, BoundInSet):
+        return references(expr.operand)
+    if isinstance(expr, BoundApply):
+        return set(expr.indices)
+    if isinstance(expr, (ComposedApply, ComposedRowApply)):
+        out = set()
+        for producer in expr.producers:
+            out |= references(producer)
+        return out
+    if isinstance(expr, BoundRowApply):
+        # Reads the whole row; every column counts as referenced.
+        return set(range(len(expr.names)))
+    raise TypeError("unknown bound expression {!r}".format(type(expr).__name__))
+
+
+def substitute(expr, exprs):
+    """Replace each column reference *i* in *expr* by ``exprs[i]``."""
+    if isinstance(expr, BoundColumn):
+        return exprs[expr.index]
+    if isinstance(expr, BoundLiteral):
+        return expr
+    if isinstance(expr, BoundBinary):
+        return BoundBinary(
+            expr.op, substitute(expr.left, exprs), substitute(expr.right, exprs)
+        )
+    if isinstance(expr, BoundAnd):
+        return BoundAnd(
+            substitute(expr.left, exprs), substitute(expr.right, exprs)
+        )
+    if isinstance(expr, BoundOr):
+        return BoundOr(
+            substitute(expr.left, exprs), substitute(expr.right, exprs)
+        )
+    if isinstance(expr, BoundUnary):
+        return BoundUnary(expr.op, substitute(expr.operand, exprs))
+    if isinstance(expr, BoundInSet):
+        return BoundInSet(substitute(expr.operand, exprs), expr.values)
+    if isinstance(expr, BoundApply):
+        producers = tuple(exprs[i] for i in expr.indices)
+        if all(isinstance(p, BoundColumn) for p in producers):
+            return BoundApply(expr.func, tuple(p.index for p in producers))
+        return ComposedApply(expr.func, producers)
+    if isinstance(expr, ComposedApply):
+        return ComposedApply(
+            expr.func, tuple(substitute(p, exprs) for p in expr.producers)
+        )
+    if isinstance(expr, ComposedRowApply):
+        return ComposedRowApply(
+            expr.func,
+            expr.names,
+            tuple(substitute(p, exprs) for p in expr.producers),
+        )
+    if isinstance(expr, BoundRowApply):
+        return ComposedRowApply(
+            expr.func,
+            expr.names,
+            tuple(exprs[i] for i in range(len(expr.names))),
+        )
+    raise TypeError("unknown bound expression {!r}".format(type(expr).__name__))

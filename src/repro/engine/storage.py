@@ -1,0 +1,150 @@
+"""On-disk table storage.
+
+The paper measures its extraction time as "interpretation followed by
+writing the results to the database". :class:`TableStore` provides that
+sink: a directory-per-table layout with one pickle file per partition plus
+a small JSON manifest, so written tables reload with their partitioning
+intact.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+from repro.engine.errors import ExecutionError
+from repro.engine.schema import Schema
+
+_MANIFEST = "manifest.json"
+
+
+class TableStore:
+    """A directory of named, partitioned tables."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def table_dir(self, name):
+        return self.root / name
+
+    def exists(self, name):
+        return (self.table_dir(name) / _MANIFEST).is_file()
+
+    def list_tables(self):
+        """Names of all stored tables, sorted."""
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if (p / _MANIFEST).is_file()
+        )
+
+    def write(self, name, table):
+        """Materialize *table* and persist it under *name* (overwrites)."""
+        partitions = table.collect_partitions()
+        directory = self.table_dir(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        for stale in directory.glob("part-*.pkl"):
+            stale.unlink()
+        for i, part in enumerate(partitions):
+            path = directory / "part-{:05d}.pkl".format(i)
+            with open(path, "wb") as fh:
+                pickle.dump(list(part), fh, protocol=pickle.HIGHEST_PROTOCOL)
+        manifest = {
+            "columns": list(table.schema.names),
+            "dtypes": [f.dtype for f in table.schema],
+            "num_partitions": len(partitions),
+            "num_rows": sum(len(p) for p in partitions),
+        }
+        with open(directory / _MANIFEST, "w") as fh:
+            json.dump(manifest, fh, indent=2)
+        return manifest
+
+    def read(self, context, name):
+        """Load a stored table into *context*, preserving partitions."""
+        directory = self.table_dir(name)
+        manifest_path = directory / _MANIFEST
+        if not manifest_path.is_file():
+            raise ExecutionError("no stored table named {!r}".format(name))
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        partitions = []
+        for i in range(manifest["num_partitions"]):
+            path = directory / "part-{:05d}.pkl".format(i)
+            with open(path, "rb") as fh:
+                partitions.append(pickle.load(fh))
+        return context.table_from_partitions(
+            manifest["columns"], partitions, dtypes=manifest["dtypes"]
+        )
+
+    def manifest(self, name):
+        """Return the manifest dict of a stored table."""
+        with open(self.table_dir(name) / _MANIFEST) as fh:
+            return json.load(fh)
+
+    def delete(self, name):
+        """Remove a stored table if present."""
+        directory = self.table_dir(name)
+        if not directory.is_dir():
+            return
+        for path in directory.glob("part-*.pkl"):
+            path.unlink()
+        manifest = directory / _MANIFEST
+        if manifest.is_file():
+            manifest.unlink()
+        try:
+            directory.rmdir()
+        except OSError:
+            pass
+
+
+def schema_from_manifest(manifest):
+    """Rebuild a :class:`Schema` from a stored manifest."""
+    return Schema.of(*manifest["columns"], dtypes=manifest["dtypes"])
+
+
+def write_csv(table, path):
+    """Export a table to CSV for spreadsheet-level inspection.
+
+    Cells are rendered with ``str``; None becomes the empty string.
+    Suited to result tables (``K_s``, ``R_out``, state representations),
+    not to raw ``K_b`` tables whose payload bytes need the pickle or
+    binary-trace formats.
+    """
+    import csv
+
+    rows = table.collect()
+    with open(Path(path), "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.schema.names)
+        for row in rows:
+            writer.writerow(
+                ["" if v is None else v for v in row]
+            )
+    return len(rows)
+
+
+def read_csv(context, path, num_partitions=None):
+    """Load a CSV written by :func:`write_csv` back into a table.
+
+    Values parse back as int, then float, else string; empty cells
+    become None. (CSV is untyped; use :class:`TableStore` when exact
+    types must round-trip.)
+    """
+    import csv
+
+    def parse(cell):
+        if cell == "":
+            return None
+        for cast in (int, float):
+            try:
+                return cast(cell)
+            except ValueError:
+                continue
+        return cell
+
+    with open(Path(path), newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        rows = [tuple(parse(cell) for cell in row) for row in reader]
+    return context.table_from_rows(header, rows, num_partitions=num_partitions)

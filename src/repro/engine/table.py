@@ -1,0 +1,379 @@
+"""The :class:`Table` API.
+
+A Table is an immutable, lazily-evaluated handle on a logical plan,
+analogous to a Spark DataFrame. Transformations (``filter``, ``select``,
+``join`` ...) build new plans; actions (``collect``, ``count``,
+``to_dicts``) hand the plan to the context's executor.
+
+Examples
+--------
+>>> from repro.engine import EngineContext, col
+>>> ctx = EngineContext.serial()
+>>> t = ctx.table_from_dicts(
+...     [{"t": 1.0, "m_id": 3}, {"t": 2.0, "m_id": 7}], columns=["t", "m_id"]
+... )
+>>> t.filter(col("m_id") == 3).count()
+1
+"""
+
+from __future__ import annotations
+
+from repro.engine import plan as logical
+from repro.engine.errors import PlanError, SchemaError
+from repro.engine.expressions import Expression, col
+from repro.engine.schema import ANY, Schema
+
+
+class Table:
+    """An immutable tabular dataset bound to an :class:`EngineContext`."""
+
+    def __init__(self, context, plan_node):
+        self._context = context
+        self._plan = plan_node
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def schema(self):
+        return self._plan.schema
+
+    @property
+    def columns(self):
+        return list(self._plan.schema.names)
+
+    @property
+    def context(self):
+        return self._context
+
+    @property
+    def plan(self):
+        return self._plan
+
+    def __repr__(self):
+        return "Table({})".format(", ".join(self.columns))
+
+    # -- narrow transformations -------------------------------------------
+    def filter(self, predicate):
+        """Keep rows where *predicate* (an unbound expression) holds."""
+        bound = predicate.bind(self.schema)
+        return self._derive(logical.Filter(self._plan, bound))
+
+    where = filter
+
+    def select(self, *names):
+        """Project to the named columns, in the given order."""
+        out_schema = self.schema.select(names)
+        exprs = tuple(col(n).bind(self.schema) for n in names)
+        return self._derive(logical.Project(self._plan, out_schema, exprs))
+
+    def drop(self, *names):
+        """Remove the named columns."""
+        out_schema = self.schema.drop(names)
+        return self.select(*out_schema.names)
+
+    def rename(self, mapping):
+        """Rename columns per a {old: new} mapping."""
+        out_schema = self.schema.rename(mapping)
+        exprs = tuple(col(n).bind(self.schema) for n in self.schema.names)
+        return self._derive(logical.Project(self._plan, out_schema, exprs))
+
+    def with_column(self, name, expression, dtype=ANY):
+        """Append (or replace) a column computed from *expression*."""
+        if not isinstance(expression, Expression):
+            raise PlanError(
+                "with_column expects an unbound expression, got {!r}".format(
+                    type(expression).__name__
+                )
+            )
+        bound = expression.bind(self.schema)
+        if name in self.schema:
+            exprs = []
+            for existing in self.schema.names:
+                if existing == name:
+                    exprs.append(bound)
+                else:
+                    exprs.append(col(existing).bind(self.schema))
+            return self._derive(
+                logical.Project(self._plan, self.schema, tuple(exprs))
+            )
+        out_schema = self.schema.append(name, dtype)
+        exprs = tuple(
+            col(n).bind(self.schema) for n in self.schema.names
+        ) + (bound,)
+        return self._derive(logical.Project(self._plan, out_schema, exprs))
+
+    def flat_map(self, func, output_columns, dtypes=None):
+        """Expand each row tuple into zero or more output row tuples.
+
+        *func* must be picklable and accept the input row as a tuple.
+        """
+        out_schema = Schema.of(*output_columns, dtypes=dtypes)
+        return self._derive(logical.FlatMap(self._plan, out_schema, func))
+
+    def map_partitions(self, func, output_columns=None, dtypes=None):
+        """Apply *func* to every partition (a list of row tuples)."""
+        if output_columns is None:
+            out_schema = self.schema
+        else:
+            out_schema = Schema.of(*output_columns, dtypes=dtypes)
+        return self._derive(logical.MapPartitions(self._plan, out_schema, func))
+
+    # -- wide transformations ----------------------------------------------
+    def join(self, other, on, how="inner"):
+        """Equi-join with *other* on shared key column names.
+
+        *on* is a column name or list of names present in both tables. The
+        result carries the left columns followed by the right non-key
+        columns. ``how`` is ``"inner"`` or ``"left"``.
+        """
+        if self._context is not other._context:
+            raise PlanError("cannot join tables from different contexts")
+        keys = [on] if isinstance(on, str) else list(on)
+        if how not in ("inner", "left"):
+            raise PlanError("unsupported join type {!r}".format(how))
+        for key in keys:
+            if key not in self.schema or key not in other.schema:
+                raise SchemaError(
+                    "join key {!r} must exist in both tables".format(key)
+                )
+        overlap = (
+            set(self.schema.names)
+            & set(other.schema.names) - set(keys)
+        )
+        if overlap:
+            raise SchemaError(
+                "non-key columns {} exist in both tables; rename one side".format(
+                    sorted(overlap)
+                )
+            )
+        right_rest = other.schema.drop(keys)
+        out_schema = self.schema.concat(right_rest)
+        node = logical.Join(
+            self._plan,
+            other._plan,
+            tuple(keys),
+            tuple(keys),
+            how,
+            out_schema,
+        )
+        return self._derive(node)
+
+    def union(self, other):
+        """Concatenate rows of two tables with identical column names."""
+        if self.schema.names != other.schema.names:
+            raise SchemaError(
+                "union requires identical columns: {} vs {}".format(
+                    list(self.schema.names), list(other.schema.names)
+                )
+            )
+        return self._derive(logical.Union(self._plan, other._plan))
+
+    def group_by(self, *keys):
+        """Start a grouped aggregation; returns a :class:`GroupedTable`."""
+        for key in keys:
+            self.schema.index_of(key)  # validate eagerly
+        return GroupedTable(self, tuple(keys))
+
+    def sort(self, keys, ascending=True):
+        """Globally sort by *keys* (a name or list of names)."""
+        names = [keys] if isinstance(keys, str) else list(keys)
+        if isinstance(ascending, bool):
+            directions = [ascending] * len(names)
+        else:
+            directions = list(ascending)
+        if len(directions) != len(names):
+            raise PlanError("ascending flags must be parallel to sort keys")
+        for name in names:
+            self.schema.index_of(name)
+        return self._derive(
+            logical.Sort(self._plan, tuple(names), tuple(directions))
+        )
+
+    def repartition(self, num_partitions, keys=()):
+        """Redistribute rows across *num_partitions* partitions."""
+        names = [keys] if isinstance(keys, str) else list(keys)
+        for name in names:
+            self.schema.index_of(name)
+        return self._derive(
+            logical.Repartition(self._plan, num_partitions, tuple(names))
+        )
+
+    def sorted_map_partitions(
+        self, func, output_columns=None, dtypes=None, carry_rows=1
+    ):
+        """Windowed partition map with carry rows from the predecessor.
+
+        The table must already be sorted (use :meth:`sort` first). *func*
+        receives ``(partition, carry)`` where carry holds up to
+        ``carry_rows`` trailing rows of the preceding data and returns the
+        output rows for the partition.
+        """
+        if output_columns is None:
+            out_schema = self.schema
+        else:
+            out_schema = Schema.of(*output_columns, dtypes=dtypes)
+        return self._derive(
+            logical.SortedMapPartitions(
+                self._plan, out_schema, func, carry_rows
+            )
+        )
+
+    def distinct(self):
+        """Remove duplicate rows (exact tuple equality).
+
+        Implemented as a hash repartition on all columns followed by a
+        per-partition dedup, so equal rows meet in one partition.
+        """
+        repartitioned = self.repartition(
+            self._context.default_parallelism, keys=list(self.schema.names)
+        )
+        return repartitioned.map_partitions(_distinct_partition)
+
+    def limit(self, n):
+        """Keep at most *n* rows (in current partition order)."""
+        if n < 0:
+            raise PlanError("limit must be non-negative")
+        partitions = self.collect_partitions()
+        out = []
+        for part in partitions:
+            if len(out) >= n:
+                break
+            out.extend(part[: n - len(out)])
+        node = logical.Source(self.schema, (tuple(out),))
+        return self._derive(node)
+
+    def describe(self, *names):
+        """Summary statistics per column: count, nulls, distinct, and for
+        purely numeric columns min/max/mean. Returns {column: stats}.
+        """
+        columns = list(names) if names else list(self.schema.names)
+        out = {}
+        for name in columns:
+            values = self.column_values(name)
+            non_null = [v for v in values if v is not None]
+            numeric = [
+                v
+                for v in non_null
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            ]
+            stats = {
+                "count": len(values),
+                "nulls": len(values) - len(non_null),
+                "distinct": len(set(map(repr, non_null))),
+            }
+            if numeric and len(numeric) == len(non_null):
+                stats.update(
+                    min=min(numeric),
+                    max=max(numeric),
+                    mean=sum(numeric) / len(numeric),
+                )
+            out[name] = stats
+        return out
+
+    def explain(self):
+        """Human-readable rendering of the logical plan."""
+        lines = []
+        _explain_node(self._plan, 0, lines)
+        return "\n".join(lines)
+
+    # -- actions -----------------------------------------------------------
+    def collect(self):
+        """Execute the plan and return all rows as a list of tuples."""
+        partitions = self._context.executor.execute(self._plan)
+        return [row for part in partitions for row in part]
+
+    def collect_partitions(self):
+        """Execute the plan and return the raw list of partitions."""
+        return self._context.executor.execute(self._plan)
+
+    def to_dicts(self):
+        """Execute and return rows as a list of name -> value dicts."""
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self.collect()]
+
+    def count(self):
+        """Number of rows in the table."""
+        return sum(len(p) for p in self.collect_partitions())
+
+    def first(self):
+        """The first row, or None if the table is empty."""
+        rows = self.collect()
+        return rows[0] if rows else None
+
+    def cache(self):
+        """Materialize the plan into a new in-memory source table."""
+        partitions = self._context.executor.execute(self._plan)
+        node = logical.Source(self.schema, tuple(tuple(p) for p in partitions))
+        return self._derive(node)
+
+    def column_values(self, name):
+        """Collect the values of one column as a list."""
+        return [row[0] for row in self.select(name).collect()]
+
+    # -- internals -----------------------------------------------------------
+    def _derive(self, node):
+        return Table(self._context, node)
+
+
+def _distinct_partition(rows):
+    seen = set()
+    out = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    return out
+
+
+def _explain_node(node, depth, lines):
+    indent = "  " * depth
+    name = type(node).__name__
+    details = ""
+    if isinstance(node, logical.Source):
+        details = " partitions={} rows={}".format(
+            len(node.partitions), sum(len(p) for p in node.partitions)
+        )
+    elif isinstance(node, logical.Join):
+        details = " on={} how={}".format(list(node.left_keys), node.how)
+    elif isinstance(node, logical.Sort):
+        details = " keys={}".format(list(node.keys))
+    elif isinstance(node, logical.GroupBy):
+        details = " keys={} aggs={}".format(
+            list(node.keys), [a[0] for a in node.aggregates]
+        )
+    elif isinstance(node, logical.Repartition):
+        details = " n={} keys={}".format(node.num_partitions, list(node.keys))
+    elif isinstance(node, logical.Project):
+        details = " columns={}".format(list(node.out_schema.names))
+    lines.append("{}{}{}".format(indent, name, details))
+    for child in node.children():
+        _explain_node(child, depth + 1, lines)
+
+
+class GroupedTable:
+    """Builder returned by :meth:`Table.group_by`."""
+
+    def __init__(self, table, keys):
+        self._table = table
+        self._keys = keys
+
+    def agg(self, *specs):
+        """Compute aggregates.
+
+        Each spec is a tuple ``(output_name, aggregate, input_column)``
+        where *aggregate* is an instance from
+        :mod:`repro.engine.aggregates` and *input_column* may be None for
+        aggregates that ignore values (e.g. Count).
+        """
+        if not specs:
+            raise PlanError("agg requires at least one aggregate spec")
+        schema = self._table.schema
+        names = list(self._keys)
+        for name, _agg, column in specs:
+            if column is not None:
+                schema.index_of(column)  # validate
+            names.append(name)
+        out_schema = Schema.of(*names)
+        node = logical.GroupBy(
+            self._table.plan, self._keys, tuple(specs), out_schema
+        )
+        return Table(self._table.context, node)

@@ -1,0 +1,43 @@
+"""Downstream Data Mining applications of the state representation."""
+
+from repro.mining.anomaly import Anomaly, StateAnomalyDetector
+from repro.mining.association import (
+    Apriori,
+    AssociationRule,
+    AssociationRuleMiner,
+    Item,
+    transactions_from_states,
+)
+from repro.mining.diagnosis import (
+    CycleViolation,
+    OutlierFinding,
+    find_cycle_violations,
+    find_outliers,
+    summarize_findings,
+)
+from repro.mining.report import (
+    ReportOptions,
+    VerificationReport,
+    generate_report,
+)
+from repro.mining.transitions import TransitionGraph, state_key
+
+__all__ = [
+    "AssociationRuleMiner",
+    "AssociationRule",
+    "Apriori",
+    "Item",
+    "transactions_from_states",
+    "TransitionGraph",
+    "state_key",
+    "StateAnomalyDetector",
+    "Anomaly",
+    "find_outliers",
+    "find_cycle_violations",
+    "OutlierFinding",
+    "CycleViolation",
+    "summarize_findings",
+    "generate_report",
+    "VerificationReport",
+    "ReportOptions",
+]

@@ -1,0 +1,137 @@
+"""Anomaly / hot-spot detection over state representations (Sec. 4.4).
+
+"Using Anomaly Detection, hot-spots can be detected in large databases.
+Detected anomalies can be ranked in terms of severity and presented to
+the developer or can automatically be transformed into extensions w to
+detect similar anomalies in further runs."
+
+The detector scores each state row by the rarity of its column values
+(product of per-column empirical frequencies); rows whose score falls
+below a quantile threshold are anomalies, ranked by severity. Anomalies
+convert into :class:`~repro.core.extension.DerivedValueExtension` rules
+matching the anomalous value in future runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.extension import DerivedValueExtension
+
+
+class AnomalyError(ValueError):
+    """Raised for invalid detector parameters."""
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected hot-spot."""
+
+    timestamp: float
+    score: float  # lower = rarer = more severe
+    state: dict
+    rare_items: tuple  # ((column, value, frequency), ...) sorted rarest first
+
+    @property
+    def severity(self):
+        """Severity rank value: -log score (higher = more severe)."""
+        return -math.log(max(self.score, 1e-300))
+
+
+@dataclass(frozen=True)
+class StateAnomalyDetector:
+    """Frequency-based hot-spot detector.
+
+    Parameters
+    ----------
+    quantile:
+        Fraction of lowest-scoring rows reported (e.g. 0.01 = rarest 1%).
+    min_rows:
+        Minimum rows required before detection is meaningful.
+    """
+
+    quantile: float = 0.02
+    min_rows: int = 20
+
+    def __post_init__(self):
+        if not 0 < self.quantile < 1:
+            raise AnomalyError("quantile must be in (0, 1)")
+        if self.min_rows < 1:
+            raise AnomalyError("min_rows must be >= 1")
+
+    def detect(self, representation, columns=None):
+        """Ranked anomalies (most severe first) of a state representation."""
+        states = list(representation.iter_states())
+        if len(states) < self.min_rows:
+            return []
+        if columns is None:
+            columns = [c for c in states[0] if c != "t"]
+        frequencies = self._column_frequencies(states, columns)
+        scored = []
+        for state in states:
+            score = 1.0
+            rare = []
+            for column in columns:
+                value = str(state.get(column))
+                freq = frequencies[column].get(value, 0.0)
+                score *= max(freq, 1e-12)
+                rare.append((column, value, freq))
+            rare.sort(key=lambda item: item[2])
+            scored.append(
+                Anomaly(
+                    timestamp=state["t"],
+                    score=score,
+                    state=state,
+                    rare_items=tuple(rare[:3]),
+                )
+            )
+        scored.sort(key=lambda a: a.score)
+        cutoff = max(1, int(len(scored) * self.quantile))
+        threshold_score = scored[cutoff - 1].score
+        return [a for a in scored if a.score <= threshold_score]
+
+    @staticmethod
+    def _column_frequencies(states, columns):
+        frequencies = {}
+        n = len(states)
+        for column in columns:
+            counts = {}
+            for state in states:
+                value = str(state.get(column))
+                counts[value] = counts.get(value, 0) + 1
+            frequencies[column] = {v: c / n for v, c in counts.items()}
+        return frequencies
+
+    def to_extension_rules(self, anomalies, signal_column):
+        """Turn anomalies into extension rules flagging recurrences.
+
+        For each anomaly whose rarest item concerns *signal_column*, an
+        extension is produced that emits a marker whenever the same value
+        reappears -- the automated feedback loop the paper describes.
+        """
+        rules = []
+        seen = set()
+        for anomaly in anomalies:
+            for column, value, _freq in anomaly.rare_items:
+                if column != signal_column or value in seen:
+                    continue
+                seen.add(value)
+                rules.append(
+                    DerivedValueExtension(
+                        signal_id=signal_column,
+                        name="{}AnomalyRecurrence".format(signal_column),
+                        func=_MatchValue(value),
+                    )
+                )
+        return rules
+
+
+@dataclass(frozen=True)
+class _MatchValue:
+    """Picklable predicate emitting 1 when a value recurs."""
+
+    value: str
+
+    def __call__(self, t, v):
+        return 1 if str(v) == self.value else None

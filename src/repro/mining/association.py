@@ -1,0 +1,207 @@
+"""Association Rule Mining on state representations (Sec. 4.4).
+
+"Association Rule Mining can be used to detect IF-THEN rules, when each
+row is considered an item-set and columns are used as antecedents" --
+e.g. ``IF T < -10 and WiperActivated THEN WiperErrorBlocked``.
+
+Implements Apriori from scratch: each state-representation row becomes a
+transaction of ``column=value`` items; frequent itemsets are grown
+level-wise with candidate pruning; rules are scored by support,
+confidence and lift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+
+class MiningError(ValueError):
+    """Raised for invalid mining parameters."""
+
+
+@dataclass(frozen=True)
+class Item:
+    """One ``column = value`` proposition."""
+
+    column: str
+    value: str
+
+    def __str__(self):
+        return "{}={}".format(self.column, self.value)
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An IF-THEN rule with its quality measures."""
+
+    antecedent: frozenset  # of Item
+    consequent: frozenset  # of Item
+    support: float
+    confidence: float
+    lift: float
+
+    def __str__(self):
+        return "IF {} THEN {} (sup={:.3f}, conf={:.3f}, lift={:.2f})".format(
+            " and ".join(sorted(map(str, self.antecedent))),
+            " and ".join(sorted(map(str, self.consequent))),
+            self.support,
+            self.confidence,
+            self.lift,
+        )
+
+
+def transactions_from_states(states, columns=None, skip_none=True):
+    """Turn state dicts (from ``StateRepresentation.iter_states``) into
+    transactions (frozensets of :class:`Item`). The time column is
+    excluded."""
+    out = []
+    for state in states:
+        items = []
+        for column, value in state.items():
+            if column == "t":
+                continue
+            if columns is not None and column not in columns:
+                continue
+            if skip_none and value is None:
+                continue
+            items.append(Item(column, str(value)))
+        out.append(frozenset(items))
+    return out
+
+
+@dataclass(frozen=True)
+class Apriori:
+    """Level-wise frequent itemset mining.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum fraction of transactions containing an itemset.
+    max_length:
+        Largest itemset size to grow (bounds the search).
+    """
+
+    min_support: float = 0.1
+    max_length: int = 4
+
+    def __post_init__(self):
+        if not 0 < self.min_support <= 1:
+            raise MiningError("min_support must be in (0, 1]")
+        if self.max_length < 1:
+            raise MiningError("max_length must be >= 1")
+
+    def frequent_itemsets(self, transactions):
+        """Mapping itemset (frozenset) -> support."""
+        n = len(transactions)
+        if n == 0:
+            return {}
+        threshold = self.min_support * n
+        # L1
+        counts = {}
+        for transaction in transactions:
+            for item in transaction:
+                counts[item] = counts.get(item, 0) + 1
+        current = {
+            frozenset([item]): c for item, c in counts.items() if c >= threshold
+        }
+        frequent = dict(current)
+        length = 1
+        while current and length < self.max_length:
+            length += 1
+            candidates = self._generate_candidates(current, length)
+            if not candidates:
+                break
+            counts = {c: 0 for c in candidates}
+            for transaction in transactions:
+                for candidate in candidates:
+                    if candidate <= transaction:
+                        counts[candidate] += 1
+            current = {
+                itemset: c for itemset, c in counts.items() if c >= threshold
+            }
+            frequent.update(current)
+        return {
+            itemset: count / n for itemset, count in frequent.items()
+        }
+
+    def _generate_candidates(self, previous_level, length):
+        """Join step + prune step of classic Apriori."""
+        itemsets = sorted(previous_level, key=lambda s: sorted(map(str, s)))
+        candidates = set()
+        for i, a in enumerate(itemsets):
+            for b in itemsets[i + 1 :]:
+                union = a | b
+                if len(union) != length:
+                    continue
+                # Prune: all (length-1)-subsets must be frequent.
+                if all(
+                    frozenset(sub) in previous_level
+                    for sub in combinations(union, length - 1)
+                ):
+                    candidates.add(union)
+        return candidates
+
+
+@dataclass(frozen=True)
+class AssociationRuleMiner:
+    """Mines IF-THEN rules from state representations."""
+
+    min_support: float = 0.1
+    min_confidence: float = 0.8
+    max_length: int = 4
+
+    def __post_init__(self):
+        if not 0 < self.min_confidence <= 1:
+            raise MiningError("min_confidence must be in (0, 1]")
+
+    def mine(self, state_representation, columns=None):
+        """All rules meeting the thresholds, best confidence first."""
+        transactions = transactions_from_states(
+            state_representation.iter_states(), columns=columns
+        )
+        return self.mine_transactions(transactions)
+
+    def mine_transactions(self, transactions):
+        apriori = Apriori(self.min_support, self.max_length)
+        supports = apriori.frequent_itemsets(transactions)
+        rules = []
+        for itemset, support in supports.items():
+            if len(itemset) < 2:
+                continue
+            for size in range(1, len(itemset)):
+                for antecedent_items in combinations(sorted(itemset, key=str), size):
+                    antecedent = frozenset(antecedent_items)
+                    consequent = itemset - antecedent
+                    base = supports.get(antecedent)
+                    if not base:
+                        continue
+                    confidence = support / base
+                    if confidence < self.min_confidence:
+                        continue
+                    consequent_support = supports.get(consequent)
+                    lift = (
+                        confidence / consequent_support
+                        if consequent_support
+                        else float("inf")
+                    )
+                    rules.append(
+                        AssociationRule(
+                            antecedent, consequent, support, confidence, lift
+                        )
+                    )
+        rules.sort(key=lambda r: (-r.confidence, -r.support, str(r)))
+        return rules
+
+    def rules_for_consequent(self, rules, column, value=None):
+        """Filter rules whose consequent mentions *column* (e.g. an error
+        signal), to "inspect causes of errors"."""
+        out = []
+        for rule in rules:
+            for item in rule.consequent:
+                if item.column == column and (
+                    value is None or item.value == str(value)
+                ):
+                    out.append(rule)
+                    break
+        return out

@@ -1,0 +1,122 @@
+"""Error inspection helpers (Sec. 4.4, first application).
+
+"Outliers as potential errors are automatically discovered with our
+framework which allows to check the state of the car when the outlier
+occurred and the chain of states prior to it. Thus, the cause of an
+error can be isolated. ... by extending traces with expected cycle
+times, locations of violations of such times can be detected."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.branches import KIND_OUTLIER
+from repro.engine.expressions import col
+
+
+@dataclass(frozen=True)
+class OutlierFinding:
+    """One outlier with its surrounding vehicle state."""
+
+    timestamp: float
+    signal_id: str
+    channel_id: str
+    value: object
+    state_at: dict  # full vehicle state when it occurred
+    prior_states: tuple  # chain of states before it (most recent last)
+
+
+def find_outliers(result, max_prior_states=3, signal_order=None):
+    """Locate all outliers in a pipeline result with their state context.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.core.pipeline.PipelineResult`.
+    max_prior_states:
+        Length of the state chain reported before each outlier.
+    """
+    outlier_rows = result.r_out.filter(col("kind") == KIND_OUTLIER).collect()
+    representation = result.state_representation(signal_order)
+    states = list(representation.iter_states())
+    findings = []
+    for t, s_id, b_id, _kind, value, _trend in sorted(outlier_rows):
+        at_index = None
+        for i, state in enumerate(states):
+            if state["t"] <= t:
+                at_index = i
+            else:
+                break
+        state_at = states[at_index] if at_index is not None else {}
+        lo = max(0, (at_index or 0) - max_prior_states)
+        prior = tuple(states[lo:at_index]) if at_index else ()
+        findings.append(
+            OutlierFinding(
+                timestamp=t,
+                signal_id=str(s_id),
+                channel_id=str(b_id),
+                value=value,
+                state_at=state_at,
+                prior_states=prior,
+            )
+        )
+    return findings
+
+
+@dataclass(frozen=True)
+class CycleViolation:
+    """One detected cycle-time violation."""
+
+    timestamp: float
+    signal_id: str
+    channel_id: str
+    factor: float  # observed gap / expected cycle
+
+
+def find_cycle_violations(result, suffix="CycleViolation"):
+    """Collect cycle-time violations from extension outputs.
+
+    Requires the pipeline to be parameterized with
+    :class:`~repro.core.extension.CycleViolationExtension` rules; their
+    W rows carry the gap/cycle factor.
+    """
+    violations = []
+    for outcome in result.outcomes.values():
+        rows = outcome.extension_table.collect()
+        schema = outcome.extension_table.schema
+        t_i = schema.index_of("t")
+        v_i = schema.index_of("v")
+        w_i = schema.index_of("w_id")
+        s_i = schema.index_of("s_id")
+        b_i = schema.index_of("b_id")
+        for row in rows:
+            if not str(row[w_i]).endswith(suffix):
+                continue
+            violations.append(
+                CycleViolation(
+                    timestamp=row[t_i],
+                    signal_id=str(row[s_i]),
+                    channel_id=str(row[b_i]),
+                    factor=float(row[v_i]),
+                )
+            )
+    violations.sort(key=lambda v: (-v.factor, v.timestamp))
+    return violations
+
+
+def summarize_findings(findings):
+    """Human-readable error report lines for a list of outlier findings."""
+    lines = []
+    for f in findings:
+        context = ", ".join(
+            "{}={}".format(k, v)
+            for k, v in f.state_at.items()
+            if k != "t" and v is not None
+        )
+        lines.append(
+            "t={:.3f}s {} on {}: outlier v={} | state: {}".format(
+                f.timestamp, f.signal_id, f.channel_id, f.value, context
+            )
+        )
+    return lines

@@ -1,0 +1,182 @@
+"""Verification reports.
+
+Sec. 4.4: detected anomalies "can be ranked in terms of severity and
+presented to the developer". This module assembles everything the
+pipeline and the mining applications derived from one trace into a
+single markdown report: data-set summary, per-signal classification and
+reduction outcomes, outliers with state context, cycle-time violations,
+rare transitions and anomaly hot-spots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mining.anomaly import StateAnomalyDetector
+from repro.mining.diagnosis import find_cycle_violations, find_outliers
+from repro.mining.transitions import TransitionGraph
+
+
+@dataclass
+class ReportOptions:
+    """What to include and how much of it."""
+
+    max_outliers: int = 10
+    max_violations: int = 10
+    max_anomalies: int = 5
+    max_rare_transitions: int = 5
+    transition_columns: tuple = None  # None = all nominal/binary signals
+    anomaly_quantile: float = 0.02
+    state_rows: int = 0  # rows of the state table to embed (0 = none)
+
+
+@dataclass
+class VerificationReport:
+    """Structured report content plus markdown rendering."""
+
+    title: str
+    sections: list = field(default_factory=list)  # (heading, lines)
+
+    def add_section(self, heading, lines):
+        self.sections.append((heading, list(lines)))
+
+    def to_markdown(self):
+        out = ["# {}".format(self.title), ""]
+        for heading, lines in self.sections:
+            out.append("## {}".format(heading))
+            out.append("")
+            out.extend(lines)
+            out.append("")
+        return "\n".join(out)
+
+
+def generate_report(result, title="Trace verification report", options=None):
+    """Build a :class:`VerificationReport` from a pipeline result."""
+    options = options or ReportOptions()
+    report = VerificationReport(title=title)
+
+    # -- run summary ---------------------------------------------------------
+    counts = result.counts
+    report.add_section(
+        "Run summary",
+        [
+            "* trace rows after preselection: {}".format(counts.get("k_pre")),
+            "* interpreted signal instances: {}".format(counts.get("k_s")),
+            "* homogeneous output rows: {}".format(counts.get("r_out")),
+            "* stage seconds: {}".format(
+                {k: round(v, 3) for k, v in result.timings.items()}
+            ),
+        ],
+    )
+
+    # -- per-signal outcomes ----------------------------------------------------
+    lines = [
+        "| signal | data type | branch | rows before | rows after | channels |",
+        "|---|---|---|---|---|---|",
+    ]
+    for s_id in sorted(result.outcomes):
+        o = result.outcomes[s_id]
+        channels = "; ".join(
+            "{}→{}".format(g.representative, list(g.corresponding))
+            if g.corresponding
+            else str(g.representative)
+            for g in o.groups
+        )
+        lines.append(
+            "| {} | {} | {} | {} | {} | {} |".format(
+                s_id,
+                o.classification.data_type,
+                o.classification.branch,
+                o.rows_before_reduction,
+                o.rows_after_reduction,
+                channels,
+            )
+        )
+    report.add_section("Signals", lines)
+
+    # -- outliers ---------------------------------------------------------------
+    findings = find_outliers(result)
+    lines = []
+    for f in findings[: options.max_outliers]:
+        context = ", ".join(
+            "{}={}".format(k, v)
+            for k, v in sorted(f.state_at.items())
+            if k != "t" and v is not None
+        )
+        lines.append(
+            "* t={:.3f}s `{}` on `{}`: **v={}** — state: {}".format(
+                f.timestamp, f.signal_id, f.channel_id, f.value, context
+            )
+        )
+    if len(findings) > options.max_outliers:
+        lines.append(
+            "* … {} more".format(len(findings) - options.max_outliers)
+        )
+    report.add_section(
+        "Potential errors (outliers): {}".format(len(findings)),
+        lines or ["none detected"],
+    )
+
+    # -- cycle violations ----------------------------------------------------------
+    violations = find_cycle_violations(result)
+    lines = [
+        "* t={:.3f}s `{}`: gap {:.1f}x expected cycle".format(
+            v.timestamp, v.signal_id, v.factor
+        )
+        for v in violations[: options.max_violations]
+    ]
+    if len(violations) > options.max_violations:
+        lines.append(
+            "* … {} more".format(len(violations) - options.max_violations)
+        )
+    report.add_section(
+        "Cycle-time violations: {}".format(len(violations)),
+        lines or ["none detected (add CycleViolationExtension rules to check)"],
+    )
+
+    # -- transitions + anomalies over the state representation -------------------
+    representation = result.state_representation()
+    columns = options.transition_columns
+    if columns is None:
+        columns = tuple(
+            s_id
+            for s_id, o in sorted(result.outcomes.items())
+            if o.classification.branch == "gamma"
+        )
+    if columns:
+        graph = TransitionGraph.from_representation(representation, columns)
+        rare = graph.rare_transitions(max_count=1)
+        lines = [
+            "* {} → {} ({}x)".format(dict(u), dict(v), c)
+            for u, v, c in rare[: options.max_rare_transitions]
+        ]
+        report.add_section(
+            "Rare transitions over {} (of {} total)".format(
+                list(columns), graph.total_transitions
+            ),
+            lines or ["none — every observed transition recurs"],
+        )
+
+    detector = StateAnomalyDetector(
+        quantile=options.anomaly_quantile, min_rows=20
+    )
+    anomalies = detector.detect(representation)
+    lines = []
+    for a in anomalies[: options.max_anomalies]:
+        column, value, frequency = a.rare_items[0]
+        lines.append(
+            "* t={:.3f}s severity={:.1f}: `{}={}` (freq {:.3f})".format(
+                a.timestamp, a.severity, column, value, frequency
+            )
+        )
+    report.add_section(
+        "Anomaly hot-spots: {}".format(len(anomalies)),
+        lines or ["state table too small or uniform"],
+    )
+
+    if options.state_rows:
+        report.add_section(
+            "State representation (first {} rows)".format(options.state_rows),
+            [representation.to_markdown(max_rows=options.state_rows)],
+        )
+    return report

@@ -1,0 +1,145 @@
+"""Transition graphs over state representations (Sec. 4.4).
+
+"Transition graphs can be generated that allow for visual inspection of
+error causes and event chains prior to errors ... by linking all rows of
+the state representation to its consequent row and aggregating the
+number of times a transition occurred. With this, rare transitions
+indicate potential errors and error causes are isolated through path
+analysis."
+
+Built on :mod:`networkx` for the path analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+
+def state_key(state, columns):
+    """Canonical hashable node key for a state row (subset of columns)."""
+    return tuple((c, str(state.get(c))) for c in columns)
+
+
+@dataclass
+class TransitionGraph:
+    """Aggregated directed graph of full-state (or column) transitions."""
+
+    columns: tuple
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+    total_transitions: int = 0
+
+    @classmethod
+    def from_states(cls, states, columns=None):
+        """Build from an iterable of state dicts (time-ordered)."""
+        states = list(states)
+        if columns is None:
+            columns = tuple(
+                c for c in (states[0].keys() if states else ()) if c != "t"
+            )
+        else:
+            columns = tuple(columns)
+        tg = cls(columns=columns)
+        previous = None
+        for state in states:
+            node = state_key(state, columns)
+            if not tg.graph.has_node(node):
+                tg.graph.add_node(node, visits=0)
+            tg.graph.nodes[node]["visits"] += 1
+            if previous is not None and previous != node:
+                if tg.graph.has_edge(previous, node):
+                    tg.graph[previous][node]["count"] += 1
+                else:
+                    tg.graph.add_edge(previous, node, count=1)
+                tg.total_transitions += 1
+            previous = node
+        return tg
+
+    @classmethod
+    def from_representation(cls, representation, columns=None):
+        return cls.from_states(representation.iter_states(), columns)
+
+    # -- queries ------------------------------------------------------------
+    def transition_count(self, src, dst):
+        if self.graph.has_edge(src, dst):
+            return self.graph[src][dst]["count"]
+        return 0
+
+    def rare_transitions(self, max_count=1):
+        """Edges occurring at most *max_count* times -- potential errors."""
+        return sorted(
+            (
+                (u, v, d["count"])
+                for u, v, d in self.graph.edges(data=True)
+                if d["count"] <= max_count
+            ),
+            key=lambda e: (e[2], str(e[0])),
+        )
+
+    def transition_probability(self, src, dst):
+        """count(src -> dst) / total outgoing count of src."""
+        out_total = sum(
+            d["count"] for _u, _v, d in self.graph.out_edges(src, data=True)
+        )
+        if out_total == 0:
+            return 0.0
+        return self.transition_count(src, dst) / out_total
+
+    def nodes_matching(self, column, value):
+        """All state nodes where *column* has *value*."""
+        target = (column, str(value))
+        return [n for n in self.graph.nodes if target in n]
+
+    def paths_to(self, column, value, max_length=5):
+        """Event chains ending in states where column==value.
+
+        Returns simple paths (up to *max_length* edges) from any start
+        node into matching states -- the paper's "path analysis" to
+        isolate error causes.
+        """
+        targets = set(self.nodes_matching(column, value))
+        paths = []
+        for target in targets:
+            for source in self.graph.nodes:
+                if source in targets:
+                    continue
+                for path in nx.all_simple_paths(
+                    self.graph, source, target, cutoff=max_length
+                ):
+                    paths.append(path)
+        # Prefer short, frequent chains.
+        def path_weight(path):
+            return sum(
+                self.graph[a][b]["count"] for a, b in zip(path, path[1:])
+            )
+
+        paths.sort(key=lambda p: (len(p), -path_weight(p)))
+        return paths
+
+    def predecessors_of(self, column, value):
+        """Direct predecessor states of error states, with counts."""
+        out = []
+        for node in self.nodes_matching(column, value):
+            for pred in self.graph.predecessors(node):
+                out.append((pred, node, self.graph[pred][node]["count"]))
+        out.sort(key=lambda e: -e[2])
+        return out
+
+    def to_dot(self):
+        """Graphviz DOT text for visual inspection."""
+        lines = ["digraph transitions {"]
+        names = {n: "s{}".format(i) for i, n in enumerate(self.graph.nodes)}
+        for node, name in names.items():
+            label = "\\n".join("{}={}".format(c, v) for c, v in node)
+            lines.append(
+                '  {} [label="{}", visits={}];'.format(
+                    name, label, self.graph.nodes[node]["visits"]
+                )
+            )
+        for u, v, d in self.graph.edges(data=True):
+            lines.append(
+                '  {} -> {} [label="{}"];'.format(names[u], names[v], d["count"])
+            )
+        lines.append("}")
+        return "\n".join(lines)

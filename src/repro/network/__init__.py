@@ -1,0 +1,23 @@
+"""In-vehicle network description layer (communication database)."""
+
+from repro.network.database import (
+    BINARY,
+    NOMINAL,
+    NUMERIC,
+    ORDINAL,
+    DatabaseError,
+    MessageDefinition,
+    NetworkDatabase,
+    SignalDefinition,
+)
+
+__all__ = [
+    "NetworkDatabase",
+    "MessageDefinition",
+    "SignalDefinition",
+    "DatabaseError",
+    "NUMERIC",
+    "ORDINAL",
+    "NOMINAL",
+    "BINARY",
+]

@@ -1,0 +1,379 @@
+"""DBC-style text format for communication databases.
+
+OEMs document "which message carries which signal at which bytes with
+which scaling" in exchange formats such as Vector DBC. This module
+implements a faithful subset of the DBC grammar so that
+:class:`~repro.network.NetworkDatabase` objects round-trip through the
+industry's on-disk representation:
+
+* ``VERSION "..."``
+* ``BU_:`` node list (informational)
+* ``BO_ <id> <name>: <dlc> <sender>`` — message definitions
+* ``SG_ <name> : <start>|<len>@<order><sign> (<factor>,<offset>)
+  [<min>|<max>] "<unit>" <receivers>`` — signal definitions
+  (@1 = Intel/little-endian, @0 = Motorola/big-endian; + unsigned,
+  - signed)
+* ``VAL_ <id> <signal> <raw> "<label>" ... ;`` — value tables
+* ``BA_DEF_`` / ``BA_`` attributes, of which the canonical
+  ``GenMsgCycleTime`` (ms) carries the cycle time and the custom
+  ``BusChannel`` / ``BusProtocol`` attributes carry what multi-bus DBC
+  deployments encode in separate files per channel
+* ``CM_ SG_ <id> <signal> "<comment>";`` — signal comments; the markers
+  ``[validity]``, ``[ordinal]``, ``[nominal]``, ``[binary]`` in comments
+  preserve this library's signal kind / data-class metadata.
+
+SOME/IP presence-conditional layouts have no DBC equivalent and are
+rejected on write (export such messages to code instead).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.model import FUNCTIONAL, VALIDITY
+from repro.network.database import (
+    BINARY,
+    MessageDefinition,
+    NetworkDatabase,
+    NOMINAL,
+    NUMERIC,
+    ORDINAL,
+    SignalDefinition,
+)
+from repro.protocols.signalcodec import INTEL, MOTOROLA, SignalEncoding
+
+_DATA_CLASSES = (NUMERIC, ORDINAL, NOMINAL, BINARY)
+
+
+class DbcError(ValueError):
+    """Raised for unsupported or malformed DBC content."""
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def dump_database(database, path, version="repro-1.0", channels=None):
+    """Write *database* to *path* in DBC format; returns the text."""
+    text = dumps_database(database, version=version, channels=channels)
+    Path(path).write_text(text)
+    return text
+
+
+def dumps_database(database, version="repro-1.0", channels=None):
+    """Render *database* as DBC text.
+
+    DBC identifies messages by their frame id alone; real deployments
+    keep one file per bus. Pass *channels* to export a per-bus subset.
+    A database reusing a message id across the exported channels cannot
+    be represented and is rejected.
+    """
+    if channels is not None:
+        wanted = set(channels)
+        database = type(database)(
+            tuple(m for m in database.messages if m.channel in wanted)
+        )
+    seen = {}
+    for message in database.messages:
+        if message.message_id in seen:
+            raise DbcError(
+                "message id {} appears on channels {!r} and {!r}; export "
+                "one channel per file (channels=...)".format(
+                    message.message_id,
+                    seen[message.message_id],
+                    message.channel,
+                )
+            )
+        seen[message.message_id] = message.channel
+    lines = ['VERSION "{}"'.format(version), ""]
+    lines.append("BU_: {}".format(" ".join(_node_names(database))))
+    lines.append("")
+    for message in database.messages:
+        if message.layout is not None:
+            raise DbcError(
+                "message {!r} uses a presence-conditional layout; DBC "
+                "cannot express it".format(message.name)
+            )
+        lines.append(
+            "BO_ {} {}: {} {}".format(
+                message.message_id,
+                message.name,
+                message.payload_length,
+                "ECU",
+            )
+        )
+        for signal in message.signals:
+            lines.append(
+                " " + _render_signal(signal, message.multiplexor)
+            )
+        lines.append("")
+    # Attribute definitions.
+    lines.append('BA_DEF_ BO_ "GenMsgCycleTime" INT 0 3600000;')
+    lines.append('BA_DEF_ BO_ "BusChannel" STRING;')
+    lines.append('BA_DEF_ BO_ "BusProtocol" STRING;')
+    lines.append('BA_DEF_DEF_ "GenMsgCycleTime" 0;')
+    lines.append('BA_DEF_DEF_ "BusChannel" "";')
+    lines.append('BA_DEF_DEF_ "BusProtocol" "CAN";')
+    for message in database.messages:
+        if message.cycle_time is not None:
+            lines.append(
+                'BA_ "GenMsgCycleTime" BO_ {} {};'.format(
+                    message.message_id, int(round(message.cycle_time * 1000))
+                )
+            )
+        lines.append(
+            'BA_ "BusChannel" BO_ {} "{}";'.format(
+                message.message_id, message.channel
+            )
+        )
+        lines.append(
+            'BA_ "BusProtocol" BO_ {} "{}";'.format(
+                message.message_id, message.protocol
+            )
+        )
+    lines.append("")
+    # Value tables.
+    for message in database.messages:
+        for signal in message.signals:
+            if signal.encoding.value_table:
+                entries = " ".join(
+                    '{} "{}"'.format(raw, label)
+                    for raw, label in signal.encoding.value_table
+                )
+                lines.append(
+                    "VAL_ {} {} {} ;".format(
+                        message.message_id, signal.name, entries
+                    )
+                )
+    lines.append("")
+    # Comments carrying kind / data class metadata.
+    for message in database.messages:
+        for signal in message.signals:
+            markers = "[{}]{}".format(
+                signal.data_class,
+                "[validity]" if signal.kind == VALIDITY else "",
+            )
+            comment = "{} {}".format(markers, signal.comment).strip()
+            lines.append(
+                'CM_ SG_ {} {} "{}";'.format(
+                    message.message_id, signal.name, comment
+                )
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _node_names(database):
+    names = sorted({m.name.split("_")[0] for m in database.messages})
+    return names or ["ECU"]
+
+
+def _render_signal(signal, multiplexor=None):
+    encoding = signal.encoding
+    order = 1 if encoding.byte_order == INTEL else 0
+    sign = "-" if encoding.signed else "+"
+    lo, hi = encoding.physical_bounds()
+    mux = ""
+    if multiplexor is not None and signal.name == multiplexor:
+        mux = " M"
+    elif signal.mux_value is not None:
+        mux = " m{}".format(signal.mux_value)
+    return (
+        'SG_ {}{} : {}|{}@{}{} ({},{}) [{}|{}] "{}" Vector__XXX'.format(
+            signal.name,
+            mux,
+            encoding.start_bit,
+            encoding.bit_length,
+            order,
+            sign,
+            _number(encoding.scale),
+            _number(encoding.offset),
+            _number(lo),
+            _number(hi),
+            signal.unit,
+        )
+    )
+
+
+def _number(x):
+    """Render floats DBC-style (no trailing .0 for integral values)."""
+    if float(x).is_integer():
+        return str(int(x))
+    return repr(float(x))
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_BO_RE = re.compile(r"^BO_ (\d+) (\w+)\s*: (\d+) (\w+)\s*$")
+_SG_RE = re.compile(
+    r"^SG_ (\w+)(?: (M|m\d+))?\s*: (\d+)\|(\d+)@([01])([+-]) "
+    r"\(([^,]+),([^)]+)\) \[([^|]*)\|([^\]]*)\] \"([^\"]*)\" (.*)$"
+)
+_VAL_RE = re.compile(r"^VAL_ (\d+) (\w+) (.*);$")
+_VAL_ENTRY_RE = re.compile(r"(-?\d+) \"([^\"]*)\"")
+_BA_RE = re.compile(r"^BA_ \"(\w+)\" BO_ (\d+) (.+);$")
+_CM_SG_RE = re.compile(r"^CM_ SG_ (\d+) (\w+) \"(.*)\";$")
+
+
+def load_database(path):
+    """Parse a DBC file into a :class:`NetworkDatabase`."""
+    return loads_database(Path(path).read_text())
+
+
+def loads_database(text):
+    """Parse DBC text into a :class:`NetworkDatabase`."""
+    messages = {}  # id -> dict
+    current = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith(("VERSION", "BU_", "BA_DEF", "NS_")):
+            current = None if not line.startswith(" ") else current
+            continue
+        bo = _BO_RE.match(line)
+        if bo:
+            message_id = int(bo.group(1))
+            current = {
+                "name": bo.group(2),
+                "message_id": message_id,
+                "dlc": int(bo.group(3)),
+                "signals": [],
+                "cycle_ms": None,
+                "channel": "CAN1",
+                "protocol": "CAN",
+                "value_tables": {},
+                "comments": {},
+                "multiplexor": None,
+            }
+            messages[message_id] = current
+            continue
+        sg = _SG_RE.match(line)
+        if sg:
+            if current is None:
+                raise DbcError(
+                    "SG_ outside a BO_ block on line {}".format(line_number)
+                )
+            mux = sg.group(2)
+            if mux == "M":
+                current["multiplexor"] = sg.group(1)
+            current["signals"].append(
+                {
+                    "name": sg.group(1),
+                    "start_bit": int(sg.group(3)),
+                    "bit_length": int(sg.group(4)),
+                    "byte_order": INTEL if sg.group(5) == "1" else MOTOROLA,
+                    "signed": sg.group(6) == "-",
+                    "scale": float(sg.group(7)),
+                    "offset": float(sg.group(8)),
+                    "unit": sg.group(11),
+                    "mux_value": (
+                        int(mux[1:]) if mux and mux.startswith("m") else None
+                    ),
+                }
+            )
+            continue
+        val = _VAL_RE.match(line)
+        if val:
+            message_id = int(val.group(1))
+            if message_id not in messages:
+                raise DbcError(
+                    "VAL_ for unknown message {} on line {}".format(
+                        message_id, line_number
+                    )
+                )
+            entries = tuple(
+                (int(raw), label)
+                for raw, label in _VAL_ENTRY_RE.findall(val.group(3))
+            )
+            messages[message_id]["value_tables"][val.group(2)] = entries
+            continue
+        ba = _BA_RE.match(line)
+        if ba:
+            name, message_id, value = ba.group(1), int(ba.group(2)), ba.group(3)
+            if message_id not in messages:
+                raise DbcError(
+                    "BA_ for unknown message {} on line {}".format(
+                        message_id, line_number
+                    )
+                )
+            if name == "GenMsgCycleTime":
+                messages[message_id]["cycle_ms"] = int(value)
+            elif name == "BusChannel":
+                messages[message_id]["channel"] = value.strip('"')
+            elif name == "BusProtocol":
+                messages[message_id]["protocol"] = value.strip('"')
+            continue
+        cm = _CM_SG_RE.match(line)
+        if cm:
+            message_id = int(cm.group(1))
+            if message_id in messages:
+                messages[message_id]["comments"][cm.group(2)] = cm.group(3)
+            continue
+        # Unknown statements (CM_ BO_, BA_DEF_DEF_, SIG_VALTYPE_ ...) are
+        # tolerated, as real-world DBC consumers must be.
+    return NetworkDatabase(
+        tuple(_build_message(m) for m in messages.values())
+    )
+
+
+def _build_message(spec):
+    signals = []
+    for s in spec["signals"]:
+        value_table = spec["value_tables"].get(s["name"], ())
+        comment = spec["comments"].get(s["name"], "")
+        data_class, kind, clean_comment = _parse_markers(comment, value_table)
+        encoding = SignalEncoding(
+            start_bit=s["start_bit"],
+            bit_length=s["bit_length"],
+            byte_order=s["byte_order"],
+            signed=s["signed"],
+            scale=s["scale"],
+            offset=s["offset"],
+            value_table=value_table,
+        )
+        signals.append(
+            SignalDefinition(
+                name=s["name"],
+                encoding=encoding,
+                unit=s["unit"],
+                kind=kind,
+                data_class=data_class,
+                comment=clean_comment,
+                mux_value=s.get("mux_value"),
+            )
+        )
+    return MessageDefinition(
+        name=spec["name"],
+        message_id=spec["message_id"],
+        channel=spec["channel"],
+        protocol=spec["protocol"],
+        payload_length=spec["dlc"],
+        signals=tuple(signals),
+        cycle_time=(
+            spec["cycle_ms"] / 1000.0 if spec["cycle_ms"] else None
+        ),
+        multiplexor=spec.get("multiplexor"),
+    )
+
+
+def _parse_markers(comment, value_table):
+    """Extract [data_class] / [validity] markers from a signal comment."""
+    kind = FUNCTIONAL
+    data_class = None
+    rest = comment
+    for marker in re.findall(r"\[(\w+)\]", comment):
+        if marker == "validity":
+            kind = VALIDITY
+        elif marker in _DATA_CLASSES:
+            data_class = marker
+        rest = rest.replace("[{}]".format(marker), "")
+    if data_class is None:
+        # Sensible default: tabled signals are categorical, others numeric.
+        if value_table:
+            data_class = BINARY if len(value_table) == 2 else NOMINAL
+        else:
+            data_class = NUMERIC
+    return data_class, kind, rest.strip()

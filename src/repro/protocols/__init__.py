@@ -1,0 +1,35 @@
+"""Protocol codecs for the in-vehicle network substrate.
+
+Implements the four protocol families the paper's traces mix (CAN, LIN,
+SOME/IP, FlexRay -- see Table 1) plus the bit-level signal codec used to
+pack physical values into frame payloads.
+"""
+
+from repro.protocols import can, flexray, lin, someip
+from repro.protocols.frames import (
+    BYTE_RECORD_COLUMNS,
+    Frame,
+    frame_from_byte_record,
+)
+from repro.protocols.signalcodec import (
+    INTEL,
+    MOTOROLA,
+    CodecError,
+    SignalEncoding,
+    overlaps,
+)
+
+__all__ = [
+    "can",
+    "lin",
+    "someip",
+    "flexray",
+    "Frame",
+    "frame_from_byte_record",
+    "BYTE_RECORD_COLUMNS",
+    "SignalEncoding",
+    "CodecError",
+    "INTEL",
+    "MOTOROLA",
+    "overlaps",
+]

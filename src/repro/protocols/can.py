@@ -1,0 +1,212 @@
+"""CAN (Controller Area Network) framing.
+
+Implements classic CAN data frames: 11-bit standard / 29-bit extended
+identifiers, up to 8 payload bytes with a DLC field, plus the CRC-15
+polynomial used on the wire (computed over id + DLC + data so corrupted
+frames can be injected and detected in tests). In a recorded trace the
+CAN identifier is the paper's ``m_id`` and the DLC is part of ``m_info``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.frames import Frame
+
+PROTOCOL = "CAN"
+
+STANDARD_ID_MAX = 0x7FF
+EXTENDED_ID_MAX = 0x1FFFFFFF
+MAX_PAYLOAD = 8
+
+#: CRC-15-CAN polynomial x^15+x^14+x^10+x^8+x^7+x^4+x^3+1.
+_CRC15_POLY = 0x4599
+
+
+class CanError(ValueError):
+    """Raised for malformed CAN frames."""
+
+
+def crc15(data):
+    """CRC-15-CAN over an iterable of bytes."""
+    crc = 0
+    for byte in data:
+        for i in range(7, -1, -1):
+            bit = (byte >> i) & 1
+            msb = (crc >> 14) & 1
+            crc = (crc << 1) & 0x7FFF
+            if bit ^ msb:
+                crc ^= _CRC15_POLY
+    return crc
+
+
+@dataclass(frozen=True)
+class CanFrame:
+    """A classic CAN data frame."""
+
+    can_id: int
+    payload: bytes
+    extended: bool = False
+
+    def __post_init__(self):
+        limit = EXTENDED_ID_MAX if self.extended else STANDARD_ID_MAX
+        if not 0 <= self.can_id <= limit:
+            raise CanError(
+                "CAN id {:#x} out of range for {} frame".format(
+                    self.can_id, "extended" if self.extended else "standard"
+                )
+            )
+        if len(self.payload) > MAX_PAYLOAD:
+            raise CanError(
+                "CAN payload of {} bytes exceeds maximum of 8".format(
+                    len(self.payload)
+                )
+            )
+
+    @property
+    def dlc(self):
+        return len(self.payload)
+
+    def crc(self):
+        """Frame CRC-15 over id, DLC and payload."""
+        id_bytes = self.can_id.to_bytes(4, "big")
+        return crc15(id_bytes + bytes([self.dlc]) + self.payload)
+
+    def to_frame(self, timestamp, channel):
+        """Wrap as a recorded :class:`~repro.protocols.frames.Frame`."""
+        info = (
+            ("dlc", self.dlc),
+            ("extended", self.extended),
+            ("crc", self.crc()),
+        )
+        return Frame(
+            timestamp, channel, PROTOCOL, self.can_id, bytes(self.payload), info
+        )
+
+
+#: CAN FD DLC values 9..15 map to these payload lengths.
+FD_DLC_LENGTHS = (12, 16, 20, 24, 32, 48, 64)
+FD_MAX_PAYLOAD = 64
+
+#: Valid CAN FD payload lengths: 0..8 plus the discrete FD sizes.
+FD_VALID_LENGTHS = frozenset(range(9)) | frozenset(FD_DLC_LENGTHS)
+
+
+def fd_dlc_for_length(length):
+    """CAN FD DLC code for a payload length (must be a valid FD size)."""
+    if 0 <= length <= 8:
+        return length
+    if length in FD_DLC_LENGTHS:
+        return 9 + FD_DLC_LENGTHS.index(length)
+    raise CanError(
+        "CAN FD payload length {} is not encodable; valid lengths are "
+        "0..8 and {}".format(length, list(FD_DLC_LENGTHS))
+    )
+
+
+def fd_length_for_dlc(dlc):
+    """Payload length for a CAN FD DLC code 0..15."""
+    if 0 <= dlc <= 8:
+        return dlc
+    if 9 <= dlc <= 15:
+        return FD_DLC_LENGTHS[dlc - 9]
+    raise CanError("CAN FD DLC {} out of range 0..15".format(dlc))
+
+
+def fd_padded_length(length):
+    """Smallest encodable CAN FD length >= *length* (frames are padded)."""
+    if length > FD_MAX_PAYLOAD:
+        raise CanError("payload of {} bytes exceeds CAN FD maximum".format(length))
+    for candidate in sorted(FD_VALID_LENGTHS):
+        if candidate >= length:
+            return candidate
+    raise CanError("unreachable")
+
+
+@dataclass(frozen=True)
+class CanFdFrame:
+    """A CAN FD data frame: up to 64 payload bytes, discrete lengths.
+
+    Payloads not matching an encodable length are rejected; use
+    :func:`fd_padded_length` to pad first, as FD controllers do. The
+    ``brs`` flag marks bit-rate switching for the data phase.
+    """
+
+    can_id: int
+    payload: bytes
+    extended: bool = False
+    brs: bool = True
+
+    def __post_init__(self):
+        limit = EXTENDED_ID_MAX if self.extended else STANDARD_ID_MAX
+        if not 0 <= self.can_id <= limit:
+            raise CanError("CAN id {:#x} out of range".format(self.can_id))
+        if len(self.payload) not in FD_VALID_LENGTHS:
+            raise CanError(
+                "CAN FD payload length {} not encodable (pad to {})".format(
+                    len(self.payload), fd_padded_length(len(self.payload))
+                )
+            )
+
+    @property
+    def dlc(self):
+        return fd_dlc_for_length(len(self.payload))
+
+    def crc(self):
+        """Frame CRC-15 over id, DLC code and payload (simplified; real
+        FD uses CRC-17/21 -- the detection property is what matters)."""
+        id_bytes = self.can_id.to_bytes(4, "big")
+        return crc15(id_bytes + bytes([self.dlc]) + self.payload)
+
+    def to_frame(self, timestamp, channel):
+        info = (
+            ("dlc", self.dlc),
+            ("extended", self.extended),
+            ("fd", True),
+            ("brs", self.brs),
+            ("crc", self.crc()),
+        )
+        return Frame(
+            timestamp, channel, PROTOCOL, self.can_id, bytes(self.payload), info
+        )
+
+
+def frame_from_record(frame):
+    """Recover a :class:`CanFrame` from a recorded frame; verifies DLC/CRC."""
+    if frame.protocol != PROTOCOL:
+        raise CanError("frame is not CAN but {}".format(frame.protocol))
+    info = frame.info_dict()
+    if info.get("fd"):
+        dlc = info.get("dlc", fd_dlc_for_length(len(frame.payload)))
+        if fd_length_for_dlc(dlc) != len(frame.payload):
+            raise CanError(
+                "FD DLC {} does not match payload length {}".format(
+                    dlc, len(frame.payload)
+                )
+            )
+        fd = CanFdFrame(
+            frame.message_id,
+            frame.payload,
+            info.get("extended", False),
+            info.get("brs", True),
+        )
+        expected = info.get("crc")
+        if expected is not None and expected != fd.crc():
+            raise CanError("CRC mismatch on FD frame")
+        return fd
+    dlc = info.get("dlc", len(frame.payload))
+    if dlc != len(frame.payload):
+        raise CanError(
+            "DLC {} does not match payload length {}".format(
+                dlc, len(frame.payload)
+            )
+        )
+    can = CanFrame(frame.message_id, frame.payload, info.get("extended", False))
+    expected = info.get("crc")
+    if expected is not None and expected != can.crc():
+        raise CanError(
+            "CRC mismatch: header says {:#x}, payload gives {:#x}".format(
+                expected, can.crc()
+            )
+        )
+    return can

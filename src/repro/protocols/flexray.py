@@ -1,0 +1,114 @@
+"""FlexRay framing.
+
+Implements the time-triggered FlexRay frame model at the level a trace
+recorder sees: slot-addressed frames inside 64-cycle rounds on channel A
+and/or B, a payload of up to 254 bytes (127 two-byte words), an 11-bit
+header CRC and frame status flags. Slot scheduling (the static segment)
+is modelled in :mod:`repro.vehicle.bus`; the slot id acts as ``m_id``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.frames import Frame
+
+PROTOCOL = "FLEXRAY"
+
+SLOT_ID_MAX = 2047
+CYCLE_MAX = 63
+MAX_PAYLOAD_WORDS = 127
+
+CHANNEL_A = "A"
+CHANNEL_B = "B"
+
+#: Header CRC-11 polynomial (x^11+x^9+x^8+x^7+x^2+1) per FlexRay spec.
+_CRC11_POLY = 0x385
+
+
+class FlexRayError(ValueError):
+    """Raised for malformed FlexRay frames."""
+
+
+def header_crc(slot_id, payload_words, sync=False, startup=False):
+    """CRC-11 over the header fields (sync, startup, slot id, length)."""
+    bits = [int(sync), int(startup)]
+    bits += [(slot_id >> i) & 1 for i in range(10, -1, -1)]
+    bits += [(payload_words >> i) & 1 for i in range(6, -1, -1)]
+    crc = 0x01A  # specified initialization vector
+    for bit in bits:
+        msb = (crc >> 10) & 1
+        crc = (crc << 1) & 0x7FF
+        if bit ^ msb:
+            crc ^= _CRC11_POLY
+    return crc
+
+
+@dataclass(frozen=True)
+class FlexRayFrame:
+    """A FlexRay static- or dynamic-segment frame."""
+
+    slot_id: int
+    cycle: int
+    payload: bytes
+    fr_channel: str = CHANNEL_A
+    sync: bool = False
+    startup: bool = False
+    null_frame: bool = False
+
+    def __post_init__(self):
+        if not 1 <= self.slot_id <= SLOT_ID_MAX:
+            raise FlexRayError("slot id {} out of 1..2047".format(self.slot_id))
+        if not 0 <= self.cycle <= CYCLE_MAX:
+            raise FlexRayError("cycle {} out of 0..63".format(self.cycle))
+        if len(self.payload) % 2:
+            raise FlexRayError("FlexRay payload must be an even byte count")
+        if len(self.payload) // 2 > MAX_PAYLOAD_WORDS:
+            raise FlexRayError("payload exceeds 127 words")
+        if self.fr_channel not in (CHANNEL_A, CHANNEL_B):
+            raise FlexRayError("channel must be 'A' or 'B'")
+        if self.startup and not self.sync:
+            raise FlexRayError("startup frames must also be sync frames")
+
+    @property
+    def payload_words(self):
+        return len(self.payload) // 2
+
+    def crc(self):
+        return header_crc(
+            self.slot_id, self.payload_words, self.sync, self.startup
+        )
+
+    def to_frame(self, timestamp, channel):
+        info = (
+            ("cycle", self.cycle),
+            ("fr_channel", self.fr_channel),
+            ("payload_words", self.payload_words),
+            ("header_crc", self.crc()),
+            ("sync", self.sync),
+            ("startup", self.startup),
+            ("null_frame", self.null_frame),
+        )
+        return Frame(
+            timestamp, channel, PROTOCOL, self.slot_id, bytes(self.payload), info
+        )
+
+
+def frame_from_record(frame):
+    """Recover a :class:`FlexRayFrame`; verifies the header CRC."""
+    if frame.protocol != PROTOCOL:
+        raise FlexRayError("frame is not FlexRay but {}".format(frame.protocol))
+    info = frame.info_dict()
+    fr = FlexRayFrame(
+        frame.message_id,
+        info.get("cycle", 0),
+        frame.payload,
+        fr_channel=info.get("fr_channel", CHANNEL_A),
+        sync=info.get("sync", False),
+        startup=info.get("startup", False),
+        null_frame=info.get("null_frame", False),
+    )
+    expected = info.get("header_crc")
+    if expected is not None and expected != fr.crc():
+        raise FlexRayError("header CRC mismatch")
+    return fr

@@ -1,0 +1,65 @@
+"""Protocol-independent frame model.
+
+Every protocol module produces :class:`Frame` objects; the trace recorder
+(`repro.vehicle.recorder`) turns them into the paper's byte tuples
+``k_b = (t, l, b_id, m_id, m_info)`` (Sec. 2). ``m_info`` carries the
+protocol-specific header fields needed for protocol-specific translation
+(e.g. the CAN DLC, the SOME/IP message type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One recorded frame on an in-vehicle channel.
+
+    Attributes
+    ----------
+    timestamp:
+        Recording time in seconds.
+    channel:
+        Channel identifier ``b_id`` (e.g. ``"FC"`` for FA-CAN).
+    protocol:
+        Protocol name: ``"CAN"``, ``"LIN"``, ``"SOMEIP"`` or ``"FLEXRAY"``.
+    message_id:
+        Unique message identifier ``m_id`` within the channel.
+    payload:
+        Raw payload bytes ``l``.
+    info:
+        Protocol-specific header fields ``m_info``.
+    """
+
+    timestamp: float
+    channel: str
+    protocol: str
+    message_id: int
+    payload: bytes
+    info: tuple = field(default_factory=tuple)  # ((key, value), ...)
+
+    def info_dict(self):
+        return dict(self.info)
+
+    def to_byte_record(self):
+        """The paper's ``k_b = (t, l, b_id, m_id, m_info)`` tuple."""
+        m_info = (("protocol", self.protocol),) + self.info
+        return (
+            self.timestamp,
+            bytes(self.payload),
+            self.channel,
+            self.message_id,
+            m_info,
+        )
+
+
+BYTE_RECORD_COLUMNS = ("t", "l", "b_id", "m_id", "m_info")
+
+
+def frame_from_byte_record(record):
+    """Rebuild a :class:`Frame` from a ``k_b`` tuple (inverse mapping)."""
+    t, payload, b_id, m_id, m_info = record
+    info = tuple(kv for kv in m_info if kv[0] != "protocol")
+    protocol = dict(m_info).get("protocol", "CAN")
+    return Frame(t, b_id, protocol, m_id, bytes(payload), info)

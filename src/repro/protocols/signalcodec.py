@@ -1,0 +1,204 @@
+"""Bit-level signal packing and unpacking.
+
+In-vehicle signals are packed into frame payloads at arbitrary bit
+positions, with either Intel (little-endian) or Motorola (big-endian) bit
+ordering, optional two's-complement signedness and a linear
+physical-value mapping ``physical = scale * raw + offset`` -- the same
+model used by DBC/FIBEX databases. This module implements that packing
+from scratch; it is the ``u_2`` workhorse behind the paper's
+interpretation rules (Sec. 3.2).
+
+Bit numbering follows the DBC convention: bit ``i`` lives in byte
+``i // 8`` at in-byte position ``i % 8`` (LSB = 0). For Intel signals the
+start bit is the least-significant bit of the raw value and the value
+grows towards higher bit numbers. For Motorola signals the start bit is
+the *most*-significant bit and the value grows towards lower in-byte
+positions, wrapping to the next byte's bit 7 (the "sawtooth").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+INTEL = "intel"
+MOTOROLA = "motorola"
+
+
+class CodecError(ValueError):
+    """Raised when an encoding is inconsistent or a value does not fit."""
+
+
+def _intel_bit_positions(start_bit, length):
+    """Absolute bit positions, LSB first, for an Intel signal."""
+    return list(range(start_bit, start_bit + length))
+
+
+def _motorola_bit_positions(start_bit, length):
+    """Absolute bit positions, LSB first, for a Motorola signal.
+
+    ``start_bit`` addresses the MSB. Successive (less significant) bits
+    run from in-byte position down to 0, then jump to the next byte's
+    bit 7.
+    """
+    positions_msb_first = []
+    byte_index = start_bit // 8
+    in_byte = start_bit % 8
+    for _unused in range(length):
+        positions_msb_first.append(byte_index * 8 + in_byte)
+        if in_byte == 0:
+            byte_index += 1
+            in_byte = 7
+        else:
+            in_byte -= 1
+    return positions_msb_first[::-1]
+
+
+@dataclass(frozen=True)
+class SignalEncoding:
+    """How one signal is laid out in a payload and scaled to physical units.
+
+    Parameters
+    ----------
+    start_bit:
+        DBC-style start bit (LSB for Intel, MSB for Motorola).
+    bit_length:
+        Number of raw bits, 1..64.
+    byte_order:
+        ``"intel"`` or ``"motorola"``.
+    signed:
+        Two's-complement interpretation of the raw value.
+    scale, offset:
+        Linear mapping raw -> physical.
+    value_table:
+        Optional mapping of raw integer values to string labels
+        (categorical signals). When set, decode returns the label and
+        encode accepts either the label or the raw integer.
+    """
+
+    start_bit: int
+    bit_length: int
+    byte_order: str = INTEL
+    signed: bool = False
+    scale: float = 1.0
+    offset: float = 0.0
+    value_table: tuple = field(default_factory=tuple)  # ((raw, label), ...)
+
+    def __post_init__(self):
+        if not 1 <= self.bit_length <= 64:
+            raise CodecError("bit_length must be in 1..64")
+        if self.byte_order not in (INTEL, MOTOROLA):
+            raise CodecError("byte_order must be 'intel' or 'motorola'")
+        if self.start_bit < 0:
+            raise CodecError("start_bit must be non-negative")
+        if self.scale == 0:
+            raise CodecError("scale must be non-zero")
+
+    # -- geometry ----------------------------------------------------------
+    def bit_positions(self):
+        """Absolute payload bit positions, least-significant first."""
+        if self.byte_order == INTEL:
+            return _intel_bit_positions(self.start_bit, self.bit_length)
+        return _motorola_bit_positions(self.start_bit, self.bit_length)
+
+    def byte_span(self):
+        """(first_byte, last_byte) touched by this signal, inclusive."""
+        positions = self.bit_positions()
+        return min(positions) // 8, max(positions) // 8
+
+    def required_payload_length(self):
+        """Minimum payload length in bytes to hold this signal."""
+        return self.byte_span()[1] + 1
+
+    # -- raw <-> bytes -------------------------------------------------------
+    def extract_raw(self, payload):
+        """Read the raw unsigned-or-signed integer from *payload*."""
+        if len(payload) < self.required_payload_length():
+            raise CodecError(
+                "payload of {} bytes too short for signal spanning byte {}".format(
+                    len(payload), self.byte_span()[1]
+                )
+            )
+        raw = 0
+        for significance, position in enumerate(self.bit_positions()):
+            bit = (payload[position // 8] >> (position % 8)) & 1
+            raw |= bit << significance
+        if self.signed and raw >= 1 << (self.bit_length - 1):
+            raw -= 1 << self.bit_length
+        return raw
+
+    def insert_raw(self, payload, raw):
+        """Write a raw integer into *payload* (a bytearray), in place."""
+        lo, hi = self._raw_bounds()
+        if not lo <= raw <= hi:
+            raise CodecError(
+                "raw value {} out of range [{}, {}] for {}-bit signal".format(
+                    raw, lo, hi, self.bit_length
+                )
+            )
+        if raw < 0:
+            raw += 1 << self.bit_length
+        if len(payload) < self.required_payload_length():
+            raise CodecError("payload too short for signal")
+        for significance, position in enumerate(self.bit_positions()):
+            byte_index, in_byte = position // 8, position % 8
+            if (raw >> significance) & 1:
+                payload[byte_index] |= 1 << in_byte
+            else:
+                payload[byte_index] &= ~(1 << in_byte) & 0xFF
+
+    def _raw_bounds(self):
+        if self.signed:
+            half = 1 << (self.bit_length - 1)
+            return -half, half - 1
+        return 0, (1 << self.bit_length) - 1
+
+    # -- physical <-> raw ------------------------------------------------------
+    def decode(self, payload):
+        """Payload bytes -> physical value (float, int or label)."""
+        raw = self.extract_raw(payload)
+        if self.value_table:
+            table = dict(self.value_table)
+            return table.get(raw, "raw_{}".format(raw))
+        physical = raw * self.scale + self.offset
+        if self.scale == int(self.scale) and self.offset == int(self.offset):
+            return int(physical) if float(physical).is_integer() else physical
+        return physical
+
+    def encode(self, payload, value, clamp=False):
+        """Physical value (or label for categorical) -> payload bits.
+
+        With ``clamp=True`` out-of-range raw values saturate at the
+        encoding bounds, the way ECUs transmit out-of-range physical
+        values; otherwise they raise :class:`CodecError`.
+        """
+        if self.value_table:
+            if isinstance(value, str):
+                reverse = {label: raw for raw, label in self.value_table}
+                if value not in reverse:
+                    raise CodecError(
+                        "label {!r} not in value table {}".format(
+                            value, [l for _r, l in self.value_table]
+                        )
+                    )
+                raw = reverse[value]
+            else:
+                raw = int(value)
+        else:
+            raw = int(round((value - self.offset) / self.scale))
+        if clamp:
+            lo, hi = self._raw_bounds()
+            raw = min(max(raw, lo), hi)
+        self.insert_raw(payload, raw)
+        return payload
+
+    def physical_bounds(self):
+        """(min, max) physical values representable by this encoding."""
+        lo, hi = self._raw_bounds()
+        a = lo * self.scale + self.offset
+        b = hi * self.scale + self.offset
+        return (min(a, b), max(a, b))
+
+
+def overlaps(encoding_a, encoding_b):
+    """True if two encodings share any payload bit."""
+    return bool(set(encoding_a.bit_positions()) & set(encoding_b.bit_positions()))

@@ -1,0 +1,259 @@
+"""SOME/IP (Scalable service-Oriented MiddlewarE over IP) framing.
+
+Implements the 16-byte SOME/IP header (service id, method id, length,
+client id, session id, protocol/interface versions, message type, return
+code) plus the *conditional payload* layout the paper singles out:
+"rules where values of preceding bytes define the presence of a signal
+type in succeeding bytes" (Sec. 3.2). Optional payload sections are
+governed by a presence bitmask in the first payload byte; interpretation
+rules must evaluate the mask before locating a signal's bytes.
+
+The message identifier used as ``m_id`` in traces is the 32-bit
+``(service_id << 16) | method_id``, matching AUTOSAR's message id.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.protocols.frames import Frame
+
+PROTOCOL = "SOMEIP"
+
+HEADER_LENGTH = 16
+PROTOCOL_VERSION = 0x01
+
+#: SOME/IP message types (subset).
+REQUEST = 0x00
+REQUEST_NO_RETURN = 0x01
+NOTIFICATION = 0x02
+RESPONSE = 0x80
+ERROR = 0x81
+
+_VALID_TYPES = frozenset({REQUEST, REQUEST_NO_RETURN, NOTIFICATION, RESPONSE, ERROR})
+
+E_OK = 0x00
+
+
+class SomeIpError(ValueError):
+    """Raised for malformed SOME/IP messages."""
+
+
+def message_id(service_id, method_id):
+    """32-bit message id from service and method ids."""
+    if not 0 <= service_id <= 0xFFFF or not 0 <= method_id <= 0xFFFF:
+        raise SomeIpError("service/method id out of 16-bit range")
+    return (service_id << 16) | method_id
+
+
+def split_message_id(mid):
+    """Inverse of :func:`message_id`."""
+    return (mid >> 16) & 0xFFFF, mid & 0xFFFF
+
+
+@dataclass(frozen=True)
+class SomeIpMessage:
+    """A SOME/IP message with header fields and payload."""
+
+    service_id: int
+    method_id: int
+    payload: bytes
+    client_id: int = 0
+    session_id: int = 1
+    interface_version: int = 1
+    message_type: int = NOTIFICATION
+    return_code: int = E_OK
+
+    def __post_init__(self):
+        if self.message_type not in _VALID_TYPES:
+            raise SomeIpError(
+                "unknown message type {:#x}".format(self.message_type)
+            )
+        if not 0 <= self.session_id <= 0xFFFF:
+            raise SomeIpError("session id out of range")
+        message_id(self.service_id, self.method_id)  # validates ranges
+
+    @property
+    def message_id(self):
+        return message_id(self.service_id, self.method_id)
+
+    @property
+    def length(self):
+        """SOME/IP length field: bytes after the length field itself."""
+        return 8 + len(self.payload)
+
+    def serialize(self):
+        """Wire format: 16-byte header followed by the payload."""
+        return (
+            struct.pack(
+                ">HHIHHBBBB",
+                self.service_id,
+                self.method_id,
+                self.length,
+                self.client_id,
+                self.session_id,
+                PROTOCOL_VERSION,
+                self.interface_version,
+                self.message_type,
+                self.return_code,
+            )
+            + self.payload
+        )
+
+    @classmethod
+    def deserialize(cls, data):
+        if len(data) < HEADER_LENGTH:
+            raise SomeIpError("buffer shorter than SOME/IP header")
+        (
+            service_id,
+            method_id,
+            length,
+            client_id,
+            session_id,
+            protocol_version,
+            interface_version,
+            message_type,
+            return_code,
+        ) = struct.unpack(">HHIHHBBBB", data[:HEADER_LENGTH])
+        if protocol_version != PROTOCOL_VERSION:
+            raise SomeIpError(
+                "unsupported protocol version {:#x}".format(protocol_version)
+            )
+        payload_length = length - 8
+        if payload_length < 0 or HEADER_LENGTH + payload_length > len(data):
+            raise SomeIpError("length field inconsistent with buffer")
+        return cls(
+            service_id,
+            method_id,
+            bytes(data[HEADER_LENGTH : HEADER_LENGTH + payload_length]),
+            client_id=client_id,
+            session_id=session_id,
+            interface_version=interface_version,
+            message_type=message_type,
+            return_code=return_code,
+        )
+
+    def to_frame(self, timestamp, channel):
+        info = (
+            ("message_type", self.message_type),
+            ("session_id", self.session_id),
+            ("client_id", self.client_id),
+            ("interface_version", self.interface_version),
+            ("return_code", self.return_code),
+            ("length", self.length),
+        )
+        return Frame(
+            timestamp,
+            channel,
+            PROTOCOL,
+            self.message_id,
+            bytes(self.payload),
+            info,
+        )
+
+
+@dataclass(frozen=True)
+class OptionalSection:
+    """One presence-conditional section of a SOME/IP payload.
+
+    The section's bytes exist only when bit ``mask_bit`` of the payload's
+    first byte (the presence mask) is set. Sections are laid out in
+    ``mask_bit`` order after the mask byte; a section's offset therefore
+    depends on which earlier sections are present.
+    """
+
+    mask_bit: int
+    length: int
+
+    def __post_init__(self):
+        if not 0 <= self.mask_bit <= 7:
+            raise SomeIpError("mask bit must be 0..7")
+        if self.length < 1:
+            raise SomeIpError("section length must be positive")
+
+
+@dataclass(frozen=True)
+class ConditionalLayout:
+    """Payload layout with a presence mask and optional sections.
+
+    Byte 0 holds the presence bitmask. Sections follow in ascending
+    ``mask_bit`` order, present sections only, concatenated densely.
+    """
+
+    sections: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        bits = [s.mask_bit for s in self.sections]
+        if len(bits) != len(set(bits)):
+            raise SomeIpError("duplicate mask bits in layout")
+        if list(bits) != sorted(bits):
+            raise SomeIpError("sections must be ordered by mask bit")
+
+    def build_payload(self, present_sections):
+        """Assemble a payload from {mask_bit: bytes} of present sections."""
+        mask = 0
+        body = b""
+        for section in self.sections:
+            if section.mask_bit in present_sections:
+                data = present_sections[section.mask_bit]
+                if len(data) != section.length:
+                    raise SomeIpError(
+                        "section {} expects {} bytes, got {}".format(
+                            section.mask_bit, section.length, len(data)
+                        )
+                    )
+                mask |= 1 << section.mask_bit
+                body += bytes(data)
+        return bytes([mask]) + body
+
+    def section_offset(self, payload, mask_bit):
+        """Byte offset of a section in *payload*, or None if absent.
+
+        This is the data-dependent lookup the paper's ``u_info`` rules
+        encode for SOME/IP: preceding bytes (the mask) decide both the
+        presence and position of succeeding bytes.
+        """
+        if not payload:
+            raise SomeIpError("empty payload has no presence mask")
+        mask = payload[0]
+        if not mask & (1 << mask_bit):
+            return None
+        offset = 1
+        for section in self.sections:
+            if section.mask_bit == mask_bit:
+                return offset
+            if mask & (1 << section.mask_bit):
+                offset += section.length
+        raise SomeIpError("mask bit {} not part of layout".format(mask_bit))
+
+    def extract_section(self, payload, mask_bit):
+        """Bytes of a section, or None if the presence bit is clear."""
+        offset = self.section_offset(payload, mask_bit)
+        if offset is None:
+            return None
+        for section in self.sections:
+            if section.mask_bit == mask_bit:
+                end = offset + section.length
+                if end > len(payload):
+                    raise SomeIpError("payload truncated inside section")
+                return payload[offset:end]
+        raise SomeIpError("mask bit {} not part of layout".format(mask_bit))
+
+
+def frame_from_record(frame):
+    """Recover a :class:`SomeIpMessage` from a recorded frame."""
+    if frame.protocol != PROTOCOL:
+        raise SomeIpError("frame is not SOME/IP but {}".format(frame.protocol))
+    info = frame.info_dict()
+    service_id, method_id = split_message_id(frame.message_id)
+    return SomeIpMessage(
+        service_id,
+        method_id,
+        frame.payload,
+        client_id=info.get("client_id", 0),
+        session_id=info.get("session_id", 1),
+        interface_version=info.get("interface_version", 1),
+        message_type=info.get("message_type", NOTIFICATION),
+        return_code=info.get("return_code", E_OK),
+    )

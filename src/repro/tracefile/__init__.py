@@ -1,0 +1,7 @@
+"""Trace file formats (ASCII and binary logs) for raw ``K_b`` traces."""
+
+from repro.tracefile import asciilog, binlog
+from repro.tracefile.asciilog import TraceFormatError
+from repro.tracefile.binlog import BinaryTraceError
+
+__all__ = ["asciilog", "binlog", "TraceFormatError", "BinaryTraceError"]

@@ -1,0 +1,136 @@
+"""ASCII trace log format (ASC-style).
+
+A human-readable text format for raw traces ``K_b``, modelled on the
+Vector ASC logs automotive tooling exchanges: one line per recorded
+frame with timestamp, channel, message id, protocol, payload bytes in
+hex and the protocol-specific header fields as ``key=value`` pairs.
+
+Round-trips byte-record tuples exactly (floats via ``repr``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_HEADER = "// repro in-vehicle trace log v1"
+
+
+class TraceFormatError(ValueError):
+    """Raised for malformed trace files."""
+
+
+def _encode_info(m_info):
+    parts = []
+    for key, value in m_info:
+        if ";" in str(value) or "=" in str(value):
+            raise TraceFormatError(
+                "m_info value {!r} contains reserved characters".format(value)
+            )
+        if isinstance(value, bool):
+            encoded = "b:{}".format(int(value))
+        elif isinstance(value, int):
+            encoded = "i:{}".format(value)
+        elif isinstance(value, float):
+            encoded = "f:{!r}".format(value)
+        else:
+            encoded = "s:{}".format(value)
+        parts.append("{}={}".format(key, encoded))
+    return ";".join(parts)
+
+
+def _decode_info(text):
+    if not text:
+        return ()
+    out = []
+    for part in text.split(";"):
+        key, _sep, encoded = part.partition("=")
+        tag, _sep, raw = encoded.partition(":")
+        if tag == "b":
+            value = bool(int(raw))
+        elif tag == "i":
+            value = int(raw)
+        elif tag == "f":
+            value = float(raw)
+        elif tag == "s":
+            value = raw
+        else:
+            raise TraceFormatError("unknown m_info tag {!r}".format(tag))
+        out.append((key, value))
+    return tuple(out)
+
+
+def dump_records(records, path):
+    """Write byte-record tuples to *path*; returns the record count."""
+    path = Path(path)
+    count = 0
+    with open(path, "w") as fh:
+        fh.write(_HEADER + "\n")
+        for t, payload, b_id, m_id, m_info in records:
+            protocol = dict(m_info).get("protocol", "CAN")
+            fh.write(
+                "{!r} {} {} {} d {} {} // {}\n".format(
+                    float(t),
+                    b_id,
+                    m_id,
+                    protocol,
+                    len(payload),
+                    payload.hex() if payload else "-",
+                    _encode_info(m_info),
+                )
+            )
+            count += 1
+    return count
+
+
+def load_records(path):
+    """Read byte-record tuples back from *path*."""
+    path = Path(path)
+    records = []
+    with open(path) as fh:
+        first = fh.readline().rstrip("\n")
+        if first != _HEADER:
+            raise TraceFormatError(
+                "not a repro trace log (header {!r})".format(first)
+            )
+        for line_number, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line or line.startswith("//"):
+                continue
+            body, sep, info_text = line.partition(" // ")
+            if not sep and body.endswith(" //"):
+                # Record with empty m_info: trailing separator only.
+                body = body[: -len(" //")]
+            fields = body.split()
+            if len(fields) != 7 or fields[4] != "d":
+                raise TraceFormatError(
+                    "malformed record on line {}".format(line_number)
+                )
+            t = float(fields[0])
+            b_id = fields[1]
+            m_id = int(fields[2])
+            length = int(fields[5])
+            payload = b"" if fields[6] == "-" else bytes.fromhex(fields[6])
+            if len(payload) != length:
+                raise TraceFormatError(
+                    "payload length mismatch on line {}: declared {}, "
+                    "got {}".format(line_number, length, len(payload))
+                )
+            m_info = _decode_info(info_text)
+            records.append((t, payload, b_id, m_id, m_info))
+    return records
+
+
+def dump_table(table, path):
+    """Write a K_b engine table to *path* in time order."""
+    return dump_records(table.sort(["t"]).collect(), path)
+
+
+def load_table(context, path, num_partitions=None):
+    """Load a trace log into a K_b engine table."""
+    from repro.protocols.frames import BYTE_RECORD_COLUMNS
+
+    return context.table_from_rows(
+        list(BYTE_RECORD_COLUMNS),
+        load_records(path),
+        num_partitions=num_partitions,
+    )

@@ -1,0 +1,145 @@
+"""Binary trace log format (BLF-style).
+
+A compact binary container for raw traces ``K_b``, modelled on the
+binary logging formats automotive loggers produce (e.g. Vector BLF):
+a magic header, a record count and densely packed records. Unlike the
+ASCII format it preserves float timestamps bit-exactly by construction.
+
+Layout (all little-endian)::
+
+    header:  8s magic | H version | Q record count
+    record:  d t | B len(b_id) | b_id utf-8 | Q m_id
+             | H len(payload) | payload
+             | B num info entries
+    info:    B len(key) | key utf-8 | B tag | value
+    value:   tag 0 bool -> B; tag 1 int -> q; tag 2 float -> d;
+             tag 3 str  -> H length + utf-8
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+MAGIC = b"IVNTRACE"
+VERSION = 1
+
+_TAG_BOOL = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_STR = 3
+
+
+class BinaryTraceError(ValueError):
+    """Raised for malformed binary trace files."""
+
+
+def _pack_value(value):
+    if isinstance(value, bool):
+        return struct.pack("<BB", _TAG_BOOL, int(value))
+    if isinstance(value, int):
+        return struct.pack("<Bq", _TAG_INT, value)
+    if isinstance(value, float):
+        return struct.pack("<Bd", _TAG_FLOAT, value)
+    data = str(value).encode("utf-8")
+    return struct.pack("<BH", _TAG_STR, len(data)) + data
+
+
+class _Reader:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def take(self, fmt):
+        size = struct.calcsize(fmt)
+        if self.pos + size > len(self.data):
+            raise BinaryTraceError("truncated file")
+        out = struct.unpack_from(fmt, self.data, self.pos)
+        self.pos += size
+        return out
+
+    def take_bytes(self, n):
+        if self.pos + n > len(self.data):
+            raise BinaryTraceError("truncated file")
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+
+def _read_value(reader):
+    (tag,) = reader.take("<B")
+    if tag == _TAG_BOOL:
+        (v,) = reader.take("<B")
+        return bool(v)
+    if tag == _TAG_INT:
+        (v,) = reader.take("<q")
+        return v
+    if tag == _TAG_FLOAT:
+        (v,) = reader.take("<d")
+        return v
+    if tag == _TAG_STR:
+        (length,) = reader.take("<H")
+        return reader.take_bytes(length).decode("utf-8")
+    raise BinaryTraceError("unknown value tag {}".format(tag))
+
+
+def dump_records(records, path):
+    """Write byte-record tuples to *path*; returns the record count."""
+    path = Path(path)
+    records = list(records)
+    with open(path, "wb") as fh:
+        fh.write(struct.pack("<8sHQ", MAGIC, VERSION, len(records)))
+        for t, payload, b_id, m_id, m_info in records:
+            channel = str(b_id).encode("utf-8")
+            fh.write(struct.pack("<dB", float(t), len(channel)))
+            fh.write(channel)
+            fh.write(struct.pack("<QH", int(m_id), len(payload)))
+            fh.write(bytes(payload))
+            fh.write(struct.pack("<B", len(m_info)))
+            for key, value in m_info:
+                key_data = str(key).encode("utf-8")
+                fh.write(struct.pack("<B", len(key_data)))
+                fh.write(key_data)
+                fh.write(_pack_value(value))
+    return len(records)
+
+
+def load_records(path):
+    """Read byte-record tuples back from *path*."""
+    with open(Path(path), "rb") as fh:
+        reader = _Reader(fh.read())
+    magic, version, count = reader.take("<8sHQ")
+    if magic != MAGIC:
+        raise BinaryTraceError("bad magic {!r}".format(magic))
+    if version != VERSION:
+        raise BinaryTraceError("unsupported version {}".format(version))
+    records = []
+    for _unused in range(count):
+        t, channel_length = reader.take("<dB")
+        b_id = reader.take_bytes(channel_length).decode("utf-8")
+        m_id, payload_length = reader.take("<QH")
+        payload = bytes(reader.take_bytes(payload_length))
+        (num_info,) = reader.take("<B")
+        info = []
+        for _unused2 in range(num_info):
+            (key_length,) = reader.take("<B")
+            key = reader.take_bytes(key_length).decode("utf-8")
+            info.append((key, _read_value(reader)))
+        records.append((t, payload, b_id, m_id, tuple(info)))
+    return records
+
+
+def dump_table(table, path):
+    """Write a K_b engine table to *path* in time order."""
+    return dump_records(table.sort(["t"]).collect(), path)
+
+
+def load_table(context, path, num_partitions=None):
+    """Load a binary trace into a K_b engine table."""
+    from repro.protocols.frames import BYTE_RECORD_COLUMNS
+
+    return context.table_from_rows(
+        list(BYTE_RECORD_COLUMNS),
+        load_records(path),
+        num_partitions=num_partitions,
+    )

@@ -1,0 +1,42 @@
+"""Deterministic in-vehicle network simulator (trace substrate).
+
+Stands in for the paper's recorded 20-hour premium-vehicle trace: ECUs
+with behaviour models send protocol-correct frames on CAN / LIN /
+SOME-IP / FlexRay channels, gateways duplicate traffic across channels
+and a recorder emits the raw trace ``K_b``.
+"""
+
+from repro.vehicle import behaviors, faults, scenarios
+from repro.vehicle.bus import (
+    EthernetBus,
+    FlexRayBus,
+    PriorityBus,
+    can_bus,
+    lin_bus,
+)
+from repro.vehicle.ecu import Ecu, Transmission
+from repro.vehicle.gateway import Gateway, Route, SignalGateway, SignalRoute
+from repro.vehicle.recorder import TraceRecorder
+from repro.vehicle.schedules import Cyclic, OnChange
+from repro.vehicle.vehicle import VehicleSimulation
+
+__all__ = [
+    "behaviors",
+    "faults",
+    "scenarios",
+    "Ecu",
+    "Transmission",
+    "Cyclic",
+    "OnChange",
+    "Gateway",
+    "Route",
+    "SignalGateway",
+    "SignalRoute",
+    "TraceRecorder",
+    "VehicleSimulation",
+    "PriorityBus",
+    "EthernetBus",
+    "FlexRayBus",
+    "can_bus",
+    "lin_bus",
+]

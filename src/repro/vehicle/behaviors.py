@@ -1,0 +1,317 @@
+"""Deterministic signal behaviour models.
+
+Each behaviour produces the physical value of one signal over time. The
+simulator samples behaviours at the send times of their carrying message,
+so behaviours may keep state as long as they are deterministic for a
+fixed seed and a fixed, monotonically increasing sampling schedule --
+this preserves the framework's determinism requirement.
+
+The models cover the value-stream shapes the paper's classification
+stage distinguishes (Table 3): fast-changing numerics (speed, angles),
+slowly stepping ordinals (heater level), nominal state machines (driving
+state), binaries (belt ON/OFF) and validity flags, plus an outlier
+injector used to exercise the α/β outlier paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Behavior:
+    """Base class: ``sample(t)`` returns the signal value at time *t*."""
+
+    def sample(self, t):
+        raise NotImplementedError
+
+    def reset(self):
+        """Restore initial state so a rerun reproduces the same stream."""
+
+
+@dataclass
+class Constant(Behavior):
+    """A signal stuck at one value (typical for configuration signals)."""
+
+    value: object
+
+    def sample(self, t):
+        return self.value
+
+
+@dataclass
+class Sine(Behavior):
+    """Smooth periodic numeric signal with optional deterministic noise."""
+
+    amplitude: float
+    period: float
+    mean: float = 0.0
+    phase: float = 0.0
+    noise: float = 0.0
+    seed: int = 0
+
+    def sample(self, t):
+        value = self.mean + self.amplitude * math.sin(
+            2 * math.pi * t / self.period + self.phase
+        )
+        if self.noise:
+            value += self.noise * _hash_noise(self.seed, t)
+        return value
+
+
+@dataclass
+class Ramp(Behavior):
+    """Linear ramp clamped to [minimum, maximum] (e.g. warm-up curves)."""
+
+    rate: float
+    start: float = 0.0
+    minimum: float = -math.inf
+    maximum: float = math.inf
+
+    def sample(self, t):
+        return min(max(self.start + self.rate * t, self.minimum), self.maximum)
+
+
+@dataclass
+class Sawtooth(Behavior):
+    """Repeating ramp, e.g. a wiper position sweeping 0..amplitude."""
+
+    amplitude: float
+    period: float
+    minimum: float = 0.0
+
+    def sample(self, t):
+        frac = (t % self.period) / self.period
+        # Up-down triangle so the value is continuous like a real wiper.
+        frac = 2 * frac if frac < 0.5 else 2 * (1 - frac)
+        return self.minimum + self.amplitude * frac
+
+
+@dataclass
+class RandomWalk(Behavior):
+    """Bounded random walk (e.g. vehicle speed), seeded and stateful."""
+
+    step: float
+    seed: int
+    start: float = 0.0
+    minimum: float = -math.inf
+    maximum: float = math.inf
+
+    def __post_init__(self):
+        self.reset()
+
+    def reset(self):
+        self._rng = np.random.default_rng(self.seed)
+        self._value = self.start
+
+    def sample(self, t):
+        self._value += float(self._rng.normal(0.0, self.step))
+        self._value = min(max(self._value, self.minimum), self.maximum)
+        return self._value
+
+
+@dataclass
+class Toggle(Behavior):
+    """Binary signal flipping between two labels with a fixed period."""
+
+    period: float
+    on_value: object = "ON"
+    off_value: object = "OFF"
+    duty: float = 0.5
+
+    def sample(self, t):
+        return (
+            self.on_value
+            if (t % self.period) < self.duty * self.period
+            else self.off_value
+        )
+
+
+@dataclass
+class OrdinalSteps(Behavior):
+    """Slowly stepping ordered levels (e.g. heater low/medium/high).
+
+    The level follows a deterministic up-down staircase with ``dwell``
+    seconds per level, optionally with seeded jitter in dwell times.
+    """
+
+    levels: tuple
+    dwell: float
+    seed: int = 0
+
+    def sample(self, t):
+        n = len(self.levels)
+        if n == 1:
+            return self.levels[0]
+        cycle = 2 * (n - 1)
+        step = int(t // self.dwell) % cycle
+        index = step if step < n else cycle - step
+        return self.levels[index]
+
+
+@dataclass
+class StateMachine(Behavior):
+    """Nominal signal driven by a seeded Markov chain over named states.
+
+    ``transitions`` maps each state to a tuple of (next_state, weight)
+    pairs. The machine re-evaluates after ``dwell`` seconds of simulated
+    time, making output a pure function of the sampling schedule + seed.
+    """
+
+    states: tuple
+    transitions: dict
+    dwell: float
+    seed: int = 0
+    initial: str = None
+
+    def __post_init__(self):
+        for state in self.states:
+            if state not in self.transitions:
+                raise ValueError(
+                    "state {!r} has no transition row".format(state)
+                )
+        self.reset()
+
+    def reset(self):
+        self._rng = np.random.default_rng(self.seed)
+        self._state = self.initial if self.initial is not None else self.states[0]
+        self._next_change = self.dwell
+
+    def sample(self, t):
+        while t >= self._next_change:
+            choices = self.transitions[self._state]
+            names = [c[0] for c in choices]
+            weights = np.array([c[1] for c in choices], dtype=float)
+            weights /= weights.sum()
+            self._state = str(self._rng.choice(names, p=weights))
+            self._next_change += self.dwell
+        return self._state
+
+
+@dataclass
+class EventPulse(Behavior):
+    """Value that is ``active`` during configured [start, end) windows."""
+
+    windows: tuple  # ((start, end), ...)
+    active: object = "ON"
+    idle: object = "OFF"
+
+    def sample(self, t):
+        for start, end in self.windows:
+            if start <= t < end:
+                return self.active
+        return self.idle
+
+
+@dataclass
+class ValidityFlag(Behavior):
+    """Validity signal: mostly 'valid' with seeded invalid bursts.
+
+    Models the paper's affiliation-V signals (message/signal/object
+    invalid) used by the β and γ branch splits.
+    """
+
+    invalid_rate: float
+    seed: int = 0
+    valid_value: object = "valid"
+    invalid_value: object = "invalid"
+
+    def sample(self, t):
+        return (
+            self.invalid_value
+            if _hash_uniform(self.seed, t) < self.invalid_rate
+            else self.valid_value
+        )
+
+
+@dataclass
+class OutlierInjector(Behavior):
+    """Wrap a numeric behaviour, rarely replacing values with outliers.
+
+    Used to plant the "potential errors" the α branch must peel off and
+    merge back (Algorithm 1 lines 16-18) and the outlier row of Table 4.
+    """
+
+    inner: Behavior
+    rate: float
+    magnitude: float
+    seed: int = 0
+
+    def sample(self, t):
+        value = self.inner.sample(t)
+        if _hash_uniform(self.seed, t) < self.rate:
+            sign = 1.0 if _hash_uniform(self.seed + 1, t) < 0.5 else -1.0
+            return value + sign * self.magnitude
+        return value
+
+    def reset(self):
+        self.inner.reset()
+
+
+@dataclass
+class Occasionally(Behavior):
+    """Rarely replace the inner behaviour's value with a fixed one.
+
+    Used to sprinkle validity values ('invalid') into ordinal/nominal
+    streams, exercising the functional/validity splits of the β and γ
+    branches.
+    """
+
+    inner: Behavior
+    replacement: object
+    rate: float
+    seed: int = 0
+
+    def sample(self, t):
+        if _hash_uniform(self.seed + 0x51A5, t) < self.rate:
+            return self.replacement
+        return self.inner.sample(t)
+
+    def reset(self):
+        self.inner.reset()
+
+
+@dataclass
+class Quantized(Behavior):
+    """Quantize an inner numeric behaviour to a step (sensor resolution)."""
+
+    inner: Behavior
+    step: float
+
+    def sample(self, t):
+        return round(self.inner.sample(t) / self.step) * self.step
+
+    def reset(self):
+        self.inner.reset()
+
+
+@dataclass
+class Derived(Behavior):
+    """A signal computed from another behaviour's value (picklable func)."""
+
+    inner: Behavior
+    func: object
+
+    def sample(self, t):
+        return self.func(self.inner.sample(t))
+
+    def reset(self):
+        self.inner.reset()
+
+
+def _hash_noise(seed, t):
+    """Deterministic standard-normal-ish noise from (seed, t)."""
+    u = _hash_uniform(seed, t)
+    v = _hash_uniform(seed + 0x9E3779B9, t)
+    # Box-Muller; clamp u away from 0 to avoid log(0).
+    u = max(u, 1e-12)
+    return math.sqrt(-2.0 * math.log(u)) * math.cos(2 * math.pi * v)
+
+
+def _hash_uniform(seed, t):
+    """Deterministic uniform(0,1) from (seed, t) via integer mixing."""
+    x = (hash((int(seed), round(float(t) * 1e6))) & 0xFFFFFFFFFFFF) + 1
+    x = (x * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+    return (x >> 16) / float(1 << 48)

@@ -1,0 +1,154 @@
+"""Channel (bus) models with arbitration.
+
+Buses take the frames their ECUs want to send and produce the frames a
+monitoring device actually observes. CAN/LIN use priority arbitration
+with a per-frame transmission time; FlexRay snaps frames onto its
+slot/cycle TDMA grid and stamps cycle counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.protocols import flexray
+
+#: Default bit rates used to derive frame transmission times.
+CAN_BITRATE = 500_000.0
+LIN_BITRATE = 19_200.0
+ETH_BITRATE = 100_000_000.0
+
+
+class BusError(ValueError):
+    """Raised for bus configuration problems."""
+
+
+def can_frame_time(dlc, bitrate=CAN_BITRATE):
+    """Approximate classic CAN frame duration: 47 framing + 8*DLC bits,
+    plus a worst-case stuffing allowance."""
+    bits = 47 + 8 * dlc
+    bits += (34 + 8 * dlc - 1) // 4  # stuff bits upper bound
+    return bits / bitrate
+
+
+def lin_frame_time(length, bitrate=LIN_BITRATE):
+    """LIN frame duration: header (34 bits) + (length+1) response bytes
+    of 10 bits each, plus the nominal 40% inter-byte allowance."""
+    bits = 34 + 10 * (length + 1)
+    return 1.4 * bits / bitrate
+
+
+@dataclass
+class PriorityBus:
+    """Event-triggered bus (CAN or LIN master schedule simplification).
+
+    Frames competing for the medium are serialized: within a busy period
+    the lowest message id (highest CAN priority) wins arbitration and
+    later frames are delayed until the medium is free.
+    """
+
+    channel: str
+    frame_time: object  # callable payload_length -> seconds
+    max_queue_delay: float = 0.050
+
+    def arbitrate(self, frames):
+        """Serialize *frames* (any order) into observed frames."""
+        pending = sorted(frames, key=lambda f: (f.timestamp, f.message_id))
+        out = []
+        busy_until = 0.0
+        for frame in pending:
+            start = max(frame.timestamp, busy_until)
+            if start - frame.timestamp > self.max_queue_delay:
+                # Overloaded bus: the frame is lost (never observed). Real
+                # controllers would retry; trace-wise this shows up as a
+                # cycle-time violation, which the framework must surface.
+                continue
+            duration = self.frame_time(len(frame.payload))
+            busy_until = start + duration
+            observed = dataclasses.replace(frame, timestamp=start + duration)
+            out.append(observed)
+        return out
+
+
+def can_bus(channel, bitrate=CAN_BITRATE):
+    return PriorityBus(channel, _CanFrameTime(bitrate))
+
+
+def lin_bus(channel, bitrate=LIN_BITRATE):
+    return PriorityBus(channel, _LinFrameTime(bitrate))
+
+
+@dataclass(frozen=True)
+class _CanFrameTime:
+    bitrate: float
+
+    def __call__(self, length):
+        return can_frame_time(length, self.bitrate)
+
+
+@dataclass(frozen=True)
+class _LinFrameTime:
+    bitrate: float
+
+    def __call__(self, length):
+        return lin_frame_time(length, self.bitrate)
+
+
+@dataclass
+class EthernetBus:
+    """Switched Ethernet carrying SOME/IP: no arbitration, store-and-
+    forward latency per frame."""
+
+    channel: str
+    latency: float = 0.0002
+
+    def arbitrate(self, frames):
+        out = [
+            dataclasses.replace(f, timestamp=f.timestamp + self.latency)
+            for f in frames
+        ]
+        out.sort(key=lambda f: f.timestamp)
+        return out
+
+
+@dataclass
+class FlexRayBus:
+    """Time-triggered bus: frames snap onto the slot/cycle TDMA grid.
+
+    Each 64-cycle round consists of ``cycle_length`` seconds per cycle
+    divided into equal static slots. A frame for slot *s* requested at
+    time *t* is transmitted at the next occurrence of slot *s*.
+    """
+
+    channel: str
+    cycle_length: float = 0.005
+    num_slots: int = 64
+    slot_assignment: dict = field(default_factory=dict)  # m_id -> slot
+
+    def arbitrate(self, frames):
+        out = []
+        occupied = set()
+        for frame in sorted(frames, key=lambda f: f.timestamp):
+            slot = self.slot_assignment.get(frame.message_id, frame.message_id)
+            if not 1 <= slot <= self.num_slots:
+                raise BusError(
+                    "slot {} outside schedule of {} slots".format(
+                        slot, self.num_slots
+                    )
+                )
+            slot_offset = (slot - 1) * self.cycle_length / self.num_slots
+            cycle_index = int(
+                max(frame.timestamp - slot_offset, 0.0) / self.cycle_length
+            )
+            while (cycle_index * self.cycle_length + slot_offset) < frame.timestamp or (
+                cycle_index,
+                slot,
+            ) in occupied:
+                cycle_index += 1
+            occupied.add((cycle_index, slot))
+            send_time = cycle_index * self.cycle_length + slot_offset
+            fr = flexray.frame_from_record(frame)
+            stamped = dataclasses.replace(fr, cycle=cycle_index % 64)
+            out.append(stamped.to_frame(send_time, self.channel))
+        out.sort(key=lambda f: f.timestamp)
+        return out

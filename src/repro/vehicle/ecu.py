@@ -1,0 +1,139 @@
+"""Electronic Control Unit model.
+
+An ECU owns a set of *transmissions*: (message definition, behaviour per
+signal, schedule). Given a duration it deterministically produces the
+protocol frames it would put on its channels; the bus layer then
+arbitrates and the recorder timestamps them into the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocols import can, flexray, lin, someip
+from repro.vehicle.schedules import Cyclic, OnChange
+
+
+class EcuError(ValueError):
+    """Raised for inconsistent ECU configuration."""
+
+
+@dataclass
+class Transmission:
+    """One message an ECU sends, with its value sources and schedule."""
+
+    message: object  # MessageDefinition
+    behaviors: dict  # signal name -> Behavior
+    schedule: object  # Cyclic or OnChange
+
+    def __post_init__(self):
+        known = set(self.message.signal_names())
+        unknown = set(self.behaviors) - known
+        if unknown:
+            raise EcuError(
+                "behaviors for signals not in message {!r}: {}".format(
+                    self.message.name, sorted(unknown)
+                )
+            )
+
+
+@dataclass
+class Ecu:
+    """An ECU with a name and its transmissions."""
+
+    name: str
+    transmissions: list = field(default_factory=list)
+
+    def add_transmission(self, message, behaviors, schedule):
+        self.transmissions.append(Transmission(message, behaviors, schedule))
+        return self
+
+    def generate_frames(self, duration):
+        """All frames this ECU sends within [0, duration), time-ordered."""
+        frames = []
+        for tx in self.transmissions:
+            frames.extend(_frames_for_transmission(tx, duration))
+        frames.sort(key=lambda f: f.timestamp)
+        return frames
+
+
+def _frames_for_transmission(tx, duration):
+    for behavior in tx.behaviors.values():
+        behavior.reset()
+    if isinstance(tx.schedule, Cyclic):
+        send_times = tx.schedule.send_times(duration)
+        sampled = [
+            (t, _sample_values(tx.behaviors, t)) for t in send_times
+        ]
+    elif isinstance(tx.schedule, OnChange):
+        sampled = _on_change_samples(tx, duration)
+    else:
+        raise EcuError(
+            "unknown schedule type {!r}".format(type(tx.schedule).__name__)
+        )
+    frames = []
+    session = 1
+    for t, values in sampled:
+        payload = tx.message.encode(values)
+        frames.append(_wrap_payload(tx.message, payload, t, session))
+        session = (session + 1) & 0xFFFF or 1
+    return frames
+
+
+def _sample_values(behaviors, t):
+    return {name: behavior.sample(t) for name, behavior in behaviors.items()}
+
+
+def _on_change_samples(tx, duration):
+    schedule = tx.schedule
+    sampled = []
+    last_values = None
+    last_send = None
+    for t in schedule.poll_times(duration):
+        values = _sample_values(tx.behaviors, t)
+        changed = values != last_values
+        heartbeat_due = (
+            schedule.heartbeat is not None
+            and last_send is not None
+            and t - last_send >= schedule.heartbeat
+        )
+        if not changed and not heartbeat_due:
+            continue
+        if (
+            changed
+            and last_send is not None
+            and t - last_send < schedule.min_gap
+        ):
+            continue
+        sampled.append((t, values))
+        last_values = values
+        last_send = t
+    return sampled
+
+
+def _wrap_payload(message, payload, t, session):
+    """Build the protocol-correct frame for a message's payload."""
+    if message.protocol == "CAN":
+        extended = message.message_id > can.STANDARD_ID_MAX
+        return can.CanFrame(message.message_id, payload, extended).to_frame(
+            t, message.channel
+        )
+    if message.protocol == "LIN":
+        return lin.LinFrame(message.message_id, payload).to_frame(
+            t, message.channel
+        )
+    if message.protocol == "SOMEIP":
+        service_id, method_id = someip.split_message_id(message.message_id)
+        msg = someip.SomeIpMessage(
+            service_id, method_id, payload, session_id=session
+        )
+        return msg.to_frame(t, message.channel)
+    if message.protocol == "FLEXRAY":
+        # Cycle counter is assigned by the FlexRay bus scheduler; use a
+        # placeholder here, padded to an even byte count.
+        if len(payload) % 2:
+            payload = payload + b"\x00"
+        return flexray.FlexRayFrame(message.message_id, 0, payload).to_frame(
+            t, message.channel
+        )
+    raise EcuError("unknown protocol {!r}".format(message.protocol))

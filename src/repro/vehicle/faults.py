@@ -1,0 +1,244 @@
+"""Fault injection for recorded traces.
+
+The paper's motivation is data-driven verification: finding faults in
+massive traces. This module injects the canonical in-vehicle fault
+classes into recorded frame streams, so the pipeline's detection paths
+(outlier isolation, cycle-time violations, validity splits, CRC checks)
+can be exercised and measured against known ground truth.
+
+All injectors are deterministic (seeded) and operate on frame lists, so
+they compose: ``inject(frames, [StuckSignal(...), MessageDropout(...)])``.
+Each returns the modified frames plus a ground-truth log of what was
+injected where.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class FaultError(ValueError):
+    """Raised for invalid fault configuration."""
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """Ground truth: one injected fault occurrence."""
+
+    fault: str
+    timestamp: float
+    channel: str
+    message_id: int
+    detail: str = ""
+
+
+class FaultModel:
+    """Base class: ``apply(frames, rng)`` -> (frames, [InjectionEvent])."""
+
+    def apply(self, frames, rng):
+        raise NotImplementedError
+
+
+@dataclass
+class MessageDropout(FaultModel):
+    """Drop whole bursts of one message type (ECU brown-out).
+
+    Creates the cycle-time violations the extension rules must locate.
+    """
+
+    channel: str
+    message_id: int
+    burst_length: int = 5
+    num_bursts: int = 2
+
+    def __post_init__(self):
+        if self.burst_length < 1 or self.num_bursts < 1:
+            raise FaultError("burst_length and num_bursts must be >= 1")
+
+    def apply(self, frames, rng):
+        indices = [
+            i
+            for i, f in enumerate(frames)
+            if f.channel == self.channel and f.message_id == self.message_id
+        ]
+        if len(indices) <= self.burst_length:
+            return list(frames), []
+        events = []
+        dropped = set()
+        for _burst in range(self.num_bursts):
+            start = int(rng.integers(0, len(indices) - self.burst_length))
+            burst = indices[start : start + self.burst_length]
+            dropped.update(burst)
+            events.append(
+                InjectionEvent(
+                    "dropout",
+                    frames[burst[0]].timestamp,
+                    self.channel,
+                    self.message_id,
+                    detail="{} frames".format(len(burst)),
+                )
+            )
+        out = [f for i, f in enumerate(frames) if i not in dropped]
+        return out, events
+
+
+@dataclass
+class StuckSignal(FaultModel):
+    """Freeze a message's payload for a time window (stuck sensor).
+
+    The unchanged-value reduction collapses the stuck period to almost
+    nothing -- which is itself the detectable signature (a signal that
+    "never changes" for far longer than usual).
+    """
+
+    channel: str
+    message_id: int
+    start: float
+    duration: float
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise FaultError("duration must be positive")
+
+    def apply(self, frames, rng):
+        out = []
+        frozen_payload = None
+        events = []
+        end = self.start + self.duration
+        for frame in frames:
+            if (
+                frame.channel == self.channel
+                and frame.message_id == self.message_id
+                and self.start <= frame.timestamp < end
+            ):
+                if frozen_payload is None:
+                    frozen_payload = frame.payload
+                    events.append(
+                        InjectionEvent(
+                            "stuck",
+                            frame.timestamp,
+                            self.channel,
+                            self.message_id,
+                            detail="until {:.3f}s".format(end),
+                        )
+                    )
+                frame = dataclasses.replace(frame, payload=frozen_payload)
+            out.append(frame)
+        return out, events
+
+
+@dataclass
+class PayloadCorruption(FaultModel):
+    """Flip random payload bits in a fraction of one message's frames.
+
+    Corrupted frames keep their recorded header CRC, so protocol-level
+    validation (``can.frame_from_record``) detects them -- and value-level
+    analysis sees outliers.
+    """
+
+    channel: str
+    message_id: int
+    rate: float = 0.01
+
+    def __post_init__(self):
+        if not 0 < self.rate <= 1:
+            raise FaultError("rate must be in (0, 1]")
+
+    def apply(self, frames, rng):
+        out = []
+        events = []
+        for frame in frames:
+            if (
+                frame.channel == self.channel
+                and frame.message_id == self.message_id
+                and frame.payload
+                and rng.random() < self.rate
+            ):
+                payload = bytearray(frame.payload)
+                bit = int(rng.integers(0, len(payload) * 8))
+                payload[bit // 8] ^= 1 << (bit % 8)
+                frame = dataclasses.replace(frame, payload=bytes(payload))
+                events.append(
+                    InjectionEvent(
+                        "corruption",
+                        frame.timestamp,
+                        self.channel,
+                        self.message_id,
+                        detail="bit {}".format(bit),
+                    )
+                )
+            out.append(frame)
+        return out, events
+
+
+@dataclass
+class EcuReset(FaultModel):
+    """Silence *all* messages of a channel for a window, then resume.
+
+    Models an ECU reset: every signal of that ECU shows a simultaneous
+    gap -- the cross-signal pattern transition graphs make visible.
+    """
+
+    channel: str
+    start: float
+    duration: float
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise FaultError("duration must be positive")
+
+    def apply(self, frames, rng):
+        end = self.start + self.duration
+        out = []
+        silenced = 0
+        for frame in frames:
+            if frame.channel == self.channel and self.start <= frame.timestamp < end:
+                silenced += 1
+                continue
+            out.append(frame)
+        events = []
+        if silenced:
+            events.append(
+                InjectionEvent(
+                    "ecu_reset",
+                    self.start,
+                    self.channel,
+                    -1,
+                    detail="{} frames silenced".format(silenced),
+                )
+            )
+        return out, events
+
+
+@dataclass
+class InjectionReport:
+    """All ground-truth events of one injection run."""
+
+    events: list = field(default_factory=list)
+
+    def __len__(self):
+        return len(self.events)
+
+    def by_fault(self, fault):
+        return [e for e in self.events if e.fault == fault]
+
+    def timestamps(self, fault=None):
+        return sorted(
+            e.timestamp
+            for e in self.events
+            if fault is None or e.fault == fault
+        )
+
+
+def inject(frames, faults, seed=0):
+    """Apply *faults* in order; returns (frames, InjectionReport)."""
+    rng = np.random.default_rng(seed)
+    report = InjectionReport()
+    current = list(frames)
+    for fault in faults:
+        current, events = fault.apply(current, rng)
+        report.events.extend(events)
+    return current, report

@@ -1,0 +1,221 @@
+"""Gateway model: signal routing between channels.
+
+"When signals are forwarded through gateways they are recorded multiple
+times in the trace" (paper Sec. 4.1) -- the splitting stage exploits
+exactly this redundancy. A :class:`Gateway` forwards selected messages
+from a source channel onto a destination channel with a forwarding
+delay, producing the duplicated signal instances the equality check
+``e`` later collapses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+
+class GatewayError(ValueError):
+    """Raised for invalid routes."""
+
+
+@dataclass(frozen=True)
+class Route:
+    """Forward (src_channel, message_id) onto dst_channel.
+
+    The forwarded frame keeps payload and protocol; optionally it is
+    re-identified (``dst_message_id``), as gateways commonly remap ids.
+    """
+
+    src_channel: str
+    message_id: int
+    dst_channel: str
+    delay: float = 0.001
+    dst_message_id: int = None
+
+    def __post_init__(self):
+        if self.src_channel == self.dst_channel:
+            raise GatewayError("route must change the channel")
+        if self.delay < 0:
+            raise GatewayError("delay must be non-negative")
+
+    @property
+    def target_message_id(self):
+        return (
+            self.dst_message_id
+            if self.dst_message_id is not None
+            else self.message_id
+        )
+
+
+@dataclass(frozen=True)
+class SignalRoute:
+    """Signal-level routing: decode signals from a source message and
+    re-encode them into a differently laid-out destination message.
+
+    Real gateways repackage signals ("signals are forwarded through
+    gateways"), often into frames with different ids, byte positions
+    and cycle alignment. The *values* stay identical -- which is exactly
+    why the equality check ``e`` can still collapse the copies even
+    though the byte layouts differ.
+
+    The destination message must define every routed signal with a
+    lossless encoding for the source's value range (same scale/offset
+    granularity), or values would quantize differently and the copies
+    would legitimately diverge.
+    """
+
+    src_channel: str
+    src_message_id: int
+    signal_names: tuple
+    dst_message: object  # MessageDefinition on the destination channel
+    delay: float = 0.001
+
+    def __post_init__(self):
+        if self.dst_message.channel == self.src_channel:
+            raise GatewayError("signal route must change the channel")
+        missing = set(self.signal_names) - set(self.dst_message.signal_names())
+        if missing:
+            raise GatewayError(
+                "destination message lacks routed signals: {}".format(
+                    sorted(missing)
+                )
+            )
+        if self.delay < 0:
+            raise GatewayError("delay must be non-negative")
+
+
+@dataclass
+class SignalGateway:
+    """A gateway that repackages selected signals into new frames.
+
+    Unlike :class:`Gateway` (frame-level forwarding), this decodes the
+    routed signals using the communication database and encodes them
+    into the destination message definition -- different id, layout and
+    channel, same values.
+    """
+
+    name: str
+    database: object  # NetworkDatabase covering the source messages
+    routes: tuple = field(default_factory=tuple)
+
+    def forward(self, frames):
+        """Produce repackaged frames for all matching source frames."""
+        from repro.vehicle.ecu import _wrap_payload
+
+        by_key = {}
+        for route in self.routes:
+            by_key.setdefault(
+                (route.src_channel, route.src_message_id), []
+            ).append(route)
+        forwarded = []
+        for frame in frames:
+            routes = by_key.get((frame.channel, frame.message_id))
+            if not routes:
+                continue
+            source = self.database.message(frame.channel, frame.message_id)
+            decoded = source.decode(frame.payload)
+            for route in routes:
+                values = {
+                    name: decoded[name]
+                    for name in route.signal_names
+                    if decoded.get(name) is not None
+                }
+                if not values:
+                    continue
+                payload = route.dst_message.encode(values)
+                forwarded.append(
+                    _wrap_payload(
+                        route.dst_message,
+                        payload,
+                        frame.timestamp + route.delay,
+                        session=1,
+                    )
+                )
+        return forwarded
+
+    def extend_database(self, database):
+        """Add every route's destination message to *database*."""
+        from repro.network.database import NetworkDatabase
+
+        extra = []
+        existing = {(m.channel, m.message_id): m for m in database.messages}
+        for route in self.routes:
+            key = (route.dst_message.channel, route.dst_message.message_id)
+            if key in existing:
+                if existing[key] is route.dst_message:
+                    continue
+                raise GatewayError(
+                    "destination message id {} collides on channel "
+                    "{!r}".format(key[1], key[0])
+                )
+            extra.append(route.dst_message)
+            existing[key] = route.dst_message
+        return NetworkDatabase(database.messages + tuple(extra))
+
+
+@dataclass
+class Gateway:
+    """A gateway ECU defined by its routing table."""
+
+    name: str
+    routes: tuple = field(default_factory=tuple)
+
+    def forward(self, frames):
+        """Produce the forwarded copies for *frames* (originals untouched)."""
+        by_key = {}
+        for route in self.routes:
+            by_key.setdefault((route.src_channel, route.message_id), []).append(
+                route
+            )
+        forwarded = []
+        for frame in frames:
+            for route in by_key.get((frame.channel, frame.message_id), ()):
+                forwarded.append(
+                    dataclasses.replace(
+                        frame,
+                        timestamp=frame.timestamp + route.delay,
+                        channel=route.dst_channel,
+                        message_id=route.target_message_id,
+                    )
+                )
+        return forwarded
+
+    def extend_database(self, database):
+        """Database entries for routed copies, so ``U_rel`` covers them.
+
+        Returns a new :class:`~repro.network.database.NetworkDatabase`
+        including, per route, a clone of the source message definition on
+        the destination channel. The cloned message keeps its signal
+        layout: the gateway forwards payloads verbatim.
+        """
+        from repro.network.database import NetworkDatabase
+
+        extra = []
+        existing = {(m.channel, m.message_id): m for m in database.messages}
+        for route in self.routes:
+            source = database.message(route.src_channel, route.message_id)
+            key = (route.dst_channel, route.target_message_id)
+            if key in existing:
+                # Re-extending an already-cloned route is fine; colliding
+                # with a *different* native message would silently
+                # misinterpret forwarded payloads -- refuse that.
+                if existing[key].signals == source.signals:
+                    continue
+                raise GatewayError(
+                    "route {} -> {} collides with native message {!r} on "
+                    "{}".format(
+                        route.message_id,
+                        route.target_message_id,
+                        existing[key].name,
+                        route.dst_channel,
+                    )
+                )
+            clone = dataclasses.replace(
+                source,
+                name="{}_via_{}".format(source.name, self.name),
+                channel=route.dst_channel,
+                message_id=route.target_message_id,
+            )
+            extra.append(clone)
+            existing[key] = clone
+        return NetworkDatabase(database.messages + tuple(extra))

@@ -1,0 +1,82 @@
+"""Message send schedules.
+
+In-vehicle messages are sent either cyclically (the dominant pattern the
+paper's reduction exploits: "information is sent cyclically without
+changes") or event-driven on value changes. Schedules enumerate send
+times deterministically for a given duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vehicle.behaviors import _hash_uniform
+
+
+@dataclass(frozen=True)
+class Cyclic:
+    """Send every ``cycle_time`` seconds, with optional bounded jitter.
+
+    ``jitter`` is the maximum absolute deviation (seconds) applied
+    deterministically per send index; ``drop_rate`` occasionally skips a
+    send, modelling the cycle-time violations the paper's extensions are
+    designed to detect.
+    """
+
+    cycle_time: float
+    offset: float = 0.0
+    jitter: float = 0.0
+    drop_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.cycle_time <= 0:
+            raise ValueError("cycle_time must be positive")
+        if self.jitter < 0 or not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError("invalid jitter or drop_rate")
+
+    def send_times(self, duration):
+        times = []
+        index = 0
+        while True:
+            t = self.offset + index * self.cycle_time
+            if t >= duration:
+                break
+            if self.drop_rate and _hash_uniform(self.seed + 7, t) < self.drop_rate:
+                index += 1
+                continue
+            if self.jitter:
+                t += self.jitter * (2 * _hash_uniform(self.seed, t) - 1)
+                t = max(t, 0.0)
+            times.append(t)
+            index += 1
+        return times
+
+
+@dataclass(frozen=True)
+class OnChange:
+    """Event-driven sending: poll behaviours and send on value change.
+
+    The schedule itself only defines the poll grid; the ECU decides which
+    polls become sends by comparing sampled values. ``min_gap`` suppresses
+    sends closer than the protocol's minimum spacing; ``heartbeat``
+    forces a send after that many seconds without a change (common for
+    event-driven automotive messages).
+    """
+
+    poll_interval: float
+    offset: float = 0.0
+    min_gap: float = 0.0
+    heartbeat: float = None
+
+    def __post_init__(self):
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+
+    def poll_times(self, duration):
+        times = []
+        t = self.offset
+        while t < duration:
+            times.append(t)
+            t += self.poll_interval
+        return times

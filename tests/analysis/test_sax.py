@@ -1,0 +1,166 @@
+"""SAX: normalization, PAA, breakpoints, words and MINDIST."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import SaxEncoder, gaussian_breakpoints, paa, znormalize
+from repro.analysis.sax import SaxError, symbolize_value
+
+
+class TestBreakpoints:
+    def test_known_alphabet_3(self):
+        lo, hi = gaussian_breakpoints(3)
+        assert lo == pytest.approx(-0.4307, abs=1e-3)
+        assert hi == pytest.approx(0.4307, abs=1e-3)
+
+    def test_known_alphabet_4(self):
+        bps = gaussian_breakpoints(4)
+        assert bps[0] == pytest.approx(-0.6745, abs=1e-3)
+        assert bps[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_count_is_size_minus_one(self):
+        for size in range(2, 10):
+            assert len(gaussian_breakpoints(size)) == size - 1
+
+    def test_monotone(self):
+        bps = gaussian_breakpoints(8)
+        assert list(bps) == sorted(bps)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(SaxError):
+            gaussian_breakpoints(1)
+        with pytest.raises(SaxError):
+            gaussian_breakpoints(99)
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_std(self):
+        z = znormalize([1.0, 2.0, 3.0, 4.0])
+        assert z.mean() == pytest.approx(0.0, abs=1e-12)
+        assert z.std() == pytest.approx(1.0, abs=1e-12)
+
+    def test_constant_series_to_zeros(self):
+        assert np.all(znormalize([5.0, 5.0, 5.0]) == 0.0)
+
+    def test_empty(self):
+        assert znormalize([]).size == 0
+
+
+class TestPaa:
+    def test_divisible_lengths_average_blocks(self):
+        out = paa([1.0, 1.0, 5.0, 5.0], 2)
+        assert list(out) == [1.0, 5.0]
+
+    def test_same_length_is_identity(self):
+        out = paa([1.0, 2.0, 3.0], 3)
+        assert list(out) == [1.0, 2.0, 3.0]
+
+    def test_non_divisible_fractional_cover(self):
+        out = paa([1.0, 2.0, 3.0, 4.0, 5.0], 2)
+        # First segment covers samples 1,2 and half of 3.
+        assert out[0] == pytest.approx(1.8)
+        assert out[1] == pytest.approx(4.2)
+
+    def test_mean_preserved(self):
+        x = np.linspace(0, 10, 30)
+        assert paa(x, 7).mean() == pytest.approx(x.mean())
+
+    def test_invalid_segments_rejected(self):
+        with pytest.raises(SaxError):
+            paa([1.0], 0)
+        with pytest.raises(SaxError):
+            paa([], 2)
+
+
+class TestSymbolize:
+    def test_bins(self):
+        bps = gaussian_breakpoints(3)
+        assert symbolize_value(-2.0, bps) == 0
+        assert symbolize_value(0.0, bps) == 1
+        assert symbolize_value(2.0, bps) == 2
+
+
+class TestSaxEncoder:
+    def test_word_length_and_alphabet(self):
+        enc = SaxEncoder(alphabet_size=4, word_length=8)
+        word = enc.encode_word(np.sin(np.linspace(0, 6.28, 100)))
+        assert len(word) == 8
+        assert set(word) <= set("abcd")
+
+    def test_ramp_word_is_nondecreasing(self):
+        enc = SaxEncoder(alphabet_size=5, word_length=5)
+        word = enc.encode_word(np.linspace(0, 1, 50))
+        assert list(word) == sorted(word)
+
+    def test_encode_values_per_sample(self):
+        enc = SaxEncoder(alphabet_size=3)
+        symbols = enc.encode_values([0.0, 0.0, 100.0])
+        assert len(symbols) == 3
+        assert symbols[2] == "c"
+
+    def test_symbol_for_level_external_stats(self):
+        enc = SaxEncoder(alphabet_size=3)
+        assert enc.symbol_for_level(0.0, mean=0.0, std=1.0) == "b"
+        assert enc.symbol_for_level(5.0, mean=0.0, std=1.0) == "c"
+        assert enc.symbol_for_level(-5.0, mean=0.0, std=1.0) == "a"
+
+    def test_symbol_for_level_zero_std(self):
+        enc = SaxEncoder(alphabet_size=3)
+        assert enc.symbol_for_level(7.0, mean=7.0, std=0.0) == "b"
+
+    def test_invalid_word_length_rejected(self):
+        with pytest.raises(SaxError):
+            SaxEncoder(word_length=0)
+
+
+class TestMindist:
+    def test_identical_words_zero(self):
+        enc = SaxEncoder(alphabet_size=4, word_length=4)
+        assert enc.mindist("abcd", "abcd", 100) == 0.0
+
+    def test_adjacent_symbols_zero(self):
+        """MINDIST treats adjacent symbols as distance 0 (Lin et al.)."""
+        enc = SaxEncoder(alphabet_size=4, word_length=2)
+        assert enc.mindist("ab", "ba", 100) == 0.0
+
+    def test_distant_symbols_positive(self):
+        enc = SaxEncoder(alphabet_size=4, word_length=2)
+        assert enc.mindist("aa", "dd", 100) > 0.0
+
+    def test_symmetry(self):
+        enc = SaxEncoder(alphabet_size=5, word_length=3)
+        assert enc.mindist("ace", "eca", 60) == enc.mindist("eca", "ace", 60)
+
+    def test_length_mismatch_rejected(self):
+        enc = SaxEncoder(alphabet_size=4, word_length=2)
+        with pytest.raises(SaxError):
+            enc.mindist("ab", "abc", 10)
+
+    def test_lower_bounds_euclidean(self):
+        """MINDIST(word_a, word_b) <= Euclidean distance of the series."""
+        rng = np.random.default_rng(7)
+        enc = SaxEncoder(alphabet_size=6, word_length=8)
+        a = rng.normal(0, 1, 64)
+        b = rng.normal(0, 1, 64)
+        na, nb = znormalize(a), znormalize(b)
+        euclid = float(np.sqrt(((na - nb) ** 2).sum()))
+        bound = enc.mindist(enc.encode_word(a), enc.encode_word(b), 64)
+        assert bound <= euclid + 1e-9
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        min_size=2,
+        max_size=100,
+    ),
+    alphabet=st.integers(min_value=2, max_value=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_word_symbols_in_alphabet(values, alphabet):
+    enc = SaxEncoder(alphabet_size=alphabet, word_length=4)
+    word = enc.encode_word(values)
+    allowed = "abcdefghijklmnopqrstuvwxyz"[:alphabet]
+    assert set(word) <= set(allowed)

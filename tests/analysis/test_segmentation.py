@@ -1,0 +1,145 @@
+"""SWAB / bottom-up / sliding-window segmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Segment,
+    bottom_up,
+    fit_segment,
+    segments_cover,
+    sliding_window,
+    swab,
+)
+
+
+def piecewise_signal():
+    """Three clean linear pieces: up, flat, down."""
+    return np.concatenate(
+        [np.linspace(0, 10, 40), np.full(30, 10.0), np.linspace(10, 0, 40)]
+    )
+
+
+class TestFitSegment:
+    def test_perfect_line_zero_error(self):
+        seg = fit_segment([0.0, 1.0, 2.0, 3.0], 0, 3)
+        assert seg.error == pytest.approx(0.0, abs=1e-12)
+        assert seg.slope == pytest.approx(1.0)
+        assert seg.intercept == pytest.approx(0.0)
+
+    def test_single_point(self):
+        seg = fit_segment([5.0], 0, 0)
+        assert seg.slope == 0.0
+        assert seg.intercept == 5.0
+        assert seg.length == 1
+
+    def test_value_at_uses_local_index(self):
+        seg = fit_segment([0.0, 2.0, 4.0, 6.0], 2, 3)
+        assert seg.value_at(2) == pytest.approx(4.0)
+        assert seg.value_at(3) == pytest.approx(6.0)
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError):
+            fit_segment([], 0, -1)
+
+
+class TestBottomUp:
+    def test_recovers_three_pieces(self):
+        segments = bottom_up(piecewise_signal(), max_error=0.5)
+        assert len(segments) == 3
+        assert segments_cover(segments, 110)
+
+    def test_zero_budget_keeps_fine_segments(self):
+        noisy = np.array([0.0, 5.0, 1.0, 6.0, 2.0, 7.0])
+        segments = bottom_up(noisy, max_error=0.0)
+        assert len(segments) == 3  # initial pairs, no merge possible
+
+    def test_huge_budget_merges_to_one(self):
+        segments = bottom_up(piecewise_signal(), max_error=1e9)
+        assert len(segments) == 1
+
+    def test_empty_input(self):
+        assert bottom_up([], max_error=1.0) == []
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            bottom_up([1.0], max_error=-1)
+
+
+class TestSlidingWindow:
+    def test_recovers_pieces(self):
+        segments = sliding_window(piecewise_signal(), max_error=0.5)
+        assert segments_cover(segments, 110)
+        assert len(segments) <= 5  # may fragment slightly at breakpoints
+
+    def test_each_segment_within_budget(self):
+        values = piecewise_signal()
+        for seg in sliding_window(values, max_error=0.5):
+            if seg.length > 2:
+                assert fit_segment(values, seg.start, seg.end).error <= 0.5
+
+
+class TestSwab:
+    def test_covers_input(self):
+        values = piecewise_signal()
+        segments = swab(values, max_error=0.5)
+        assert segments_cover(segments, len(values))
+
+    def test_finds_flat_middle(self):
+        segments = swab(piecewise_signal(), max_error=0.5)
+        flat = [s for s in segments if abs(s.slope) < 0.01]
+        assert flat, "expected a near-flat segment"
+
+    def test_slopes_signs_match_shape(self):
+        segments = swab(piecewise_signal(), max_error=0.5, buffer_size=50)
+        assert segments[0].slope > 0
+        assert segments[-1].slope < 0
+
+    def test_empty_input(self):
+        assert swab([], max_error=1.0) == []
+
+    def test_short_input_single_segment(self):
+        segments = swab([1.0, 2.0], max_error=10.0)
+        assert segments_cover(segments, 2)
+
+    def test_online_matches_buffer_sizes(self):
+        """Different buffer sizes must still produce full covers."""
+        values = piecewise_signal()
+        for buffer_size in (10, 25, 60):
+            segments = swab(values, 0.5, buffer_size=buffer_size)
+            assert segments_cover(segments, len(values))
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(3, 7, 0.0, 0.0, 0.0).length == 5
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        min_size=1,
+        max_size=80,
+    ),
+    max_error=st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_swab_always_covers(values, max_error):
+    segments = swab(values, max_error)
+    assert segments_cover(segments, len(values))
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    max_error=st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_bottom_up_always_covers(values, max_error):
+    segments = bottom_up(values, max_error)
+    assert segments_cover(segments, len(values))

@@ -1,0 +1,83 @@
+"""The sequential in-house tool: Table 6's baseline properties."""
+
+import pytest
+
+from repro.baseline import InHouseError, InHouseTool
+
+
+@pytest.fixture
+def tool(wiper_simulation):
+    return InHouseTool(wiper_simulation.database)
+
+
+@pytest.fixture
+def journey(wiper_simulation):
+    return wiper_simulation.byte_records(20.0)
+
+
+class TestIngest:
+    def test_scans_every_row(self, tool, journey):
+        stats = tool.ingest(journey)
+        assert stats.rows_scanned == len(journey)
+
+    def test_interprets_all_signals_not_just_requested(self, tool, journey):
+        tool.ingest(journey)
+        # The store holds every documented signal, relevant or not.
+        assert set(tool.known_signals()) == {"wpos", "wvel", "heat", "belt"}
+
+    def test_extraction_values_match_database_truth(
+        self, tool, journey, wiper_simulation
+    ):
+        tool.ingest(journey)
+        extracted = tool.extract(["wpos"])["wpos"]
+        wiper = wiper_simulation.database.message("FC", 3)
+        truth = [
+            (t, wiper.decode(payload)["wpos"], b_id)
+            for t, payload, b_id, m_id, _mi in journey
+            if m_id == 3
+        ]
+        assert extracted == truth
+
+    def test_unknown_messages_skipped(self, tool):
+        stats = tool.ingest([(0.0, b"\x00", "XX", 0x7F0, ())])
+        assert stats.rows_scanned == 1
+        assert tool.extract(["wpos"])["wpos"] == []
+
+    def test_multiple_journeys_accumulate(self, tool, journey):
+        tool.ingest_journeys([journey, journey])
+        assert tool.stats.rows_scanned == 2 * len(journey)
+
+    def test_extract_before_ingest_raises(self, tool):
+        with pytest.raises(InHouseError):
+            tool.extract(["wpos"])
+
+    def test_clear_resets(self, tool, journey):
+        tool.ingest(journey)
+        tool.clear()
+        assert tool.stats.rows_scanned == 0
+        with pytest.raises(InHouseError):
+            tool.extract(["wpos"])
+
+
+class TestBaselineScalingProperties:
+    """The two properties Table 6's comparison rests on."""
+
+    def test_work_independent_of_extracted_signal_count(self, wiper_simulation, journey):
+        a = InHouseTool(wiper_simulation.database)
+        a.ingest(journey)
+        work_before = a.stats.signals_interpreted
+        a.extract(["wpos"])
+        a.extract(["wpos", "wvel", "heat", "belt"])
+        # extract() does no interpretation work at all.
+        assert a.stats.signals_interpreted == work_before
+
+    def test_work_linear_in_rows(self, wiper_simulation):
+        short = wiper_simulation.byte_records(10.0)
+        long = wiper_simulation.byte_records(30.0)
+        a = InHouseTool(wiper_simulation.database)
+        a.ingest(short)
+        b = InHouseTool(wiper_simulation.database)
+        b.ingest(long)
+        ratio = b.stats.signals_interpreted / a.stats.signals_interpreted
+        rows_ratio = len(long) / len(short)
+        assert ratio == pytest.approx(rows_ratio, rel=0.1)

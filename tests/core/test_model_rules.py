@@ -1,0 +1,233 @@
+"""Formal model (Sec. 2) and translation tuples / catalogs (Sec. 3.1)."""
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    ABSENT,
+    Alphabet,
+    InterpretationRule,
+    MessageInstance,
+    MessageType,
+    RuleCatalog,
+    SignalInstance,
+    SignalType,
+    TranslationTuple,
+)
+from repro.core.model import message_instances_from_k_s
+from repro.core.rules import RuleError
+from repro.protocols import SignalEncoding
+from repro.protocols.someip import ConditionalLayout, OptionalSection
+
+
+class TestSignalType:
+    def test_valid(self):
+        s = SignalType("wpos", unit="deg")
+        assert s.kind == "functional"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            SignalType("")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SignalType("x", kind="odd")
+
+
+class TestMessageType:
+    def test_paper_example(self):
+        """m' = (S', m_id=3, b_id=FC) with S' = (wpos, wvel)."""
+        m = MessageType(("wpos", "wvel"), 3, "FC")
+        assert m.carries("wpos")
+        assert not m.carries("speed")
+
+    def test_duplicate_signals_rejected(self):
+        with pytest.raises(ValueError):
+            MessageType(("a", "a"), 1, "FC")
+
+
+class TestMessageInstance:
+    def test_signal_values(self):
+        inst = MessageInstance(
+            2.0,
+            (SignalInstance(45.0, "wpos"), SignalInstance(1, "wvel")),
+            3,
+            "FC",
+        )
+        assert inst.signal_values() == {"wpos": 45.0, "wvel": 1}
+
+
+class TestAlphabet:
+    def test_membership_and_lookup(self):
+        sigma = Alphabet((SignalType("a"), SignalType("b")))
+        assert "a" in sigma
+        assert sigma.get("b").signal_id == "b"
+        assert len(sigma) == 2
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet((SignalType("a"), SignalType("a")))
+
+    def test_restrict(self):
+        sigma = Alphabet((SignalType("a"), SignalType("b"), SignalType("c")))
+        sub = sigma.restrict(["c", "a"])
+        assert sub.ids() == ("a", "c")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            Alphabet(()).get("x")
+
+
+class TestKsToKnCorrespondence:
+    def test_grouping(self):
+        rows = [
+            (2.0, 45.0, "wpos", "FC", 3),
+            (2.0, 1, "wvel", "FC", 3),
+            (2.5, 60.0, "wpos", "FC", 3),
+        ]
+        instances = message_instances_from_k_s(rows)
+        assert len(instances) == 2
+        assert instances[0].signal_values() == {"wpos": 45.0, "wvel": 1}
+
+
+class TestInterpretationRule:
+    def test_u1_extracts_relevant_bytes(self):
+        """Fig. 2: wvel lives in bytes 3-4 (0-based 2-3)."""
+        rule = InterpretationRule(SignalEncoding(16, 16))
+        assert rule.relevant_bytes() == (2, 3)
+        assert rule.extract_relevant(b"\x5a\x01\x07\x00") == b"\x07\x00"
+
+    def test_u2_evaluates_relative(self):
+        rule = InterpretationRule(SignalEncoding(16, 16))
+        assert rule.evaluate(b"\x07\x00") == 7
+
+    def test_interpret_composes(self):
+        rule = InterpretationRule(SignalEncoding(0, 16, scale=0.5))
+        payload = (90).to_bytes(2, "little") + b"\x00\x00"
+        assert rule.interpret(payload) == 45.0
+
+    def test_short_payload_raises(self):
+        rule = InterpretationRule(SignalEncoding(16, 16))
+        with pytest.raises(RuleError):
+            rule.extract_relevant(b"\x00\x01")
+
+    def test_sectioned_signal_absent(self):
+        layout = ConditionalLayout((OptionalSection(0, 2),))
+        rule = InterpretationRule(
+            SignalEncoding(0, 16), layout=layout, section_bit=0
+        )
+        assert rule.interpret(b"\x00") is ABSENT
+
+    def test_sectioned_signal_present(self):
+        layout = ConditionalLayout((OptionalSection(0, 2),))
+        rule = InterpretationRule(
+            SignalEncoding(0, 16), layout=layout, section_bit=0
+        )
+        payload = layout.build_payload({0: (500).to_bytes(2, "little")})
+        assert rule.interpret(payload) == 500
+
+    def test_section_without_layout_rejected(self):
+        with pytest.raises(RuleError):
+            InterpretationRule(SignalEncoding(0, 8), section_bit=0)
+
+    def test_describe_mentions_rule_and_bytes(self):
+        rule = InterpretationRule(SignalEncoding(0, 16, scale=0.5))
+        text = rule.describe()
+        assert "0.5" in text and "rel.B" in text
+
+    def test_required_info_gates_presence(self):
+        """u_2 uses m_info: here the signal exists only in SOME/IP
+        notifications (message_type 2), not in error responses."""
+        rule = InterpretationRule(
+            SignalEncoding(0, 8), required_info=(("message_type", 2),)
+        )
+        payload = b"\x2a"
+        assert rule.interpret(payload, (("message_type", 2),)) == 42
+        assert rule.interpret(payload, (("message_type", 0x81),)) is ABSENT
+        assert rule.interpret(payload, ()) is ABSENT
+
+    def test_required_info_multiple_fields(self):
+        rule = InterpretationRule(
+            SignalEncoding(0, 8),
+            required_info=(("message_type", 2), ("interface_version", 1)),
+        )
+        good = (("message_type", 2), ("interface_version", 1))
+        bad = (("message_type", 2), ("interface_version", 3))
+        assert rule.interpret(b"\x07", good) == 7
+        assert rule.interpret(b"\x07", bad) is ABSENT
+
+    def test_no_required_info_ignores_m_info(self):
+        rule = InterpretationRule(SignalEncoding(0, 8))
+        assert rule.interpret(b"\x07", (("anything", 9),)) == 7
+
+    def test_rule_pickles(self):
+        rule = InterpretationRule(SignalEncoding(8, 8, scale=2.0))
+        clone = pickle.loads(pickle.dumps(rule))
+        assert clone.interpret(b"\x00\x03") == 6
+
+
+class TestRuleCatalog:
+    @pytest.fixture
+    def catalog(self):
+        return RuleCatalog(
+            (
+                TranslationTuple(
+                    "wpos", "FC", 3, InterpretationRule(SignalEncoding(0, 16, scale=0.5))
+                ),
+                TranslationTuple(
+                    "wvel", "FC", 3, InterpretationRule(SignalEncoding(16, 16))
+                ),
+                TranslationTuple(
+                    "wtype", "K-LIN", 11, InterpretationRule(SignalEncoding(0, 8, offset=2))
+                ),
+            )
+        )
+
+    def test_duplicate_tuple_rejected(self):
+        rule = InterpretationRule(SignalEncoding(0, 8))
+        with pytest.raises(RuleError):
+            RuleCatalog(
+                (
+                    TranslationTuple("a", "FC", 1, rule),
+                    TranslationTuple("a", "FC", 1, rule),
+                )
+            )
+
+    def test_select_builds_u_comb(self, catalog):
+        u_comb = catalog.select(["wpos", "wvel"])
+        assert set(u_comb.signal_ids()) == {"wpos", "wvel"}
+
+    def test_select_unknown_rejected(self, catalog):
+        with pytest.raises(RuleError):
+            catalog.select(["ghost"])
+
+    def test_preselection_keys(self, catalog):
+        assert catalog.preselection_keys() == frozenset(
+            {(3, "FC"), (11, "K-LIN")}
+        )
+
+    def test_restrict_channels(self, catalog):
+        sub = catalog.restrict_channels(["K-LIN"])
+        assert sub.signal_ids() == ("wtype",)
+
+    def test_to_table_layout(self, catalog, ctx):
+        table = catalog.to_table(ctx)
+        assert table.columns == ["s_id", "b_id", "m_id", "u_info"]
+        assert table.count() == 3
+
+    def test_get(self, catalog):
+        assert len(catalog.get("wpos")) == 1
+        with pytest.raises(KeyError):
+            catalog.get("ghost")
+
+    def test_merge(self, catalog):
+        extra = RuleCatalog(
+            (
+                TranslationTuple(
+                    "wstat", "ETH", 212, InterpretationRule(SignalEncoding(0, 8))
+                ),
+            )
+        )
+        merged = catalog.merge(extra)
+        assert len(merged) == 4

@@ -1,0 +1,147 @@
+"""Declarative parameterization documents (core.params)."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    CycleViolationExtension,
+    GapExtension,
+    MinimumGap,
+    RollingAggregateExtension,
+    UnchangedValue,
+    UnchangedWithinCycle,
+    ValueInSet,
+)
+from repro.core.params import (
+    ParameterizationError,
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+
+
+@pytest.fixture
+def document():
+    return {
+        "signals": ["wpos", "wvel", "heat"],
+        "constraints": [
+            {
+                "signal": "wvel",
+                "type": "unchanged_within_cycle",
+                "cycle_time": 0.1,
+                "tolerance": 2.0,
+            },
+            {"signal": "heat", "type": "unchanged"},
+            {"signal": "wpos", "type": "minimum_gap", "min_gap": 0.5},
+            {"signal": "heat", "type": "value_in_set", "values": ["off"]},
+        ],
+        "extensions": [
+            {"signal": "wpos", "type": "gap"},
+            {
+                "signal": "wvel",
+                "type": "cycle_violation",
+                "expected_cycle": 0.1,
+                "tolerance": 1.8,
+            },
+            {
+                "signal": "wpos",
+                "type": "rolling",
+                "window": 5.0,
+                "statistic": "max",
+            },
+        ],
+        "branch": {"sax_alphabet": 5, "trend_fraction": 0.01},
+        "dedup_channels": False,
+    }
+
+
+class TestFromDict:
+    def test_catalog_selected(self, document, wiper_database):
+        config = config_from_dict(document, wiper_database)
+        assert set(config.catalog.signal_ids()) == {"wpos", "wvel", "heat"}
+
+    def test_constraints_built(self, document, wiper_database):
+        config = config_from_dict(document, wiper_database)
+        (c,) = config.constraints.for_signal("wvel")
+        assert isinstance(c.functions[0], UnchangedWithinCycle)
+        assert c.functions[0].tolerance == 2.0
+        types = {
+            type(c.functions[0])
+            for c in config.constraints
+        }
+        assert types == {
+            UnchangedWithinCycle, UnchangedValue, MinimumGap, ValueInSet,
+        }
+
+    def test_extensions_built(self, document, wiper_database):
+        config = config_from_dict(document, wiper_database)
+        types = {type(e) for e in config.extensions}
+        assert types == {
+            GapExtension, CycleViolationExtension, RollingAggregateExtension,
+        }
+
+    def test_branch_config(self, document, wiper_database):
+        config = config_from_dict(document, wiper_database)
+        assert config.branch_config.sax.alphabet_size == 5
+        assert config.branch_config.trend_fraction == 0.01
+        assert config.dedup_channels is False
+
+    def test_missing_signals_rejected(self, wiper_database):
+        with pytest.raises(ParameterizationError):
+            config_from_dict({}, wiper_database)
+
+    def test_unknown_constraint_type_rejected(self, wiper_database):
+        document = {
+            "signals": ["wpos"],
+            "constraints": [{"signal": "wpos", "type": "fancy"}],
+        }
+        with pytest.raises(ParameterizationError):
+            config_from_dict(document, wiper_database)
+
+    def test_unknown_extension_type_rejected(self, wiper_database):
+        document = {
+            "signals": ["wpos"],
+            "extensions": [{"signal": "wpos", "type": "fancy"}],
+        }
+        with pytest.raises(ParameterizationError):
+            config_from_dict(document, wiper_database)
+
+    def test_constraint_without_signal_rejected(self, wiper_database):
+        document = {
+            "signals": ["wpos"],
+            "constraints": [{"type": "unchanged"}],
+        }
+        with pytest.raises(ParameterizationError):
+            config_from_dict(document, wiper_database)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, document, wiper_database):
+        config = config_from_dict(document, wiper_database)
+        rebuilt = config_from_dict(
+            config_to_dict(config), wiper_database
+        )
+        assert config_to_dict(rebuilt) == config_to_dict(config)
+
+    def test_file_round_trip(self, document, wiper_database, tmp_path):
+        config = config_from_dict(document, wiper_database)
+        path = tmp_path / "params.json"
+        saved = save_config(config, path)
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(saved)
+        )
+        loaded = load_config(path, wiper_database)
+        assert config_to_dict(loaded) == config_to_dict(config)
+
+    def test_round_tripped_config_runs(self, document, wiper_database,
+                                        wiper_trace, tmp_path):
+        from repro.core import PreprocessingPipeline
+
+        config = config_from_dict(document, wiper_database)
+        path = tmp_path / "params.json"
+        save_config(config, path)
+        loaded = load_config(path, wiper_database)
+        result = PreprocessingPipeline(loaded).run(wiper_trace)
+        assert set(result.outcomes) == {"wpos", "wvel", "heat"}

@@ -1,0 +1,172 @@
+"""End-to-end pipeline (Algorithm 1) on the simulated wiper vehicle."""
+
+import pytest
+
+from repro.core import (
+    Constraint,
+    ConstraintSet,
+    ExtensionSet,
+    GapExtension,
+    PipelineConfig,
+    PipelineError,
+    PreprocessingPipeline,
+    RuleCatalog,
+    UnchangedWithinCycle,
+)
+
+
+@pytest.fixture
+def config(wiper_simulation):
+    db = wiper_simulation.database
+    return PipelineConfig(
+        catalog=db.translation_catalog(["wpos", "wvel", "heat", "belt"]),
+        constraints=ConstraintSet(
+            (
+                Constraint("wvel", True, (UnchangedWithinCycle(0.1),)),
+                Constraint("heat", True, (UnchangedWithinCycle(0.5),)),
+                Constraint("belt", True, (UnchangedWithinCycle(0.2),)),
+            )
+        ),
+        extensions=ExtensionSet((GapExtension("wpos"),)),
+    )
+
+
+@pytest.fixture
+def result(config, wiper_trace):
+    return PreprocessingPipeline(config).run(wiper_trace)
+
+
+class TestPipelineRun:
+    def test_all_signals_processed(self, result):
+        assert set(result.outcomes) == {"wpos", "wvel", "heat", "belt"}
+
+    def test_classification_matches_construction(self, result):
+        summary = result.classification_summary()
+        assert summary["wpos"] == ("numeric", "alpha")
+        assert summary["heat"] == ("ordinal", "beta")
+        assert summary["belt"] == ("binary", "gamma")
+        # Constant wvel is reduced to one value -> γ fallback.
+        assert summary["wvel"][1] == "gamma"
+
+    def test_gateway_dedup_found(self, result):
+        groups = result.outcomes["wpos"].groups
+        assert len(groups) == 1
+        assert set(groups[0].all_channels()) == {"FC", "BC"}
+
+    def test_reduction_compresses_constant_signal(self, result):
+        outcome = result.outcomes["wvel"]
+        assert outcome.rows_before_reduction > 100
+        assert outcome.rows_after_reduction == 1
+
+    def test_reduction_keeps_changing_signal(self, result):
+        outcome = result.outcomes["wpos"]
+        assert outcome.rows_after_reduction == outcome.rows_before_reduction
+
+    def test_r_out_layout_homogeneous(self, result):
+        assert result.r_out.columns == [
+            "t", "s_id", "b_id", "kind", "value", "trend",
+        ]
+
+    def test_extension_rows_present(self, result):
+        w = result.outcomes["wpos"].extension_table
+        assert w.count() > 0
+        gaps = [r[1] for r in w.collect()]
+        assert all(g == pytest.approx(0.1, abs=0.02) for g in gaps)
+
+    def test_timings_cover_stages(self, result):
+        assert set(result.timings) >= {
+            "preselect", "interpret", "split", "reduce", "extend",
+            "branch", "merge",
+        }
+
+    def test_counts_recorded(self, result):
+        assert result.counts["k_pre"] > 0
+        assert result.counts["k_s"] > result.counts["r_out"]
+
+
+class TestStateRepresentationIntegration:
+    def test_pivot_columns(self, result):
+        rep = result.state_representation(["wpos", "heat", "belt"])
+        assert rep.columns == ("wpos", "heat", "belt")
+        assert len(rep) > 0
+
+    def test_cells_filled_after_start(self, result):
+        rep = result.state_representation(["wpos", "heat", "belt"])
+        late = [r for r in rep.rows if r[0] > 5.0]
+        assert all(None not in row[1:] for row in late)
+
+
+class TestDeterminism:
+    def test_same_trace_same_result(self, config, wiper_trace):
+        a = PreprocessingPipeline(config).run(wiper_trace)
+        b = PreprocessingPipeline(config).run(wiper_trace)
+        assert sorted(a.r_out.collect()) == sorted(b.r_out.collect())
+        assert a.classification_summary() == b.classification_summary()
+
+    def test_serial_and_parallel_agree(self, config, wiper_simulation):
+        from repro.engine import EngineContext
+
+        serial_ctx = EngineContext.serial()
+        k_b = wiper_simulation.record_table(serial_ctx, 10.0)
+        expected = sorted(
+            PreprocessingPipeline(config).run(k_b).r_out.collect()
+        )
+        with EngineContext.parallel(num_workers=2) as par_ctx:
+            k_b_par = wiper_simulation.record_table(par_ctx, 10.0)
+            actual = sorted(
+                PreprocessingPipeline(config).run(k_b_par).r_out.collect()
+            )
+        assert actual == expected
+
+
+class TestExtractSignals:
+    def test_prefix_produces_k_s(self, config, wiper_trace):
+        pipe = PreprocessingPipeline(config)
+        k_s = pipe.extract_signals(wiper_trace)
+        assert k_s.columns == ["t", "v", "s_id", "b_id"]
+        assert k_s.count() > 0
+
+    def test_dedup_can_be_disabled(self, wiper_simulation, wiper_trace):
+        db = wiper_simulation.database
+        config = PipelineConfig(
+            catalog=db.translation_catalog(["wpos"]),
+            dedup_channels=False,
+        )
+        result = PreprocessingPipeline(config).run(wiper_trace)
+        outcome = result.outcomes["wpos"]
+        assert outcome.groups == []
+        # Both channels processed: double the representative rows.
+        assert outcome.rows_before_reduction > 500
+
+
+class TestInterpretationStrategyOption:
+    def test_fused_pipeline_matches_join_pipeline(self, wiper_simulation, wiper_trace):
+        db = wiper_simulation.database
+        base = dict(catalog=db.translation_catalog(["wpos", "heat"]))
+        join_result = PreprocessingPipeline(
+            PipelineConfig(interpretation_strategy="join", **base)
+        ).run(wiper_trace)
+        fused_result = PreprocessingPipeline(
+            PipelineConfig(interpretation_strategy="fused", **base)
+        ).run(wiper_trace)
+        assert sorted(join_result.r_out.collect()) == sorted(
+            fused_result.r_out.collect()
+        )
+
+    def test_unknown_strategy_rejected(self, wiper_simulation):
+        db = wiper_simulation.database
+        with pytest.raises(PipelineError):
+            PipelineConfig(
+                catalog=db.translation_catalog(["wpos"]),
+                interpretation_strategy="magic",
+            )
+
+
+class TestValidation:
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(catalog=RuleCatalog(()))
+
+    def test_config_type_enforced(self):
+        with pytest.raises(PipelineError):
+            PreprocessingPipeline({"catalog": None})

@@ -1,0 +1,120 @@
+"""Per-signal profiling."""
+
+import pytest
+
+from repro.core import interpret, preselect
+from repro.core.profiling import profile_report, profile_signal, profile_trace
+
+
+def rows_for(times, values, s_id="s", b_id="FC"):
+    return [(t, v, s_id, b_id) for t, v in zip(times, values)]
+
+
+class TestProfileSignal:
+    def test_basic_statistics(self):
+        rows = rows_for([0.0, 0.1, 0.2, 0.3], [1.0, 1.0, 2.0, 3.0])
+        p = profile_signal(rows, "s")
+        assert p.count == 4
+        assert p.first_seen == 0.0
+        assert p.last_seen == pytest.approx(0.3)
+        assert p.distinct_values == 3
+        assert p.numeric
+        assert p.value_min == 1.0
+        assert p.value_max == 3.0
+
+    def test_rate_and_duration(self):
+        rows = rows_for([0.0, 1.0, 2.0], [1, 2, 3])
+        p = profile_signal(rows, "s")
+        assert p.duration == 2.0
+        assert p.rate == pytest.approx(1.0)
+
+    def test_median_gap(self):
+        rows = rows_for([0.0, 0.1, 0.2, 1.2], [1, 2, 3, 4])
+        p = profile_signal(rows, "s")
+        assert p.median_gap == pytest.approx(0.1)
+        assert p.suggested_cycle_time() == pytest.approx(0.1)
+
+    def test_change_ratio(self):
+        rows = rows_for([0.0, 0.1, 0.2, 0.3], [5, 5, 5, 6])
+        p = profile_signal(rows, "s")
+        assert p.change_ratio == pytest.approx(1 / 3)
+
+    def test_non_numeric_profile(self):
+        rows = rows_for([0.0, 0.5], ["ON", "OFF"])
+        p = profile_signal(rows, "s")
+        assert not p.numeric
+        assert p.value_min is None
+
+    def test_rows_sorted_internally(self):
+        rows = rows_for([0.2, 0.0, 0.1], [3, 1, 2])
+        p = profile_signal(rows, "s")
+        assert p.first_seen == 0.0
+
+    def test_classification_attached(self):
+        rows = rows_for(
+            [0.01 * i for i in range(200)], [float(i) for i in range(200)]
+        )
+        p = profile_signal(rows, "s")
+        assert p.branch == "alpha"
+
+    def test_single_instance(self):
+        p = profile_signal(rows_for([1.0], [5]), "s")
+        assert p.rate == 0.0
+        assert p.change_ratio == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_signal([], "s")
+
+    def test_channels_collected(self):
+        rows = rows_for([0.0], [1]) + rows_for([0.1], [1], b_id="BC")
+        p = profile_signal(rows, "s")
+        assert p.channels == ("BC", "FC")
+
+
+class TestProfileTrace:
+    def test_profiles_every_signal(self, ctx, wiper_simulation):
+        db = wiper_simulation.database
+        catalog = db.translation_catalog(["wpos", "heat", "belt"])
+        k_b = wiper_simulation.record_table(ctx, 20.0)
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        profiles = profile_trace(k_s)
+        assert set(profiles) == {"wpos", "heat", "belt"}
+        assert profiles["wpos"].rate > profiles["heat"].rate
+
+    def test_suggested_cycle_matches_schedule(self, ctx, wiper_simulation):
+        db = wiper_simulation.database
+        catalog = db.translation_catalog(["heat"])
+        k_b = wiper_simulation.record_table(ctx, 20.0)
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        profiles = profile_trace(k_s)
+        # Heater is sent every 0.5 s.
+        assert profiles["heat"].suggested_cycle_time() == pytest.approx(
+            0.5, abs=0.05
+        )
+
+
+class TestProfileReport:
+    def make_profiles(self):
+        rows_a = rows_for([0.0, 0.1, 0.2], [1, 2, 3], s_id="a")
+        rows_b = rows_for([0.0, 1.0], ["x", "y"], s_id="b")
+        return {
+            "a": profile_signal(rows_a, "a"),
+            "b": profile_signal(rows_b, "b"),
+        }
+
+    def test_report_contains_all_signals(self):
+        text = profile_report(self.make_profiles())
+        assert "a" in text and "b" in text
+        assert "rate/s" in text
+
+    def test_sorting_modes(self):
+        profiles = self.make_profiles()
+        by_count = profile_report(profiles, sort_by="count").splitlines()
+        assert by_count[2].startswith("a")  # 3 instances > 2
+        by_name = profile_report(profiles, sort_by="signal").splitlines()
+        assert by_name[2].startswith("a")
+
+    def test_unknown_sort_rejected(self):
+        with pytest.raises(ValueError):
+            profile_report(self.make_profiles(), sort_by="magic")

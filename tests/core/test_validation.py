@@ -1,0 +1,111 @@
+"""Parameterization validation."""
+
+import pytest
+
+from repro.core import (
+    Constraint,
+    ConstraintSet,
+    ExtensionSet,
+    GapExtension,
+    PipelineConfig,
+    UnchangedValue,
+    UnchangedWithinCycle,
+)
+from repro.core.validation import ERROR, WARNING, validate_config
+
+
+def make_config(db, signals=("wpos", "wvel"), constraints=(), extensions=(),
+                dedup=True):
+    return PipelineConfig(
+        catalog=db.translation_catalog(list(signals)),
+        constraints=ConstraintSet(tuple(constraints)),
+        extensions=ExtensionSet(tuple(extensions)),
+        dedup_channels=dedup,
+    )
+
+
+class TestCatalogCrossChecks:
+    def test_clean_config_passes(self, wiper_database):
+        config = make_config(
+            wiper_database,
+            constraints=[Constraint("wvel", True, (UnchangedWithinCycle(0.1),))],
+        )
+        result = validate_config(config, wiper_database)
+        assert result.ok()
+        assert not result.findings
+
+    def test_constraint_on_unextracted_signal_is_error(self, wiper_database):
+        config = make_config(
+            wiper_database,
+            signals=("wpos",),
+            constraints=[Constraint("heat", True, (UnchangedValue(),))],
+        )
+        result = validate_config(config)
+        assert not result.ok()
+        assert any(f.subject == "heat" for f in result.errors)
+
+    def test_extension_on_unextracted_signal_is_error(self, wiper_database):
+        config = make_config(
+            wiper_database, signals=("wpos",),
+            extensions=[GapExtension("belt")],
+        )
+        result = validate_config(config)
+        assert any(
+            f.severity == ERROR and f.subject == "belt"
+            for f in result.findings
+        )
+
+    def test_duplicate_constraints_warn(self, wiper_database):
+        config = make_config(
+            wiper_database,
+            constraints=[
+                Constraint("wvel", True, (UnchangedValue(),)),
+                Constraint("wvel", True, (UnchangedWithinCycle(0.1),)),
+            ],
+        )
+        result = validate_config(config)
+        assert result.ok()  # warnings only
+        assert any(f.severity == WARNING for f in result.findings)
+
+
+class TestDatabaseCrossChecks:
+    def test_cycle_mismatch_warns(self, wiper_database):
+        config = make_config(
+            wiper_database,
+            constraints=[
+                # Documented wiper cycle is 0.1 s; 5 s is off by 50x.
+                Constraint("wvel", True, (UnchangedWithinCycle(5.0),)),
+            ],
+        )
+        result = validate_config(config, wiper_database)
+        assert any("far from documented" in f.message for f in result.warnings)
+
+    def test_matching_cycle_silent(self, wiper_database):
+        config = make_config(
+            wiper_database,
+            constraints=[Constraint("wvel", True, (UnchangedWithinCycle(0.15),))],
+        )
+        assert not validate_config(config, wiper_database).findings
+
+    def test_dedup_disabled_with_duplicated_signals_warns(
+        self, wiper_simulation
+    ):
+        db = wiper_simulation.database  # wpos exists on FC and BC
+        config = PipelineConfig(
+            catalog=db.translation_catalog(["wpos"]),
+            dedup_channels=False,
+        )
+        result = validate_config(config, db)
+        assert any("processed repeatedly" in f.message for f in result.warnings)
+
+    def test_raise_on_error(self, wiper_database):
+        config = make_config(
+            wiper_database, signals=("wpos",),
+            constraints=[Constraint("ghost", True, (UnchangedValue(),))],
+        )
+        with pytest.raises(ValueError):
+            validate_config(config).raise_on_error()
+
+    def test_raise_on_error_passes_clean(self, wiper_database):
+        config = make_config(wiper_database)
+        validate_config(config, wiper_database).raise_on_error()

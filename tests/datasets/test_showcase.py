@@ -1,0 +1,103 @@
+"""The showcase vehicle: advanced interpretation features end to end."""
+
+import pytest
+
+from repro.core import (
+    PipelineConfig,
+    PreprocessingPipeline,
+    equality_split,
+    interpret,
+    preselect,
+)
+from repro.datasets.showcase import build_showcase
+
+
+@pytest.fixture(scope="module")
+def showcase():
+    return build_showcase()
+
+
+@pytest.fixture(scope="module")
+def trace(showcase):
+    from repro.engine import EngineContext
+
+    ctx = EngineContext.serial()
+    return ctx, showcase.record_table(ctx, 20.0).cache()
+
+
+class TestMultiplexedExtraction:
+    def test_pages_alternate(self, showcase, trace):
+        ctx, k_b = trace
+        catalog = showcase.catalog(["sus_front", "sus_rear"])
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        rows = k_s.collect()
+        front = [r for r in rows if r[2] == "sus_front"]
+        rear = [r for r in rows if r[2] == "sus_rear"]
+        assert front and rear
+        # Each frame carries exactly one page: no timestamp holds both.
+        times_front = {r[0] for r in front}
+        times_rear = {r[0] for r in rear}
+        assert not times_front & times_rear
+        # Every suspension frame yields exactly one of the two signals.
+        from repro.engine import col
+
+        suspension_frames = k_b.filter(col("m_id") == 0x310).count()
+        assert len(front) + len(rear) == suspension_frames
+
+    def test_values_plausible(self, showcase, trace):
+        _ctx, k_b = trace
+        catalog = showcase.catalog(["sus_front"])
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        values = [r[1] for r in k_s.collect()]
+        assert all(25.0 <= v <= 75.0 for v in values)
+
+
+class TestOptionalSections:
+    def test_both_optional_signals_extracted(self, showcase, trace):
+        _ctx, k_b = trace
+        catalog = showcase.catalog(list(showcase.optional_signals))
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        signals = {r[2] for r in k_s.collect()}
+        assert signals == set(showcase.optional_signals)
+
+    def test_class_labels_from_table(self, showcase, trace):
+        _ctx, k_b = trace
+        catalog = showcase.catalog(["obj_class"])
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        labels = {r[1] for r in k_s.collect()}
+        assert labels <= {"none", "car", "truck", "pedestrian"}
+        assert len(labels) >= 2
+
+
+class TestRepackedSignal:
+    def test_equality_split_matches_across_layouts(self, showcase, trace):
+        _ctx, k_b = trace
+        catalog = showcase.catalog([showcase.repacked_signal])
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        result = equality_split(k_s, showcase.repacked_signal)
+        assert len(result.groups) == 1
+        assert set(result.groups[0].all_channels()) == {"CH", "DC"}
+
+
+class TestNotificationCatalog:
+    def test_notification_rule_extracts_door(self, showcase, trace):
+        _ctx, k_b = trace
+        catalog = showcase.notification_catalog()
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        assert k_s.count() > 0
+        assert {r[2] for r in k_s.collect()} == {showcase.notification_signal}
+
+
+class TestFullPipeline:
+    def test_pipeline_handles_all_features_at_once(self, showcase, trace):
+        _ctx, k_b = trace
+        config = PipelineConfig(catalog=showcase.catalog())
+        result = PreprocessingPipeline(config).run(k_b)
+        summary = result.classification_summary()
+        assert summary["sus_front"][1] == "alpha"
+        assert summary["yaw_rate"][1] == "alpha"
+        assert summary["obj_class"][1] == "gamma"
+        rep = result.state_representation(
+            ["sus_front", "sus_rear", "obj_class", "door_open"]
+        )
+        assert len(rep) > 10

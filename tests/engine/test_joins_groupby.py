@@ -1,0 +1,201 @@
+"""Joins and grouped aggregation, including the shuffle paths."""
+
+import pytest
+
+from repro.engine import EngineContext, PlanError, SchemaError, aggregates, col
+from repro.engine.executor import BROADCAST_THRESHOLD
+
+
+@pytest.fixture
+def left(ctx):
+    return ctx.table_from_rows(
+        ["t", "m_id", "b_id"],
+        [(float(i), i % 3, "FC") for i in range(12)],
+    )
+
+
+@pytest.fixture
+def rules(ctx):
+    return ctx.table_from_rows(
+        ["m_id", "rule"], [(0, "r0"), (1, "r1")]
+    )
+
+
+class TestInnerJoin:
+    def test_matches_only(self, left, rules):
+        out = left.join(rules, on="m_id")
+        assert out.count() == 8  # m_id 0 and 1 each appear 4 times
+
+    def test_output_columns(self, left, rules):
+        out = left.join(rules, on="m_id")
+        assert out.columns == ["t", "m_id", "b_id", "rule"]
+
+    def test_multi_key_join(self, ctx):
+        a = ctx.table_from_rows(
+            ["m_id", "b_id", "x"], [(1, "FC", 10), (1, "BC", 20)]
+        )
+        b = ctx.table_from_rows(
+            ["m_id", "b_id", "y"], [(1, "FC", 99)]
+        )
+        out = a.join(b, on=["m_id", "b_id"]).collect()
+        assert out == [(1, "FC", 10, 99)]
+
+    def test_one_to_many_replication(self, ctx):
+        trace = ctx.table_from_rows(["m_id", "x"], [(1, "a"), (1, "b")])
+        catalog = ctx.table_from_rows(
+            ["m_id", "s_id"], [(1, "s1"), (1, "s2")]
+        )
+        out = trace.join(catalog, on="m_id")
+        # Every trace row replicated once per rule -- the interpretation
+        # join of Algorithm 1 line 4.
+        assert out.count() == 4
+
+
+class TestLeftJoin:
+    def test_unmatched_rows_get_none(self, left, rules):
+        out = left.join(rules, on="m_id", how="left")
+        assert out.count() == 12
+        unmatched = [r for r in out.collect() if r[1] == 2]
+        assert all(r[3] is None for r in unmatched)
+
+
+class TestJoinValidation:
+    def test_unknown_key_raises(self, left, rules):
+        with pytest.raises(SchemaError):
+            left.join(rules, on="nope")
+
+    def test_overlapping_value_columns_raise(self, ctx):
+        a = ctx.table_from_rows(["k", "v"], [(1, 2)])
+        b = ctx.table_from_rows(["k", "v"], [(1, 3)])
+        with pytest.raises(SchemaError):
+            a.join(b, on="k")
+
+    def test_unsupported_how_raises(self, left, rules):
+        with pytest.raises(PlanError):
+            left.join(rules, on="m_id", how="outer")
+
+    def test_cross_context_join_raises(self, left):
+        other = EngineContext.serial().table_from_rows(["m_id"], [(1,)])
+        with pytest.raises(PlanError):
+            left.join(other, on="m_id")
+
+
+class TestShuffleJoin:
+    def test_large_right_side_uses_shuffle(self, ctx):
+        n = BROADCAST_THRESHOLD + 10
+        a = ctx.table_from_rows(["k", "x"], [(i % 50, i) for i in range(200)])
+        b = ctx.table_from_rows(["k", "y"], [(i % 50, -i) for i in range(n)])
+        before = ctx.executor.metrics.shuffles
+        out = a.join(b, on="k")
+        expected = sum(1 for i in range(200) for j in range(n) if i % 50 == j % 50)
+        assert out.count() == expected
+        assert ctx.executor.metrics.shuffles > before
+
+    def test_small_right_side_broadcasts(self, ctx):
+        a = ctx.table_from_rows(["k"], [(i,) for i in range(10)])
+        b = ctx.table_from_rows(["k", "v"], [(1, "x")])
+        before = ctx.executor.metrics.broadcast_joins
+        a.join(b, on="k").collect()
+        assert ctx.executor.metrics.broadcast_joins == before + 1
+
+
+class TestGroupBy:
+    def test_count_per_group(self, left):
+        out = dict(
+            (k, n)
+            for k, n in left.group_by("m_id")
+            .agg(("n", aggregates.Count(), None))
+            .collect()
+        )
+        assert out == {0: 4, 1: 4, 2: 4}
+
+    def test_multiple_aggregates(self, left):
+        rows = left.group_by("m_id").agg(
+            ("n", aggregates.Count(), None),
+            ("t_max", aggregates.Max(), "t"),
+            ("t_min", aggregates.Min(), "t"),
+            ("t_sum", aggregates.Sum(), "t"),
+        )
+        row = dict((r[0], r[1:]) for r in rows.collect())[0]
+        assert row == (4, 9.0, 0.0, 18.0)
+
+    def test_mean(self, ctx):
+        t = ctx.table_from_rows(["g", "v"], [(1, 2.0), (1, 4.0)])
+        out = t.group_by("g").agg(("m", aggregates.Mean(), "v")).collect()
+        assert out == [(1, 3.0)]
+
+    def test_first_last_follow_order(self, ctx):
+        t = ctx.table_from_rows(
+            ["g", "v"], [(1, "a"), (1, "b"), (1, "c")], num_partitions=1
+        )
+        out = t.group_by("g").agg(
+            ("first", aggregates.First(), "v"),
+            ("last", aggregates.Last(), "v"),
+        )
+        assert out.collect() == [(1, "a", "c")]
+
+    def test_collect_list(self, ctx):
+        t = ctx.table_from_rows(["g", "v"], [(1, 5), (1, 7)], num_partitions=1)
+        out = t.group_by("g").agg(("vs", aggregates.CollectList(), "v"))
+        assert out.collect() == [(1, [5, 7])]
+
+    def test_count_distinct(self, ctx):
+        t = ctx.table_from_rows(["g", "v"], [(1, 5), (1, 5), (1, 7)])
+        out = t.group_by("g").agg(("d", aggregates.CountDistinct(), "v"))
+        assert out.collect() == [(1, 2)]
+
+    def test_global_aggregation_without_keys(self, left):
+        out = left.group_by().agg(("n", aggregates.Count(), None)).collect()
+        assert out == [(12,)]
+
+    def test_multi_key_grouping(self, ctx):
+        t = ctx.table_from_rows(
+            ["a", "b", "v"],
+            [(1, "x", 1), (1, "x", 2), (1, "y", 3)],
+        )
+        out = sorted(
+            t.group_by("a", "b").agg(("n", aggregates.Count(), None)).collect()
+        )
+        assert out == [(1, "x", 2), (1, "y", 1)]
+
+    def test_agg_requires_specs(self, left):
+        with pytest.raises(PlanError):
+            left.group_by("m_id").agg()
+
+    def test_unknown_group_key_raises(self, left):
+        with pytest.raises(SchemaError):
+            left.group_by("nope")
+
+    def test_results_deterministic_across_runs(self, left):
+        spec = ("n", aggregates.Count(), None)
+        a = left.group_by("m_id").agg(spec).collect()
+        b = left.group_by("m_id").agg(spec).collect()
+        assert a == b
+
+
+class TestAggregateMergeProtocol:
+    """Partial-aggregate merge must match single-pass results."""
+
+    @pytest.mark.parametrize(
+        "agg, values, expected",
+        [
+            (aggregates.Count(), [1, 2, 3], 3),
+            (aggregates.Sum(), [1, 2, 3], 6),
+            (aggregates.Min(), [3, 1, 2], 1),
+            (aggregates.Max(), [3, 1, 2], 3),
+            (aggregates.Mean(), [1.0, 2.0, 6.0], 3.0),
+            (aggregates.CountDistinct(), [1, 1, 2], 2),
+        ],
+    )
+    def test_split_merge_equals_sequential(self, agg, values, expected):
+        sequential = agg.initial()
+        for v in values:
+            sequential = agg.update(sequential, v)
+        left = agg.initial()
+        right = agg.initial()
+        for v in values[:1]:
+            left = agg.update(left, v)
+        for v in values[1:]:
+            right = agg.update(right, v)
+        merged = agg.merge(left, right)
+        assert agg.finish(merged) == agg.finish(sequential) == expected

@@ -1,0 +1,101 @@
+"""distinct / limit / explain."""
+
+import pytest
+
+from repro.engine import PlanError, col
+
+
+class TestDistinct:
+    def test_removes_exact_duplicates(self, ctx):
+        t = ctx.table_from_rows(["a", "b"], [(1, 2), (1, 2), (3, 4)])
+        assert sorted(t.distinct().collect()) == [(1, 2), (3, 4)]
+
+    def test_distinct_across_partitions(self, ctx):
+        t = ctx.table_from_rows(
+            ["x"], [(i % 5,) for i in range(100)], num_partitions=8
+        )
+        assert t.distinct().count() == 5
+
+    def test_no_duplicates_untouched(self, ctx):
+        t = ctx.table_from_rows(["x"], [(1,), (2,), (3,)])
+        assert sorted(t.distinct().collect()) == [(1,), (2,), (3,)]
+
+    def test_distinct_composes_with_filter(self, ctx):
+        t = ctx.table_from_rows(["x"], [(1,), (1,), (2,), (2,)])
+        assert t.distinct().filter(col("x") > 1).collect() == [(2,)]
+
+
+class TestLimit:
+    def test_limit_caps_rows(self, ctx):
+        t = ctx.table_from_rows(["x"], [(i,) for i in range(50)])
+        assert t.limit(10).count() == 10
+
+    def test_limit_larger_than_table(self, ctx):
+        t = ctx.table_from_rows(["x"], [(1,), (2,)])
+        assert t.limit(99).count() == 2
+
+    def test_limit_zero(self, ctx):
+        t = ctx.table_from_rows(["x"], [(1,)])
+        assert t.limit(0).count() == 0
+
+    def test_limit_preserves_order_after_sort(self, ctx):
+        t = ctx.table_from_rows(["x"], [(3,), (1,), (2,)])
+        assert t.sort("x").limit(2).collect() == [(1,), (2,)]
+
+    def test_negative_limit_rejected(self, ctx):
+        t = ctx.table_from_rows(["x"], [(1,)])
+        with pytest.raises(PlanError):
+            t.limit(-1)
+
+
+class TestDescribe:
+    def test_numeric_column_stats(self, ctx):
+        t = ctx.table_from_rows(["x"], [(1,), (2,), (3,), (2,)])
+        stats = t.describe("x")["x"]
+        assert stats["count"] == 4
+        assert stats["distinct"] == 3
+        assert stats["min"] == 1
+        assert stats["max"] == 3
+        assert stats["mean"] == 2.0
+
+    def test_null_counting(self, ctx):
+        t = ctx.table_from_rows(["x"], [(1,), (None,), (3,)])
+        stats = t.describe("x")["x"]
+        assert stats["nulls"] == 1
+        assert stats["count"] == 3
+
+    def test_string_column_has_no_numeric_stats(self, ctx):
+        t = ctx.table_from_rows(["s"], [("a",), ("b",)])
+        stats = t.describe()["s"]
+        assert "mean" not in stats
+        assert stats["distinct"] == 2
+
+    def test_mixed_column_has_no_numeric_stats(self, ctx):
+        t = ctx.table_from_rows(["v"], [(1,), ("x",)])
+        assert "mean" not in t.describe("v")["v"]
+
+    def test_all_columns_by_default(self, ctx):
+        t = ctx.table_from_rows(["a", "b"], [(1, "x")])
+        assert set(t.describe()) == {"a", "b"}
+
+
+class TestExplain:
+    def test_explain_shows_plan_structure(self, ctx):
+        trace = ctx.table_from_rows(["m_id", "v"], [(1, 2)])
+        rules = ctx.table_from_rows(["m_id", "rule"], [(1, "r")])
+        plan = (
+            trace.filter(col("v") > 0)
+            .join(rules, on="m_id")
+            .sort("v")
+            .explain()
+        )
+        assert "Sort" in plan
+        assert "Join" in plan and "how=inner" in plan
+        assert "Filter" in plan
+        assert "Source" in plan and "rows=1" in plan
+
+    def test_explain_indentation_reflects_depth(self, ctx):
+        t = ctx.table_from_rows(["x"], [(1,)]).filter(col("x") == 1)
+        lines = t.explain().splitlines()
+        assert lines[0].startswith("Filter")
+        assert lines[1].startswith("  Source")

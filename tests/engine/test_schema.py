@@ -1,0 +1,96 @@
+"""Schema construction, lookup and derivation."""
+
+import pytest
+
+from repro.engine import Schema, SchemaError
+from repro.engine.schema import ANY, FLOAT, Field
+
+
+class TestField:
+    def test_default_dtype_is_any(self):
+        assert Field("t").dtype == ANY
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Field("")
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(SchemaError):
+            Field("t", "decimal")
+
+
+class TestSchema:
+    def test_of_builds_ordered_names(self):
+        schema = Schema.of("t", "l", "b_id")
+        assert schema.names == ("t", "l", "b_id")
+
+    def test_of_with_dtypes(self):
+        schema = Schema.of("t", "n", dtypes=[FLOAT, "int"])
+        assert schema.field_for("t").dtype == FLOAT
+
+    def test_of_rejects_mismatched_dtypes(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "b", dtypes=[FLOAT])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SchemaError):
+            Schema.of("t", "t")
+
+    def test_index_of(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.index_of("b") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").index_of("z")
+
+    def test_contains(self):
+        schema = Schema.of("a", "b")
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_len_and_iter(self):
+        schema = Schema.of("a", "b", "c")
+        assert len(schema) == 3
+        assert [f.name for f in schema] == ["a", "b", "c"]
+
+    def test_select_reorders(self):
+        schema = Schema.of("a", "b", "c").select(["c", "a"])
+        assert schema.names == ("c", "a")
+
+    def test_drop(self):
+        schema = Schema.of("a", "b", "c").drop(["b"])
+        assert schema.names == ("a", "c")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").drop(["b"])
+
+    def test_append(self):
+        schema = Schema.of("a").append("b", FLOAT)
+        assert schema.names == ("a", "b")
+        assert schema.field_for("b").dtype == FLOAT
+
+    def test_append_duplicate_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").append("a")
+
+    def test_rename(self):
+        schema = Schema.of("a", "b").rename({"a": "x"})
+        assert schema.names == ("x", "b")
+
+    def test_rename_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").rename({"z": "y"})
+
+    def test_concat(self):
+        schema = Schema.of("a").concat(Schema.of("b"))
+        assert schema.names == ("a", "b")
+
+    def test_concat_with_duplicate_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").concat(Schema.of("a"))
+
+    def test_row_as_dict(self):
+        schema = Schema.of("a", "b")
+        assert schema.row_as_dict((1, 2)) == {"a": 1, "b": 2}

@@ -1,0 +1,119 @@
+"""TableStore persistence round-trips."""
+
+import pytest
+
+from repro.engine import ExecutionError, TableStore, col
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TableStore(tmp_path / "db")
+
+
+@pytest.fixture
+def table(ctx):
+    return ctx.table_from_rows(
+        ["t", "v"], [(float(i), i * i) for i in range(20)], num_partitions=4
+    )
+
+
+class TestWriteRead:
+    def test_round_trip_preserves_rows(self, store, table, ctx):
+        store.write("squares", table)
+        loaded = store.read(ctx, "squares")
+        assert sorted(loaded.collect()) == sorted(table.collect())
+
+    def test_round_trip_preserves_schema(self, store, table, ctx):
+        store.write("squares", table)
+        loaded = store.read(ctx, "squares")
+        assert loaded.columns == ["t", "v"]
+
+    def test_round_trip_preserves_partitioning(self, store, table, ctx):
+        store.write("squares", table)
+        loaded = store.read(ctx, "squares")
+        assert len(loaded.collect_partitions()) == 4
+
+    def test_manifest_reports_counts(self, store, table):
+        manifest = store.write("squares", table)
+        assert manifest["num_rows"] == 20
+        assert manifest["num_partitions"] == 4
+
+    def test_overwrite_replaces(self, store, table, ctx):
+        store.write("data", table)
+        smaller = table.filter(col("v") < 4)
+        store.write("data", smaller)
+        assert store.read(ctx, "data").count() == 2
+
+    def test_bytes_payloads_survive(self, store, ctx):
+        t = ctx.table_from_rows(["l"], [(b"\x00\xff\x10",)])
+        store.write("raw", t)
+        assert store.read(ctx, "raw").collect() == [(b"\x00\xff\x10",)]
+
+
+class TestCsv:
+    def test_round_trip_typed_values(self, ctx, tmp_path):
+        from repro.engine.storage import read_csv, write_csv
+
+        t = ctx.table_from_rows(
+            ["t", "v", "s_id"],
+            [(1.5, 10, "wpos"), (2.0, None, "wvel")],
+        )
+        path = tmp_path / "out.csv"
+        assert write_csv(t, path) == 2
+        loaded = read_csv(ctx, path)
+        assert loaded.columns == ["t", "v", "s_id"]
+        assert sorted(loaded.collect()) == [
+            (1.5, 10, "wpos"), (2.0, None, "wvel"),
+        ]
+
+    def test_header_line_present(self, ctx, tmp_path):
+        from repro.engine.storage import write_csv
+
+        t = ctx.table_from_rows(["a", "b"], [(1, 2)])
+        path = tmp_path / "x.csv"
+        write_csv(t, path)
+        assert path.read_text().splitlines()[0] == "a,b"
+
+    def test_numeric_strings_parse_back_as_numbers(self, ctx, tmp_path):
+        from repro.engine.storage import read_csv, write_csv
+
+        t = ctx.table_from_rows(["x"], [(3,), (3.5,)])
+        path = tmp_path / "n.csv"
+        write_csv(t, path)
+        values = [r[0] for r in read_csv(ctx, path).collect()]
+        assert values == [3, 3.5]
+        assert isinstance(values[0], int)
+
+    def test_empty_table(self, ctx, tmp_path):
+        from repro.engine.storage import read_csv, write_csv
+
+        t = ctx.empty_table(["a"])
+        path = tmp_path / "e.csv"
+        write_csv(t, path)
+        assert read_csv(ctx, path).count() == 0
+
+
+class TestStoreManagement:
+    def test_exists(self, store, table):
+        assert not store.exists("x")
+        store.write("x", table)
+        assert store.exists("x")
+
+    def test_list_tables_sorted(self, store, table):
+        store.write("b", table)
+        store.write("a", table)
+        assert store.list_tables() == ["a", "b"]
+
+    def test_read_missing_raises(self, store, ctx):
+        with pytest.raises(ExecutionError):
+            store.read(ctx, "ghost")
+
+    def test_delete(self, store, table, ctx):
+        store.write("x", table)
+        store.delete("x")
+        assert not store.exists("x")
+        with pytest.raises(ExecutionError):
+            store.read(ctx, "x")
+
+    def test_delete_missing_is_noop(self, store):
+        store.delete("never-existed")

@@ -1,0 +1,173 @@
+"""Table transformations and actions on the serial executor."""
+
+import pytest
+
+from repro.engine import EngineContext, PlanError, SchemaError, col
+from repro.engine.expressions import apply
+
+
+@pytest.fixture
+def table(ctx):
+    return ctx.table_from_rows(
+        ["t", "m_id", "b_id"],
+        [(float(i), i % 3, "FC" if i % 2 else "BC") for i in range(30)],
+    )
+
+
+class TestConstruction:
+    def test_from_rows_counts(self, table):
+        assert table.count() == 30
+
+    def test_from_dicts(self, ctx):
+        t = ctx.table_from_dicts(
+            [{"a": 1, "b": 2}, {"a": 3, "b": 4}], columns=["b", "a"]
+        )
+        assert t.collect() == [(2, 1), (4, 3)]
+
+    def test_from_rows_respects_partition_count(self, ctx):
+        t = ctx.table_from_rows(["x"], [(i,) for i in range(10)], num_partitions=4)
+        assert len(t.collect_partitions()) == 4
+
+    def test_empty_table(self, ctx):
+        t = ctx.empty_table(["a", "b"])
+        assert t.count() == 0
+        assert t.columns == ["a", "b"]
+
+    def test_row_width_mismatch_raises(self, ctx):
+        with pytest.raises(PlanError):
+            ctx.table_from_rows(["a", "b"], [(1,)])
+
+
+class TestNarrowOps:
+    def test_filter(self, table):
+        assert table.filter(col("m_id") == 0).count() == 10
+
+    def test_filter_chain(self, table):
+        out = table.filter(col("m_id") == 0).filter(col("b_id") == "BC")
+        assert out.count() == 5
+
+    def test_where_alias(self, table):
+        assert table.where(col("t") < 5).count() == 5
+
+    def test_select_projects_and_reorders(self, table):
+        out = table.select("b_id", "t")
+        assert out.columns == ["b_id", "t"]
+        assert out.first() == ("BC", 0.0)
+
+    def test_drop(self, table):
+        assert table.drop("m_id").columns == ["t", "b_id"]
+
+    def test_rename(self, table):
+        out = table.rename({"m_id": "message"})
+        assert out.columns == ["t", "message", "b_id"]
+        assert out.filter(col("message") == 1).count() == 10
+
+    def test_with_column_appends(self, table):
+        out = table.with_column("t2", col("t") * 2)
+        assert out.columns[-1] == "t2"
+        assert out.first()[-1] == 0.0
+
+    def test_with_column_replaces_existing(self, table):
+        out = table.with_column("t", col("t") + 100)
+        assert out.first()[0] == 100.0
+        assert out.columns == table.columns
+
+    def test_with_column_requires_expression(self, table):
+        with pytest.raises(PlanError):
+            table.with_column("x", 5)
+
+    def test_flat_map(self, ctx):
+        t = ctx.table_from_rows(["x"], [(1,), (2,)])
+        out = t.flat_map(_duplicate_row, ["x", "copy"])
+        assert sorted(out.collect()) == [(1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_map_partitions_keeps_schema_by_default(self, table):
+        out = table.map_partitions(_take_first_two)
+        assert out.columns == table.columns
+        assert out.count() <= 2 * len(table.collect_partitions())
+
+
+class TestActions:
+    def test_collect_returns_tuples(self, table):
+        rows = table.collect()
+        assert isinstance(rows[0], tuple)
+        assert len(rows) == 30
+
+    def test_to_dicts(self, table):
+        d = table.to_dicts()[0]
+        assert set(d) == {"t", "m_id", "b_id"}
+
+    def test_first_on_empty_is_none(self, ctx):
+        assert ctx.empty_table(["a"]).first() is None
+
+    def test_cache_materializes(self, table):
+        cached = table.filter(col("m_id") == 1).cache()
+        assert cached.count() == 10
+        # The cached plan is a Source, no recomputation path.
+        from repro.engine.plan import Source
+
+        assert isinstance(cached.plan, Source)
+
+    def test_column_values(self, table):
+        values = table.column_values("m_id")
+        assert sorted(set(values)) == [0, 1, 2]
+
+
+class TestUnion:
+    def test_union_concatenates(self, ctx):
+        a = ctx.table_from_rows(["x"], [(1,)])
+        b = ctx.table_from_rows(["x"], [(2,)])
+        assert sorted(a.union(b).collect()) == [(1,), (2,)]
+
+    def test_union_schema_mismatch_raises(self, ctx):
+        a = ctx.table_from_rows(["x"], [(1,)])
+        b = ctx.table_from_rows(["y"], [(2,)])
+        with pytest.raises(SchemaError):
+            a.union(b)
+
+
+class TestSort:
+    def test_sort_ascending(self, table):
+        values = [r[0] for r in table.sort("t").collect()]
+        assert values == sorted(values)
+
+    def test_sort_descending(self, table):
+        values = [r[0] for r in table.sort("t", ascending=False).collect()]
+        assert values == sorted(values, reverse=True)
+
+    def test_multi_key_sort_with_mixed_directions(self, ctx):
+        t = ctx.table_from_rows(
+            ["g", "v"], [(1, 1), (0, 5), (1, 3), (0, 2)]
+        )
+        out = t.sort(["g", "v"], ascending=[True, False]).collect()
+        assert out == [(0, 5), (0, 2), (1, 3), (1, 1)]
+
+    def test_sort_flag_mismatch_raises(self, table):
+        with pytest.raises(PlanError):
+            table.sort(["t"], ascending=[True, False])
+
+
+class TestRepartition:
+    def test_repartition_changes_partition_count(self, table):
+        assert len(table.repartition(7).collect_partitions()) == 7
+
+    def test_repartition_preserves_rows(self, table):
+        assert sorted(table.repartition(2).collect()) == sorted(table.collect())
+
+    def test_hash_repartition_groups_keys(self, table):
+        parts = table.repartition(4, keys="m_id").collect_partitions()
+        for part in parts:
+            # All rows with equal key land in the same partition.
+            keys = {r[1] for r in part}
+            for key in keys:
+                total = sum(1 for p in parts for r in p if r[1] == key)
+                local = sum(1 for r in part if r[1] == key)
+                assert total == local
+
+
+def _duplicate_row(row):
+    return [(row[0], 0), (row[0], 1)]
+
+
+def _take_first_two(rows):
+    return rows[:2]

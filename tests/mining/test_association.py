@@ -1,0 +1,146 @@
+"""Apriori and IF-THEN rule mining (Sec. 4.4)."""
+
+import pytest
+
+from repro.mining import (
+    Apriori,
+    AssociationRuleMiner,
+    Item,
+    transactions_from_states,
+)
+from repro.mining.association import MiningError
+
+
+def make_transactions():
+    """Wiper scenario: cold + wiper active implies wiper error."""
+    base = [
+        {"T": "warm", "Wiper": "off", "Error": "none"},
+        {"T": "warm", "Wiper": "on", "Error": "none"},
+        {"T": "cold", "Wiper": "off", "Error": "none"},
+    ] * 5
+    errors = [{"T": "cold", "Wiper": "on", "Error": "blocked"}] * 5
+    states = [dict(s, t=float(i)) for i, s in enumerate(base + errors)]
+    return transactions_from_states(states)
+
+
+class TestTransactions:
+    def test_time_column_excluded(self):
+        txs = transactions_from_states([{"t": 1.0, "a": "x"}])
+        assert txs == [frozenset({Item("a", "x")})]
+
+    def test_none_values_skipped(self):
+        txs = transactions_from_states([{"t": 1.0, "a": None, "b": "y"}])
+        assert txs == [frozenset({Item("b", "y")})]
+
+    def test_column_restriction(self):
+        txs = transactions_from_states(
+            [{"t": 1.0, "a": "x", "b": "y"}], columns={"a"}
+        )
+        assert txs == [frozenset({Item("a", "x")})]
+
+
+class TestApriori:
+    def test_singleton_supports(self):
+        txs = make_transactions()
+        supports = Apriori(min_support=0.2).frequent_itemsets(txs)
+        cold = frozenset({Item("T", "cold")})
+        assert supports[cold] == pytest.approx(10 / 20)
+
+    def test_min_support_prunes(self):
+        txs = make_transactions()
+        supports = Apriori(min_support=0.6).frequent_itemsets(txs)
+        assert all(s >= 0.6 for s in supports.values())
+
+    def test_pair_supports(self):
+        txs = make_transactions()
+        supports = Apriori(min_support=0.2).frequent_itemsets(txs)
+        pair = frozenset({Item("T", "cold"), Item("Wiper", "on")})
+        assert supports[pair] == pytest.approx(0.25)
+
+    def test_max_length_bounds_itemsets(self):
+        txs = make_transactions()
+        supports = Apriori(min_support=0.1, max_length=2).frequent_itemsets(txs)
+        assert max(len(s) for s in supports) <= 2
+
+    def test_empty_transactions(self):
+        assert Apriori().frequent_itemsets([]) == {}
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            Apriori(min_support=0)
+        with pytest.raises(MiningError):
+            Apriori(max_length=0)
+
+    def test_apriori_property_holds(self):
+        """Support of a superset never exceeds support of a subset."""
+        txs = make_transactions()
+        supports = Apriori(min_support=0.05).frequent_itemsets(txs)
+        for itemset, support in supports.items():
+            for item in itemset:
+                subset = itemset - {item}
+                if subset and subset in supports:
+                    assert support <= supports[subset] + 1e-12
+
+
+class TestRuleMining:
+    def test_error_rule_discovered(self):
+        """IF T=cold and Wiper=on THEN Error=blocked (the paper's example
+        pattern)."""
+        miner = AssociationRuleMiner(min_support=0.1, min_confidence=0.9)
+        rules = miner.mine_transactions(make_transactions())
+        target = [
+            r
+            for r in rules
+            if r.antecedent
+            == frozenset({Item("T", "cold"), Item("Wiper", "on")})
+            and r.consequent == frozenset({Item("Error", "blocked")})
+        ]
+        assert len(target) == 1
+        assert target[0].confidence == 1.0
+        assert target[0].lift == pytest.approx(4.0)
+
+    def test_low_confidence_rules_excluded(self):
+        miner = AssociationRuleMiner(min_support=0.1, min_confidence=0.99)
+        rules = miner.mine_transactions(make_transactions())
+        assert all(r.confidence >= 0.99 for r in rules)
+
+    def test_rules_sorted_by_confidence(self):
+        miner = AssociationRuleMiner(min_support=0.1, min_confidence=0.5)
+        rules = miner.mine_transactions(make_transactions())
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_rules_for_consequent(self):
+        miner = AssociationRuleMiner(min_support=0.1, min_confidence=0.8)
+        rules = miner.mine_transactions(make_transactions())
+        error_rules = miner.rules_for_consequent(rules, "Error", "blocked")
+        assert error_rules
+        assert all(
+            any(i.column == "Error" for i in r.consequent) for r in error_rules
+        )
+
+    def test_rule_str_format(self):
+        miner = AssociationRuleMiner(min_support=0.1, min_confidence=0.9)
+        rules = miner.mine_transactions(make_transactions())
+        assert any("IF " in str(r) and " THEN " in str(r) for r in rules)
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            AssociationRuleMiner(min_confidence=0)
+
+    def test_mine_from_state_representation(self, ctx):
+        from repro.core import KIND_NOMINAL, R_COLUMNS, build_state_representation
+
+        rows = []
+        for i in range(10):
+            rows.append((float(i), "a", "FC", KIND_NOMINAL, "x", None))
+            rows.append((float(i), "b", "FC", KIND_NOMINAL, "y", None))
+        table = ctx.table_from_rows(list(R_COLUMNS), rows)
+        rep = build_state_representation(table)
+        miner = AssociationRuleMiner(min_support=0.5, min_confidence=0.9)
+        rules = miner.mine(rep)
+        assert any(
+            r.antecedent == frozenset({Item("a", "x")})
+            and r.consequent == frozenset({Item("b", "y")})
+            for r in rules
+        )

@@ -1,0 +1,129 @@
+"""Error inspection: outliers with state context, cycle violations."""
+
+import pytest
+
+from repro.core import (
+    Constraint,
+    ConstraintSet,
+    CycleViolationExtension,
+    ExtensionSet,
+    PipelineConfig,
+    PreprocessingPipeline,
+    UnchangedWithinCycle,
+)
+from repro.mining import (
+    find_cycle_violations,
+    find_outliers,
+    summarize_findings,
+)
+from repro.network import MessageDefinition, NetworkDatabase, SignalDefinition
+from repro.protocols import SignalEncoding
+from repro.vehicle import Cyclic, Ecu, VehicleSimulation
+from repro.vehicle import behaviors as bhv
+
+
+@pytest.fixture
+def faulty_vehicle():
+    """A vehicle with planted faults: speed outliers and a dropped-cycle
+    status message."""
+    speed = SignalDefinition(
+        "speed", SignalEncoding(0, 16, scale=0.1), data_class="numeric"
+    )
+    speed_msg = MessageDefinition(
+        "SPEED", 0x10, "DC", "CAN", 2, (speed,), cycle_time=0.05
+    )
+    status = SignalDefinition(
+        "status",
+        SignalEncoding(0, 2, value_table=((0, "OFF"), (1, "ON"))),
+        data_class="binary",
+    )
+    status_msg = MessageDefinition(
+        "STATUS", 0x20, "DC", "CAN", 1, (status,), cycle_time=0.1
+    )
+    db = NetworkDatabase((speed_msg, status_msg))
+    ecu = (
+        Ecu("E")
+        .add_transmission(
+            speed_msg,
+            {
+                "speed": bhv.OutlierInjector(
+                    bhv.Sine(30.0, 20.0, mean=80.0, noise=0.3, seed=2),
+                    rate=0.005,
+                    magnitude=400.0,
+                    seed=7,
+                )
+            },
+            Cyclic(0.05, seed=4),
+        )
+        .add_transmission(
+            status_msg,
+            {"status": bhv.Toggle(10.0, "ON", "OFF")},
+            Cyclic(0.1, drop_rate=0.05, seed=5),
+        )
+    )
+    return VehicleSimulation(db, [ecu])
+
+
+@pytest.fixture
+def faulty_result(ctx, faulty_vehicle):
+    db = faulty_vehicle.database
+    config = PipelineConfig(
+        catalog=db.translation_catalog(["speed", "status"]),
+        constraints=ConstraintSet(
+            (Constraint("status", True, (UnchangedWithinCycle(0.1),)),)
+        ),
+        extensions=ExtensionSet(
+            (CycleViolationExtension("status", 0.1, tolerance=1.8),)
+        ),
+    )
+    k_b = faulty_vehicle.record_table(ctx, 60.0)
+    return PreprocessingPipeline(config).run(k_b)
+
+
+class TestFindOutliers:
+    def test_planted_outliers_found(self, faulty_result):
+        findings = find_outliers(faulty_result)
+        assert findings
+        assert all(f.signal_id == "speed" for f in findings)
+        assert all(abs(f.value) > 200 for f in findings)
+
+    def test_state_context_attached(self, faulty_result):
+        findings = find_outliers(faulty_result)
+        finding = findings[-1]
+        assert finding.state_at["t"] <= finding.timestamp
+        assert "status" in finding.state_at
+
+    def test_prior_state_chain(self, faulty_result):
+        findings = find_outliers(faulty_result, max_prior_states=2)
+        late = [f for f in findings if f.timestamp > 5.0]
+        assert late
+        assert 1 <= len(late[0].prior_states) <= 2
+        assert all(
+            s["t"] < late[0].timestamp for s in late[0].prior_states
+        )
+
+    def test_summary_lines(self, faulty_result):
+        findings = find_outliers(faulty_result)
+        lines = summarize_findings(findings)
+        assert len(lines) == len(findings)
+        assert all("outlier v=" in line for line in lines)
+
+
+class TestFindCycleViolations:
+    def test_dropped_cycles_reported(self, faulty_result):
+        violations = find_cycle_violations(faulty_result)
+        assert violations
+        assert all(v.signal_id == "status" for v in violations)
+        assert all(v.factor > 1.8 for v in violations)
+
+    def test_sorted_by_severity(self, faulty_result):
+        violations = find_cycle_violations(faulty_result)
+        factors = [v.factor for v in violations]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_no_rules_no_violations(self, ctx, faulty_vehicle):
+        db = faulty_vehicle.database
+        config = PipelineConfig(catalog=db.translation_catalog(["speed"]))
+        k_b = faulty_vehicle.record_table(ctx, 10.0)
+        result = PreprocessingPipeline(config).run(k_b)
+        assert find_cycle_violations(result) == []

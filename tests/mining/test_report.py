@@ -1,0 +1,123 @@
+"""Verification report generation."""
+
+import pytest
+
+from repro.core import (
+    Constraint,
+    ConstraintSet,
+    CycleViolationExtension,
+    ExtensionSet,
+    PipelineConfig,
+    PreprocessingPipeline,
+    UnchangedWithinCycle,
+)
+from repro.mining.report import ReportOptions, generate_report
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.engine import EngineContext
+    from repro.network import (
+        MessageDefinition,
+        NetworkDatabase,
+        SignalDefinition,
+    )
+    from repro.protocols import SignalEncoding
+    from repro.vehicle import Cyclic, Ecu, VehicleSimulation
+    from repro.vehicle import behaviors as bhv
+
+    speed = SignalDefinition("speed", SignalEncoding(0, 16, scale=0.1))
+    speed_msg = MessageDefinition(
+        "SPEED", 0x10, "DC", "CAN", 2, (speed,), cycle_time=0.05
+    )
+    mode = SignalDefinition(
+        "mode",
+        SignalEncoding(0, 2, value_table=((0, "idle"), (1, "drive"), (2, "fault"))),
+        data_class="nominal",
+    )
+    mode_msg = MessageDefinition(
+        "MODE", 0x20, "DC", "CAN", 1, (mode,), cycle_time=0.2
+    )
+    db = NetworkDatabase((speed_msg, mode_msg))
+    ecu = (
+        Ecu("E")
+        .add_transmission(
+            speed_msg,
+            {
+                "speed": bhv.OutlierInjector(
+                    bhv.Sine(30.0, 15.0, mean=90.0, noise=0.2, seed=1),
+                    rate=0.01, magnitude=300.0, seed=2,
+                )
+            },
+            Cyclic(0.05, drop_rate=0.03, seed=3),
+        )
+        .add_transmission(
+            mode_msg,
+            {
+                "mode": bhv.Occasionally(
+                    bhv.Toggle(15.0, "drive", "idle"), "fault", 0.01, seed=4
+                )
+            },
+            Cyclic(0.2, seed=5),
+        )
+    )
+    sim = VehicleSimulation(db, [ecu])
+    ctx = EngineContext.serial()
+    k_b = sim.record_table(ctx, 90.0)
+    config = PipelineConfig(
+        catalog=db.translation_catalog(["speed", "mode"]),
+        constraints=ConstraintSet(
+            (Constraint("mode", True, (UnchangedWithinCycle(0.2),)),)
+        ),
+        extensions=ExtensionSet(
+            (CycleViolationExtension("speed", 0.05, tolerance=1.8),)
+        ),
+    )
+    return PreprocessingPipeline(config).run(k_b)
+
+
+class TestGenerateReport:
+    def test_markdown_has_all_sections(self, result):
+        text = generate_report(result).to_markdown()
+        assert text.startswith("# Trace verification report")
+        for heading in (
+            "## Run summary",
+            "## Signals",
+            "## Potential errors",
+            "## Cycle-time violations",
+            "## Anomaly hot-spots",
+        ):
+            assert heading in text
+
+    def test_signal_table_lists_every_signal(self, result):
+        text = generate_report(result).to_markdown()
+        assert "| speed |" in text
+        assert "| mode |" in text
+
+    def test_outliers_reported_with_context(self, result):
+        text = generate_report(result).to_markdown()
+        assert "Potential errors (outliers):" in text
+        assert "state:" in text
+
+    def test_violations_reported(self, result):
+        text = generate_report(result).to_markdown()
+        assert "x expected cycle" in text
+
+    def test_limits_respected(self, result):
+        options = ReportOptions(max_outliers=1, max_violations=1)
+        text = generate_report(result, options=options).to_markdown()
+        assert "more" in text  # truncation notes appear
+
+    def test_custom_title(self, result):
+        report = generate_report(result, title="Journey 7")
+        assert report.to_markdown().startswith("# Journey 7")
+
+    def test_state_rows_embedding(self, result):
+        options = ReportOptions(state_rows=3)
+        text = generate_report(result, options=options).to_markdown()
+        assert "## State representation (first 3 rows)" in text
+        assert "| t |" in text
+
+    def test_rare_transitions_section_for_gamma_signals(self, result):
+        text = generate_report(result).to_markdown()
+        assert "Rare transitions" in text

@@ -1,0 +1,141 @@
+"""Transition graphs and anomaly detection (Sec. 4.4)."""
+
+import pytest
+
+from repro.core.representation import StateRepresentation
+from repro.mining import StateAnomalyDetector, TransitionGraph, state_key
+from repro.mining.anomaly import AnomalyError
+
+
+def make_states():
+    """Mostly idle<->active cycling, one rare error excursion."""
+    states = []
+    t = 0.0
+    for _round in range(10):
+        states.append({"t": t, "mode": "idle", "err": "none"})
+        states.append({"t": t + 1, "mode": "active", "err": "none"})
+        t += 2
+    states.append({"t": t, "mode": "active", "err": "blocked"})
+    states.append({"t": t + 1, "mode": "idle", "err": "none"})
+    return states
+
+
+class TestTransitionGraph:
+    def test_nodes_and_counts(self):
+        tg = TransitionGraph.from_states(make_states())
+        idle = state_key({"mode": "idle", "err": "none"}, tg.columns)
+        active = state_key({"mode": "active", "err": "none"}, tg.columns)
+        assert tg.transition_count(idle, active) == 10
+        assert tg.graph.nodes[idle]["visits"] == 11
+
+    def test_self_transitions_not_counted(self):
+        states = [{"t": 0.0, "a": "x"}, {"t": 1.0, "a": "x"}]
+        tg = TransitionGraph.from_states(states)
+        assert tg.total_transitions == 0
+
+    def test_rare_transitions_detected(self):
+        tg = TransitionGraph.from_states(make_states())
+        rare = tg.rare_transitions(max_count=1)
+        # The excursion contributes two rare edges (into and out of error).
+        assert len(rare) == 2
+        error_edges = [
+            (u, v) for u, v, _c in rare if ("err", "blocked") in u or ("err", "blocked") in v
+        ]
+        assert len(error_edges) == 2
+
+    def test_transition_probability(self):
+        tg = TransitionGraph.from_states(make_states())
+        active = state_key({"mode": "active", "err": "none"}, tg.columns)
+        error = state_key({"mode": "active", "err": "blocked"}, tg.columns)
+        p = tg.transition_probability(active, error)
+        assert p == pytest.approx(1 / 10)
+
+    def test_probability_of_unknown_source_zero(self):
+        tg = TransitionGraph.from_states(make_states())
+        ghost = (("mode", "ghost"), ("err", "none"))
+        assert tg.transition_probability(ghost, ghost) == 0.0
+
+    def test_nodes_matching(self):
+        tg = TransitionGraph.from_states(make_states())
+        assert len(tg.nodes_matching("err", "blocked")) == 1
+
+    def test_paths_to_error(self):
+        tg = TransitionGraph.from_states(make_states())
+        paths = tg.paths_to("err", "blocked", max_length=3)
+        assert paths
+        assert all(("err", "blocked") in p[-1] for p in paths)
+
+    def test_predecessors_of_error(self):
+        tg = TransitionGraph.from_states(make_states())
+        preds = tg.predecessors_of("err", "blocked")
+        assert len(preds) == 1
+        assert ("mode", "active") in preds[0][0]
+
+    def test_column_restriction(self):
+        tg = TransitionGraph.from_states(make_states(), columns=["mode"])
+        assert tg.columns == ("mode",)
+        # Only idle<->active transitions remain.
+        assert len(tg.graph.nodes) == 2
+
+    def test_from_representation(self):
+        rep = StateRepresentation(
+            ("mode",), [(0.0, "idle"), (1.0, "active"), (2.0, "idle")]
+        )
+        tg = TransitionGraph.from_representation(rep)
+        assert tg.total_transitions == 2
+
+    def test_to_dot_contains_nodes_and_edges(self):
+        tg = TransitionGraph.from_states(make_states())
+        dot = tg.to_dot()
+        assert dot.startswith("digraph")
+        assert "->" in dot
+        assert "mode=idle" in dot
+
+
+class TestAnomalyDetector:
+    def make_representation(self):
+        states = make_states()
+        columns = ("mode", "err")
+        rows = [(s["t"], s["mode"], s["err"]) for s in states]
+        return StateRepresentation(columns, rows)
+
+    def test_rare_state_found(self):
+        detector = StateAnomalyDetector(quantile=0.05, min_rows=5)
+        anomalies = detector.detect(self.make_representation())
+        assert anomalies
+        assert anomalies[0].state["err"] == "blocked"
+
+    def test_severity_ranking(self):
+        detector = StateAnomalyDetector(quantile=0.2, min_rows=5)
+        anomalies = detector.detect(self.make_representation())
+        scores = [a.score for a in anomalies]
+        assert scores == sorted(scores)
+        assert anomalies[0].severity >= anomalies[-1].severity
+
+    def test_rare_items_identify_column(self):
+        detector = StateAnomalyDetector(quantile=0.05, min_rows=5)
+        [anomaly] = detector.detect(self.make_representation())
+        rarest = anomaly.rare_items[0]
+        assert rarest[0] == "err"
+        assert rarest[1] == "blocked"
+
+    def test_too_few_rows_returns_nothing(self):
+        detector = StateAnomalyDetector(min_rows=100)
+        assert detector.detect(self.make_representation()) == []
+
+    def test_validation(self):
+        with pytest.raises(AnomalyError):
+            StateAnomalyDetector(quantile=0)
+        with pytest.raises(AnomalyError):
+            StateAnomalyDetector(min_rows=0)
+
+    def test_anomalies_convert_to_extension_rules(self):
+        detector = StateAnomalyDetector(quantile=0.05, min_rows=5)
+        anomalies = detector.detect(self.make_representation())
+        rules = detector.to_extension_rules(anomalies, "err")
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.signal_id == "err"
+        # The rule fires on recurrence of the anomalous value.
+        assert rule.func(0.0, "blocked") == 1
+        assert rule.func(0.0, "none") is None

@@ -1,0 +1,194 @@
+"""Network database: validation, payload codec, catalog derivation."""
+
+import pytest
+
+from repro.core.model import FUNCTIONAL
+from repro.network import (
+    DatabaseError,
+    MessageDefinition,
+    NetworkDatabase,
+    SignalDefinition,
+)
+from repro.protocols import SignalEncoding
+from repro.protocols.someip import ConditionalLayout, OptionalSection
+
+
+def make_signal(name, start_bit=0, bits=8, **kwargs):
+    return SignalDefinition(name, SignalEncoding(start_bit, bits), **kwargs)
+
+
+class TestSignalDefinition:
+    def test_defaults(self):
+        s = make_signal("speed")
+        assert s.kind == FUNCTIONAL
+        assert s.data_class == "numeric"
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(DatabaseError):
+            SignalDefinition("x", SignalEncoding(0, 8), kind="weird")
+
+    def test_invalid_data_class_rejected(self):
+        with pytest.raises(DatabaseError):
+            SignalDefinition("x", SignalEncoding(0, 8), data_class="complex")
+
+    def test_to_signal_type(self):
+        assert make_signal("speed", unit="km/h").to_signal_type().unit == "km/h"
+
+
+class TestMessageValidation:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(DatabaseError):
+            MessageDefinition("M", 1, "FC", "MOST", 8, ())
+
+    def test_duplicate_signal_names_rejected(self):
+        with pytest.raises(DatabaseError):
+            MessageDefinition(
+                "M", 1, "FC", "CAN", 8,
+                (make_signal("a"), make_signal("a", start_bit=8)),
+            )
+
+    def test_signal_exceeding_payload_rejected(self):
+        with pytest.raises(DatabaseError):
+            MessageDefinition("M", 1, "FC", "CAN", 1, (make_signal("a", 8, 8),))
+
+    def test_overlapping_signals_rejected(self):
+        with pytest.raises(DatabaseError):
+            MessageDefinition(
+                "M", 1, "FC", "CAN", 2,
+                (make_signal("a", 0, 8), make_signal("b", 4, 8)),
+            )
+
+    def test_sectioned_signal_requires_layout(self):
+        sectioned = SignalDefinition(
+            "x", SignalEncoding(0, 8), section_bit=0
+        )
+        with pytest.raises(DatabaseError):
+            MessageDefinition("M", 1, "ETH", "SOMEIP", 8, (sectioned,))
+
+    def test_unknown_section_bit_rejected(self):
+        layout = ConditionalLayout((OptionalSection(0, 1),))
+        sectioned = SignalDefinition(
+            "x", SignalEncoding(0, 8), section_bit=3
+        )
+        with pytest.raises(DatabaseError):
+            MessageDefinition(
+                "M", 1, "ETH", "SOMEIP", 8, (sectioned,), layout=layout
+            )
+
+
+class TestPayloadCodec:
+    MSG = MessageDefinition(
+        "M", 1, "FC", "CAN", 3,
+        (
+            make_signal("a", 0, 8),
+            SignalDefinition("b", SignalEncoding(8, 16, scale=0.25)),
+        ),
+    )
+
+    def test_encode_decode_round_trip(self):
+        payload = self.MSG.encode({"a": 10, "b": 100.25})
+        assert self.MSG.decode(payload) == {"a": 10, "b": 100.25}
+
+    def test_missing_signals_default_to_zero(self):
+        payload = self.MSG.encode({})
+        assert self.MSG.decode(payload) == {"a": 0, "b": 0}
+
+    def test_out_of_range_values_saturate(self):
+        payload = self.MSG.encode({"a": 9999, "b": 0})
+        assert self.MSG.decode(payload)["a"] == 255
+
+
+class TestConditionalPayloadCodec:
+    LAYOUT = ConditionalLayout((OptionalSection(0, 2), OptionalSection(1, 1)))
+    MSG = MessageDefinition(
+        "SRV", 0x01000001, "ETH", "SOMEIP", 8,
+        (
+            SignalDefinition("pos", SignalEncoding(0, 16), section_bit=0),
+            SignalDefinition("flag", SignalEncoding(0, 8), section_bit=1),
+        ),
+        layout=LAYOUT,
+    )
+
+    def test_both_sections_present(self):
+        payload = self.MSG.encode({"pos": 500, "flag": 7})
+        assert self.MSG.decode(payload) == {"pos": 500, "flag": 7}
+
+    def test_absent_section_decodes_to_none(self):
+        payload = self.MSG.encode({"flag": 7})
+        decoded = self.MSG.decode(payload)
+        assert decoded["pos"] is None
+        assert decoded["flag"] == 7
+
+    def test_payload_shrinks_when_sections_absent(self):
+        full = self.MSG.encode({"pos": 1, "flag": 1})
+        partial = self.MSG.encode({"flag": 1})
+        assert len(partial) < len(full)
+
+
+class TestNetworkDatabase:
+    @pytest.fixture
+    def db(self, wiper_database):
+        return wiper_database
+
+    def test_duplicate_message_key_rejected(self):
+        msg = MessageDefinition("A", 1, "FC", "CAN", 1, (make_signal("x"),))
+        clone = MessageDefinition("B", 1, "FC", "CAN", 1, (make_signal("y"),))
+        with pytest.raises(DatabaseError):
+            NetworkDatabase((msg, clone))
+
+    def test_lookup_by_channel_and_id(self, db):
+        assert db.message("FC", 3).name == "WIPER_STATUS"
+
+    def test_lookup_missing_raises(self, db):
+        with pytest.raises(KeyError):
+            db.message("FC", 999)
+
+    def test_lookup_by_name(self, db):
+        assert db.message_by_name("HEATER").channel == "K-LIN"
+
+    def test_channels_sorted(self, db):
+        assert db.channels() == ("FC", "K-LIN")
+
+    def test_alphabet_covers_all_signals(self, db):
+        assert set(db.alphabet().ids()) == {"wpos", "wvel", "heat", "belt"}
+
+    def test_signal_data_class(self, db):
+        assert db.signal_data_class("heat") == "ordinal"
+        with pytest.raises(KeyError):
+            db.signal_data_class("ghost")
+
+    def test_statistics(self, db):
+        stats = db.statistics()
+        assert stats["num_messages"] == 3
+        assert stats["num_signal_types"] == 4
+        assert stats["avg_signals_per_message"] == pytest.approx(4 / 3)
+
+
+class TestCatalogDerivation:
+    def test_full_catalog_one_tuple_per_signal_message(self, wiper_database):
+        catalog = wiper_database.translation_catalog()
+        assert len(catalog) == 4
+
+    def test_selected_catalog(self, wiper_database):
+        catalog = wiper_database.translation_catalog(["wpos", "heat"])
+        assert set(catalog.signal_ids()) == {"wpos", "heat"}
+
+    def test_unknown_signal_rejected(self, wiper_database):
+        with pytest.raises(DatabaseError):
+            wiper_database.translation_catalog(["ghost"])
+
+    def test_catalog_rules_decode_payloads(self, wiper_database):
+        msg = wiper_database.message_by_name("WIPER_STATUS")
+        payload = msg.encode({"wpos": 45.0, "wvel": 1})
+        catalog = wiper_database.translation_catalog(["wpos"])
+        (u,) = catalog.get("wpos")
+        assert u.channel_id == "FC"
+        assert u.message_id == 3
+        assert u.rule.interpret(payload) == 45.0
+
+    def test_gateway_extended_catalog_covers_both_channels(
+        self, wiper_simulation
+    ):
+        catalog = wiper_simulation.database.translation_catalog(["wpos"])
+        channels = {u.channel_id for u in catalog}
+        assert channels == {"FC", "BC"}

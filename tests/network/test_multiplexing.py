@@ -1,0 +1,150 @@
+"""CAN signal multiplexing: database, interpretation, DBC round-trip."""
+
+import pytest
+
+from repro.core import interpret, preselect
+from repro.network import (
+    DatabaseError,
+    MessageDefinition,
+    NetworkDatabase,
+    SignalDefinition,
+)
+from repro.network.dbcio import dumps_database, loads_database
+from repro.protocols import SignalEncoding
+
+
+@pytest.fixture
+def mux_message():
+    """A classic multiplexed status message: selector in byte 0, two
+    alternative signal sets sharing bytes 1-2."""
+    selector = SignalDefinition("page", SignalEncoding(0, 8))
+    front = SignalDefinition(
+        "front_height", SignalEncoding(8, 16, scale=0.1), mux_value=0
+    )
+    rear = SignalDefinition(
+        "rear_height", SignalEncoding(8, 16, scale=0.1), mux_value=1
+    )
+    always = SignalDefinition("status_ok", SignalEncoding(24, 1))
+    return MessageDefinition(
+        "SUSPENSION", 0x300, "CH", "CAN", 4,
+        (selector, front, rear, always),
+        cycle_time=0.1,
+        multiplexor="page",
+    )
+
+
+class TestValidation:
+    def test_valid_mux_message(self, mux_message):
+        assert mux_message.multiplexor == "page"
+
+    def test_mux_signals_require_multiplexor(self):
+        muxed = SignalDefinition("x", SignalEncoding(8, 8), mux_value=0)
+        with pytest.raises(DatabaseError):
+            MessageDefinition(
+                "M", 1, "CH", "CAN", 2,
+                (SignalDefinition("sel", SignalEncoding(0, 8)), muxed),
+            )
+
+    def test_multiplexor_must_be_a_signal(self):
+        with pytest.raises(DatabaseError):
+            MessageDefinition(
+                "M", 1, "CH", "CAN", 1,
+                (SignalDefinition("a", SignalEncoding(0, 8)),),
+                multiplexor="ghost",
+            )
+
+    def test_multiplexor_cannot_be_muxed(self):
+        selector = SignalDefinition(
+            "sel", SignalEncoding(0, 8), mux_value=1
+        )
+        with pytest.raises(DatabaseError):
+            MessageDefinition(
+                "M", 1, "CH", "CAN", 1, (selector,), multiplexor="sel"
+            )
+
+    def test_same_mux_value_overlap_rejected(self):
+        selector = SignalDefinition("sel", SignalEncoding(0, 8))
+        a = SignalDefinition("a", SignalEncoding(8, 8), mux_value=0)
+        b = SignalDefinition("b", SignalEncoding(12, 8), mux_value=0)
+        with pytest.raises(DatabaseError):
+            MessageDefinition(
+                "M", 1, "CH", "CAN", 3, (selector, a, b), multiplexor="sel"
+            )
+
+    def test_different_mux_values_may_overlap(self, mux_message):
+        # front_height and rear_height share bytes 1-2 legally.
+        assert mux_message.signal("front_height").mux_value == 0
+        assert mux_message.signal("rear_height").mux_value == 1
+
+
+class TestCodec:
+    def test_encode_decode_page0(self, mux_message):
+        payload = mux_message.encode(
+            {"page": 0, "front_height": 12.5, "status_ok": 1}
+        )
+        decoded = mux_message.decode(payload)
+        assert decoded["front_height"] == 12.5
+        assert decoded["rear_height"] is None  # absent on page 0
+        assert decoded["status_ok"] == 1
+
+    def test_encode_decode_page1(self, mux_message):
+        payload = mux_message.encode({"page": 1, "rear_height": 7.5})
+        decoded = mux_message.decode(payload)
+        assert decoded["rear_height"] == 7.5
+        assert decoded["front_height"] is None
+
+    def test_encode_wrong_page_rejected(self, mux_message):
+        with pytest.raises(DatabaseError):
+            mux_message.encode({"page": 1, "front_height": 3.0})
+
+
+class TestInterpretation:
+    def test_pipeline_extracts_only_matching_pages(self, ctx, mux_message):
+        db = NetworkDatabase((mux_message,))
+        catalog = db.translation_catalog(["front_height", "rear_height"])
+        rows = []
+        for i in range(10):
+            page = i % 2
+            values = {"page": page}
+            if page == 0:
+                values["front_height"] = 10.0 + i
+            else:
+                values["rear_height"] = 20.0 + i
+            rows.append(
+                (0.1 * i, mux_message.encode(values), "CH", 0x300, ())
+            )
+        k_b = ctx.table_from_rows(["t", "l", "b_id", "m_id", "m_info"], rows)
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        front = [r for r in k_s.collect() if r[2] == "front_height"]
+        rear = [r for r in k_s.collect() if r[2] == "rear_height"]
+        assert len(front) == 5
+        assert len(rear) == 5
+        assert all(10.0 <= r[1] < 20.0 for r in front)
+        assert all(20.0 <= r[1] < 30.0 for r in rear)
+
+
+class TestDbcMultiplexing:
+    def test_m_and_big_m_rendered(self, mux_message):
+        text = dumps_database(NetworkDatabase((mux_message,)))
+        assert "SG_ page M :" in text
+        assert "SG_ front_height m0 :" in text
+        assert "SG_ rear_height m1 :" in text
+        assert "SG_ status_ok :" in text
+
+    def test_round_trip_preserves_multiplexing(self, mux_message):
+        loaded = loads_database(
+            dumps_database(NetworkDatabase((mux_message,)))
+        )
+        clone = loaded.message("CH", 0x300)
+        assert clone.multiplexor == "page"
+        assert clone.signal("front_height").mux_value == 0
+        assert clone.signal("rear_height").mux_value == 1
+        assert clone.signal("status_ok").mux_value is None
+
+    def test_round_tripped_codec_equivalent(self, mux_message):
+        loaded = loads_database(
+            dumps_database(NetworkDatabase((mux_message,)))
+        )
+        clone = loaded.message("CH", 0x300)
+        payload = mux_message.encode({"page": 1, "rear_height": 5.0})
+        assert clone.decode(payload) == mux_message.decode(payload)

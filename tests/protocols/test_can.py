@@ -1,0 +1,109 @@
+"""CAN framing: ids, DLC, CRC-15 and trace record round-trips."""
+
+import pytest
+
+from repro.protocols import can
+from repro.protocols.frames import frame_from_byte_record
+
+
+class TestCanFrame:
+    def test_standard_id_accepted(self):
+        assert can.CanFrame(0x7FF, b"").can_id == 0x7FF
+
+    def test_standard_id_overflow_rejected(self):
+        with pytest.raises(can.CanError):
+            can.CanFrame(0x800, b"")
+
+    def test_extended_id_accepted(self):
+        frame = can.CanFrame(0x1FFFFFFF, b"", extended=True)
+        assert frame.extended
+
+    def test_extended_id_overflow_rejected(self):
+        with pytest.raises(can.CanError):
+            can.CanFrame(0x20000000, b"", extended=True)
+
+    def test_payload_limit(self):
+        with pytest.raises(can.CanError):
+            can.CanFrame(1, bytes(9))
+
+    def test_dlc_matches_payload(self):
+        assert can.CanFrame(1, b"\x01\x02\x03").dlc == 3
+
+
+class TestCrc15:
+    def test_crc_is_15_bits(self):
+        frame = can.CanFrame(0x123, b"\x01\x02\x03\x04")
+        assert 0 <= frame.crc() < (1 << 15)
+
+    def test_crc_changes_with_payload(self):
+        a = can.CanFrame(0x123, b"\x01")
+        b = can.CanFrame(0x123, b"\x02")
+        assert a.crc() != b.crc()
+
+    def test_crc_changes_with_id(self):
+        a = can.CanFrame(0x123, b"\x01")
+        b = can.CanFrame(0x124, b"\x01")
+        assert a.crc() != b.crc()
+
+    def test_crc_of_empty_input_is_zero(self):
+        assert can.crc15(b"") == 0
+
+    def test_crc_deterministic(self):
+        data = b"\x12\x34\x56"
+        assert can.crc15(data) == can.crc15(data)
+
+
+class TestRecordRoundTrip:
+    def test_to_frame_carries_header_fields(self):
+        frame = can.CanFrame(0x123, b"\xaa\xbb").to_frame(1.5, "FC")
+        info = frame.info_dict()
+        assert frame.protocol == "CAN"
+        assert info["dlc"] == 2
+        assert info["extended"] is False
+        assert frame.message_id == 0x123
+
+    def test_frame_from_record_round_trip(self):
+        original = can.CanFrame(0x123, b"\xaa\xbb")
+        recovered = can.frame_from_record(original.to_frame(1.5, "FC"))
+        assert recovered == original
+
+    def test_byte_record_round_trip(self):
+        frame = can.CanFrame(0x42, b"\x01").to_frame(2.0, "BC")
+        rebuilt = frame_from_byte_record(frame.to_byte_record())
+        assert rebuilt == frame
+
+    def test_dlc_mismatch_detected(self):
+        frame = can.CanFrame(0x1, b"\x01\x02").to_frame(0.0, "FC")
+        corrupted = frame.__class__(
+            frame.timestamp,
+            frame.channel,
+            frame.protocol,
+            frame.message_id,
+            b"\x01",  # payload shortened, DLC still says 2
+            frame.info,
+        )
+        with pytest.raises(can.CanError):
+            can.frame_from_record(corrupted)
+
+    def test_crc_mismatch_detected(self):
+        frame = can.CanFrame(0x1, b"\x01\x02").to_frame(0.0, "FC")
+        tampered_info = tuple(
+            (k, v if k != "crc" else (v ^ 1)) for k, v in frame.info
+        )
+        corrupted = frame.__class__(
+            frame.timestamp,
+            frame.channel,
+            frame.protocol,
+            frame.message_id,
+            frame.payload,
+            tampered_info,
+        )
+        with pytest.raises(can.CanError):
+            can.frame_from_record(corrupted)
+
+    def test_wrong_protocol_rejected(self):
+        from repro.protocols import lin
+
+        frame = lin.LinFrame(1, b"\x01").to_frame(0.0, "K-LIN")
+        with pytest.raises(can.CanError):
+            can.frame_from_record(frame)

@@ -1,0 +1,95 @@
+"""CAN FD: discrete payload lengths, DLC mapping, round-trips."""
+
+import pytest
+
+from repro.protocols import can
+
+
+class TestDlcMapping:
+    @pytest.mark.parametrize("length", range(9))
+    def test_classic_lengths_identity(self, length):
+        assert can.fd_dlc_for_length(length) == length
+        assert can.fd_length_for_dlc(length) == length
+
+    @pytest.mark.parametrize(
+        "dlc,length",
+        [(9, 12), (10, 16), (11, 20), (12, 24), (13, 32), (14, 48), (15, 64)],
+    )
+    def test_fd_lengths(self, dlc, length):
+        assert can.fd_length_for_dlc(dlc) == length
+        assert can.fd_dlc_for_length(length) == dlc
+
+    def test_unencodable_length_rejected(self):
+        with pytest.raises(can.CanError):
+            can.fd_dlc_for_length(13)
+
+    def test_dlc_out_of_range(self):
+        with pytest.raises(can.CanError):
+            can.fd_length_for_dlc(16)
+
+    @pytest.mark.parametrize(
+        "raw,padded", [(0, 0), (8, 8), (9, 12), (13, 16), (33, 48), (64, 64)]
+    )
+    def test_padding(self, raw, padded):
+        assert can.fd_padded_length(raw) == padded
+
+    def test_padding_beyond_maximum_rejected(self):
+        with pytest.raises(can.CanError):
+            can.fd_padded_length(65)
+
+
+class TestCanFdFrame:
+    def test_valid_large_frame(self):
+        frame = can.CanFdFrame(0x123, bytes(64))
+        assert frame.dlc == 15
+
+    def test_unencodable_payload_rejected(self):
+        with pytest.raises(can.CanError):
+            can.CanFdFrame(0x123, bytes(10))
+
+    def test_id_validation(self):
+        with pytest.raises(can.CanError):
+            can.CanFdFrame(0x800, bytes(8))
+
+    def test_record_round_trip(self):
+        original = can.CanFdFrame(0x123, bytes(range(16)), brs=False)
+        frame = original.to_frame(1.0, "FC")
+        assert frame.info_dict()["fd"] is True
+        recovered = can.frame_from_record(frame)
+        assert recovered == original
+
+    def test_classic_frames_still_round_trip(self):
+        original = can.CanFrame(0x42, b"\x01\x02")
+        assert can.frame_from_record(original.to_frame(0.0, "FC")) == original
+
+    def test_fd_crc_mismatch_detected(self):
+        frame = can.CanFdFrame(0x1, bytes(12)).to_frame(0.0, "FC")
+        tampered = frame.__class__(
+            frame.timestamp,
+            frame.channel,
+            frame.protocol,
+            frame.message_id,
+            frame.payload,
+            tuple((k, v ^ 1 if k == "crc" else v) for k, v in frame.info),
+        )
+        with pytest.raises(can.CanError):
+            can.frame_from_record(tampered)
+
+    def test_fd_dlc_payload_mismatch_detected(self):
+        frame = can.CanFdFrame(0x1, bytes(12)).to_frame(0.0, "FC")
+        truncated = frame.__class__(
+            frame.timestamp,
+            frame.channel,
+            frame.protocol,
+            frame.message_id,
+            frame.payload[:8],
+            frame.info,
+        )
+        with pytest.raises(can.CanError):
+            can.frame_from_record(truncated)
+
+    def test_fd_fits_wide_message_payloads(self):
+        """A 32-byte multiplexed body message fits one FD frame instead
+        of four classic frames."""
+        frame = can.CanFdFrame(0x200, bytes(32))
+        assert frame.dlc == 13

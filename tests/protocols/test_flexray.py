@@ -1,0 +1,88 @@
+"""FlexRay framing: slots, cycles, header CRC."""
+
+import pytest
+
+from repro.protocols import flexray
+
+
+class TestFlexRayFrame:
+    def test_valid_frame(self):
+        frame = flexray.FlexRayFrame(5, 12, b"\x01\x02")
+        assert frame.payload_words == 1
+
+    def test_slot_bounds(self):
+        with pytest.raises(flexray.FlexRayError):
+            flexray.FlexRayFrame(0, 0, b"")
+        with pytest.raises(flexray.FlexRayError):
+            flexray.FlexRayFrame(2048, 0, b"\x00\x00")
+
+    def test_cycle_bounds(self):
+        with pytest.raises(flexray.FlexRayError):
+            flexray.FlexRayFrame(1, 64, b"\x00\x00")
+
+    def test_odd_payload_rejected(self):
+        with pytest.raises(flexray.FlexRayError):
+            flexray.FlexRayFrame(1, 0, b"\x01")
+
+    def test_payload_word_limit(self):
+        flexray.FlexRayFrame(1, 0, bytes(254))  # exactly 127 words
+        with pytest.raises(flexray.FlexRayError):
+            flexray.FlexRayFrame(1, 0, bytes(256))
+
+    def test_channel_validation(self):
+        with pytest.raises(flexray.FlexRayError):
+            flexray.FlexRayFrame(1, 0, b"\x00\x00", fr_channel="C")
+
+    def test_startup_implies_sync(self):
+        with pytest.raises(flexray.FlexRayError):
+            flexray.FlexRayFrame(1, 0, b"\x00\x00", startup=True, sync=False)
+        frame = flexray.FlexRayFrame(
+            1, 0, b"\x00\x00", startup=True, sync=True
+        )
+        assert frame.startup
+
+
+class TestHeaderCrc:
+    def test_is_11_bits(self):
+        assert 0 <= flexray.header_crc(5, 2) < (1 << 11)
+
+    def test_depends_on_slot(self):
+        assert flexray.header_crc(5, 2) != flexray.header_crc(6, 2)
+
+    def test_depends_on_length(self):
+        assert flexray.header_crc(5, 2) != flexray.header_crc(5, 3)
+
+    def test_depends_on_sync_flag(self):
+        assert flexray.header_crc(5, 2, sync=True) != flexray.header_crc(5, 2)
+
+
+class TestRecordRoundTrip:
+    def test_round_trip(self):
+        original = flexray.FlexRayFrame(9, 33, b"\xca\xfe", sync=True)
+        frame = original.to_frame(1.0, "FR")
+        assert frame.message_id == 9
+        assert frame.info_dict()["cycle"] == 33
+        assert flexray.frame_from_record(frame) == original
+
+    def test_crc_mismatch_detected(self):
+        frame = flexray.FlexRayFrame(9, 0, b"\x00\x00").to_frame(0.0, "FR")
+        tampered_info = tuple(
+            (k, v if k != "header_crc" else (v ^ 1)) for k, v in frame.info
+        )
+        corrupted = frame.__class__(
+            frame.timestamp,
+            frame.channel,
+            frame.protocol,
+            frame.message_id,
+            frame.payload,
+            tampered_info,
+        )
+        with pytest.raises(flexray.FlexRayError):
+            flexray.frame_from_record(corrupted)
+
+    def test_wrong_protocol_rejected(self):
+        from repro.protocols import can
+
+        frame = can.CanFrame(1, b"\x00").to_frame(0.0, "FC")
+        with pytest.raises(flexray.FlexRayError):
+            flexray.frame_from_record(frame)

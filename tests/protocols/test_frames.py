@@ -1,0 +1,37 @@
+"""Protocol-independent frame model and the k_b tuple mapping."""
+
+from repro.protocols.frames import (
+    BYTE_RECORD_COLUMNS,
+    Frame,
+    frame_from_byte_record,
+)
+
+
+class TestByteRecord:
+    FRAME = Frame(1.25, "FC", "CAN", 3, b"\x5a\x01", (("dlc", 2),))
+
+    def test_record_layout_matches_paper(self):
+        """k_b = (t, l, b_id, m_id, m_info) -- Sec. 2."""
+        t, payload, b_id, m_id, m_info = self.FRAME.to_byte_record()
+        assert t == 1.25
+        assert payload == b"\x5a\x01"
+        assert b_id == "FC"
+        assert m_id == 3
+        assert dict(m_info)["dlc"] == 2
+
+    def test_protocol_embedded_in_m_info(self):
+        m_info = self.FRAME.to_byte_record()[4]
+        assert dict(m_info)["protocol"] == "CAN"
+
+    def test_columns_constant(self):
+        assert BYTE_RECORD_COLUMNS == ("t", "l", "b_id", "m_id", "m_info")
+
+    def test_round_trip(self):
+        assert frame_from_byte_record(self.FRAME.to_byte_record()) == self.FRAME
+
+    def test_info_dict(self):
+        assert self.FRAME.info_dict() == {"dlc": 2}
+
+    def test_round_trip_defaults_protocol_to_can(self):
+        record = (0.0, b"", "X", 1, ())
+        assert frame_from_byte_record(record).protocol == "CAN"

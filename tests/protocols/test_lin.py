@@ -1,0 +1,95 @@
+"""LIN framing: protected id parity, checksums, round-trips."""
+
+import pytest
+
+from repro.protocols import lin
+
+
+class TestProtectedId:
+    def test_id_bits_preserved(self):
+        for frame_id in range(0x40):
+            assert lin.protected_id(frame_id) & 0x3F == frame_id
+
+    def test_known_value(self):
+        # Frame id 0x11: bits b0=1,b4=1 -> P0 = 1^0^0^1 = 0;
+        # P1 = !(0^0^1^0) = 0 -> PID = 0x11.
+        assert lin.protected_id(0x11) == 0x11
+
+    def test_parity_differs_for_adjacent_ids(self):
+        pids = {lin.protected_id(i) for i in range(0x40)}
+        assert len(pids) == 0x40  # parity makes all PIDs distinct
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(lin.LinError):
+            lin.protected_id(0x40)
+
+
+class TestChecksum:
+    def test_classic_ignores_id(self):
+        a = lin.checksum(b"\x01\x02", frame_id=1, model=lin.CLASSIC)
+        b = lin.checksum(b"\x01\x02", frame_id=5, model=lin.CLASSIC)
+        assert a == b
+
+    def test_enhanced_depends_on_id(self):
+        a = lin.checksum(b"\x01\x02", frame_id=1, model=lin.ENHANCED)
+        b = lin.checksum(b"\x01\x02", frame_id=5, model=lin.ENHANCED)
+        assert a != b
+
+    def test_enhanced_requires_id(self):
+        with pytest.raises(lin.LinError):
+            lin.checksum(b"\x01", model=lin.ENHANCED)
+
+    def test_carry_wraps(self):
+        # 0xFF + 0xFF overflows; LIN adds the carry back in.
+        value = lin.checksum(b"\xff\xff", model=lin.CLASSIC)
+        assert 0 <= value <= 0xFF
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(lin.LinError):
+            lin.checksum(b"\x01", model="crc32")
+
+    def test_classic_known_value(self):
+        # sum = 0x01 + 0x02 = 0x03 -> ~0x03 & 0xFF = 0xFC.
+        assert lin.checksum(b"\x01\x02", model=lin.CLASSIC) == 0xFC
+
+
+class TestLinFrame:
+    def test_valid_frame(self):
+        frame = lin.LinFrame(0x11, b"\x05")
+        assert frame.pid == lin.protected_id(0x11)
+
+    def test_id_range(self):
+        with pytest.raises(lin.LinError):
+            lin.LinFrame(0x40, b"\x01")
+
+    def test_payload_length_bounds(self):
+        with pytest.raises(lin.LinError):
+            lin.LinFrame(1, b"")
+        with pytest.raises(lin.LinError):
+            lin.LinFrame(1, bytes(9))
+
+    def test_round_trip(self):
+        original = lin.LinFrame(0x2A, b"\x01\x02\x03")
+        recovered = lin.frame_from_record(original.to_frame(3.0, "K-LIN"))
+        assert recovered == original
+
+    def test_checksum_mismatch_detected(self):
+        frame = lin.LinFrame(0x2A, b"\x01").to_frame(0.0, "K-LIN")
+        tampered_info = tuple(
+            (k, v if k != "checksum" else (v ^ 0xFF)) for k, v in frame.info
+        )
+        corrupted = frame.__class__(
+            frame.timestamp,
+            frame.channel,
+            frame.protocol,
+            frame.message_id,
+            frame.payload,
+            tampered_info,
+        )
+        with pytest.raises(lin.LinError):
+            lin.frame_from_record(corrupted)
+
+    def test_classic_model_round_trip(self):
+        original = lin.LinFrame(0x05, b"\x09", checksum_model=lin.CLASSIC)
+        recovered = lin.frame_from_record(original.to_frame(0.0, "K-LIN"))
+        assert recovered.checksum_model == lin.CLASSIC

@@ -1,0 +1,223 @@
+"""Bit-level signal codec: packing geometry, scaling, round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.signalcodec import (
+    INTEL,
+    MOTOROLA,
+    CodecError,
+    SignalEncoding,
+    overlaps,
+)
+
+
+class TestValidation:
+    def test_rejects_zero_length(self):
+        with pytest.raises(CodecError):
+            SignalEncoding(0, 0)
+
+    def test_rejects_over_64_bits(self):
+        with pytest.raises(CodecError):
+            SignalEncoding(0, 65)
+
+    def test_rejects_bad_byte_order(self):
+        with pytest.raises(CodecError):
+            SignalEncoding(0, 8, byte_order="middle")
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(CodecError):
+            SignalEncoding(-1, 8)
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(CodecError):
+            SignalEncoding(0, 8, scale=0)
+
+
+class TestIntelGeometry:
+    def test_byte_aligned_8bit(self):
+        e = SignalEncoding(8, 8)
+        assert e.byte_span() == (1, 1)
+        assert e.required_payload_length() == 2
+
+    def test_straddles_bytes(self):
+        e = SignalEncoding(4, 8)
+        assert e.byte_span() == (0, 1)
+
+    def test_bit_positions_ascend(self):
+        e = SignalEncoding(4, 12)
+        assert e.bit_positions() == list(range(4, 16))
+
+
+class TestMotorolaGeometry:
+    def test_sawtooth_wraps_to_next_byte(self):
+        # Start at byte 0 bit 7 (MSB), 16 bits: spans bytes 0 and 1.
+        e = SignalEncoding(7, 16, byte_order=MOTOROLA)
+        assert e.byte_span() == (0, 1)
+
+    def test_msb_first_order(self):
+        e = SignalEncoding(7, 8, byte_order=MOTOROLA)
+        payload = bytearray(1)
+        e.insert_raw(payload, 0x80)
+        # MSB of raw lands at bit 7 of byte 0.
+        assert payload[0] == 0x80
+
+    def test_known_16bit_layout(self):
+        # Classic DBC big-endian: value 0xABCD at start bit 7 -> bytes AB CD.
+        e = SignalEncoding(7, 16, byte_order=MOTOROLA)
+        payload = bytearray(2)
+        e.insert_raw(payload, 0xABCD)
+        assert bytes(payload) == b"\xab\xcd"
+
+
+class TestRawRoundTrip:
+    @pytest.mark.parametrize("byte_order", [INTEL, MOTOROLA])
+    @pytest.mark.parametrize("start_bit,length", [(0, 1), (3, 5), (7, 12), (8, 16)])
+    def test_unsigned_round_trip(self, byte_order, start_bit, length):
+        start = start_bit if byte_order == INTEL else max(start_bit, 7)
+        e = SignalEncoding(start, length, byte_order=byte_order)
+        payload = bytearray(8)
+        value = (1 << length) - 1
+        e.insert_raw(payload, value)
+        assert e.extract_raw(payload) == value
+
+    def test_signed_negative_round_trip(self):
+        e = SignalEncoding(0, 12, signed=True)
+        payload = bytearray(2)
+        e.insert_raw(payload, -100)
+        assert e.extract_raw(payload) == -100
+
+    def test_signed_bounds(self):
+        e = SignalEncoding(0, 8, signed=True)
+        payload = bytearray(1)
+        e.insert_raw(payload, -128)
+        assert e.extract_raw(payload) == -128
+        e.insert_raw(payload, 127)
+        assert e.extract_raw(payload) == 127
+
+    def test_out_of_range_raises(self):
+        e = SignalEncoding(0, 8)
+        with pytest.raises(CodecError):
+            e.insert_raw(bytearray(1), 256)
+
+    def test_short_payload_raises_on_extract(self):
+        e = SignalEncoding(8, 8)
+        with pytest.raises(CodecError):
+            e.extract_raw(b"\x00")
+
+    def test_insert_does_not_clobber_neighbors(self):
+        a = SignalEncoding(0, 4)
+        b = SignalEncoding(4, 4)
+        payload = bytearray(1)
+        a.insert_raw(payload, 0xF)
+        b.insert_raw(payload, 0x5)
+        assert a.extract_raw(payload) == 0xF
+        assert b.extract_raw(payload) == 0x5
+
+
+class TestPhysicalScaling:
+    def test_scale_and_offset(self):
+        e = SignalEncoding(0, 16, scale=0.5, offset=-10.0)
+        payload = bytearray(2)
+        e.encode(payload, 35.5)
+        assert e.decode(payload) == 35.5
+
+    def test_integer_result_stays_int(self):
+        e = SignalEncoding(0, 8, scale=1.0)
+        payload = bytearray(1)
+        e.encode(payload, 42)
+        assert e.decode(payload) == 42
+        assert isinstance(e.decode(payload), int)
+
+    def test_clamp_saturates(self):
+        e = SignalEncoding(0, 8)
+        payload = bytearray(1)
+        e.encode(payload, 999, clamp=True)
+        assert e.extract_raw(payload) == 255
+        e.encode(payload, -5, clamp=True)
+        assert e.extract_raw(payload) == 0
+
+    def test_physical_bounds(self):
+        e = SignalEncoding(0, 8, scale=0.5, offset=-10)
+        assert e.physical_bounds() == (-10.0, 117.5)
+
+    def test_fig2_wpos_rule(self):
+        """The paper's Fig. 2: v = 0.5 * l' with l' the first two bytes."""
+        e = SignalEncoding(0, 16, scale=0.5)
+        payload = bytearray(b"\x5a\x01\x00\x00")
+        assert e.decode(payload) == 0.5 * 0x015A
+
+
+class TestValueTable:
+    ENC = SignalEncoding(
+        0, 2, value_table=((0, "off"), (1, "on"), (2, "auto"))
+    )
+
+    def test_decode_label(self):
+        payload = bytearray(1)
+        self.ENC.insert_raw(payload, 2)
+        assert self.ENC.decode(payload) == "auto"
+
+    def test_encode_by_label(self):
+        payload = bytearray(1)
+        self.ENC.encode(payload, "on")
+        assert self.ENC.extract_raw(payload) == 1
+
+    def test_encode_by_raw_int(self):
+        payload = bytearray(1)
+        self.ENC.encode(payload, 2)
+        assert self.ENC.decode(payload) == "auto"
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(CodecError):
+            self.ENC.encode(bytearray(1), "nope")
+
+    def test_unmapped_raw_decodes_to_placeholder(self):
+        payload = bytearray(1)
+        self.ENC.insert_raw(payload, 3)
+        assert self.ENC.decode(payload) == "raw_3"
+
+
+class TestOverlap:
+    def test_disjoint(self):
+        assert not overlaps(SignalEncoding(0, 4), SignalEncoding(4, 4))
+
+    def test_overlapping(self):
+        assert overlaps(SignalEncoding(0, 5), SignalEncoding(4, 4))
+
+    def test_cross_byte_order_overlap(self):
+        a = SignalEncoding(0, 8)
+        b = SignalEncoding(7, 8, byte_order=MOTOROLA)
+        assert overlaps(a, b)
+
+
+@given(
+    start_byte=st.integers(min_value=0, max_value=5),
+    length=st.integers(min_value=1, max_value=16),
+    raw=st.integers(min_value=0),
+    byte_order=st.sampled_from([INTEL, MOTOROLA]),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_raw_round_trip(start_byte, length, raw, byte_order):
+    raw = raw % (1 << length)
+    start_bit = start_byte * 8 + (0 if byte_order == INTEL else 7)
+    e = SignalEncoding(start_bit, length, byte_order=byte_order)
+    payload = bytearray(8)
+    e.insert_raw(payload, raw)
+    assert e.extract_raw(payload) == raw
+
+
+@given(
+    raw_a=st.integers(min_value=0, max_value=255),
+    raw_b=st.integers(min_value=0, max_value=65535),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_neighbors_independent(raw_a, raw_b):
+    a = SignalEncoding(0, 8)
+    b = SignalEncoding(8, 16)
+    payload = bytearray(3)
+    a.insert_raw(payload, raw_a)
+    b.insert_raw(payload, raw_b)
+    assert a.extract_raw(payload) == raw_a
+    assert b.extract_raw(payload) == raw_b

@@ -1,0 +1,132 @@
+"""SOME/IP: header serialization and presence-conditional payloads."""
+
+import pytest
+
+from repro.protocols import someip
+
+
+class TestMessageId:
+    def test_compose_and_split(self):
+        mid = someip.message_id(0x00D4, 0x8001)
+        assert mid == 0x00D48001
+        assert someip.split_message_id(mid) == (0x00D4, 0x8001)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(someip.SomeIpError):
+            someip.message_id(0x10000, 0)
+
+
+class TestSerialization:
+    MSG = someip.SomeIpMessage(
+        0x1234,
+        0x5678,
+        b"\x01\x02\x03",
+        client_id=0x9,
+        session_id=0x42,
+        message_type=someip.NOTIFICATION,
+    )
+
+    def test_header_is_16_bytes(self):
+        assert len(self.MSG.serialize()) == 16 + 3
+
+    def test_length_field_covers_tail(self):
+        assert self.MSG.length == 8 + 3
+
+    def test_round_trip(self):
+        assert someip.SomeIpMessage.deserialize(self.MSG.serialize()) == self.MSG
+
+    def test_truncated_buffer_rejected(self):
+        with pytest.raises(someip.SomeIpError):
+            someip.SomeIpMessage.deserialize(b"\x00" * 10)
+
+    def test_bad_protocol_version_rejected(self):
+        data = bytearray(self.MSG.serialize())
+        data[12] = 0x02  # protocol version byte
+        with pytest.raises(someip.SomeIpError):
+            someip.SomeIpMessage.deserialize(bytes(data))
+
+    def test_inconsistent_length_rejected(self):
+        data = bytearray(self.MSG.serialize())
+        data[4:8] = (999).to_bytes(4, "big")
+        with pytest.raises(someip.SomeIpError):
+            someip.SomeIpMessage.deserialize(bytes(data))
+
+    def test_unknown_message_type_rejected(self):
+        with pytest.raises(someip.SomeIpError):
+            someip.SomeIpMessage(1, 2, b"", message_type=0x55)
+
+
+class TestConditionalLayout:
+    LAYOUT = someip.ConditionalLayout(
+        (
+            someip.OptionalSection(0, 2),
+            someip.OptionalSection(1, 3),
+            someip.OptionalSection(3, 1),
+        )
+    )
+
+    def test_all_present(self):
+        payload = self.LAYOUT.build_payload({0: b"ab", 1: b"xyz", 3: b"q"})
+        assert payload[0] == 0b1011
+        assert self.LAYOUT.extract_section(payload, 0) == b"ab"
+        assert self.LAYOUT.extract_section(payload, 1) == b"xyz"
+        assert self.LAYOUT.extract_section(payload, 3) == b"q"
+
+    def test_offsets_shift_when_earlier_absent(self):
+        """The paper's data-dependent rule: preceding bytes (the mask)
+        define presence and position of succeeding bytes."""
+        with_first = self.LAYOUT.build_payload({0: b"ab", 1: b"xyz"})
+        without_first = self.LAYOUT.build_payload({1: b"xyz"})
+        assert self.LAYOUT.section_offset(with_first, 1) == 3
+        assert self.LAYOUT.section_offset(without_first, 1) == 1
+        assert self.LAYOUT.extract_section(without_first, 1) == b"xyz"
+
+    def test_absent_section_returns_none(self):
+        payload = self.LAYOUT.build_payload({1: b"xyz"})
+        assert self.LAYOUT.extract_section(payload, 0) is None
+
+    def test_wrong_section_length_rejected(self):
+        with pytest.raises(someip.SomeIpError):
+            self.LAYOUT.build_payload({0: b"abc"})
+
+    def test_unknown_mask_bit_rejected(self):
+        payload = self.LAYOUT.build_payload({0: b"ab"})
+        with pytest.raises(someip.SomeIpError):
+            self.LAYOUT.section_offset(b"\xff" + payload[1:], 5)
+
+    def test_truncated_payload_detected(self):
+        payload = self.LAYOUT.build_payload({1: b"xyz"})[:-1]
+        with pytest.raises(someip.SomeIpError):
+            self.LAYOUT.extract_section(payload, 1)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(someip.SomeIpError):
+            self.LAYOUT.section_offset(b"", 0)
+
+    def test_duplicate_mask_bits_rejected(self):
+        with pytest.raises(someip.SomeIpError):
+            someip.ConditionalLayout(
+                (someip.OptionalSection(0, 1), someip.OptionalSection(0, 2))
+            )
+
+    def test_unordered_sections_rejected(self):
+        with pytest.raises(someip.SomeIpError):
+            someip.ConditionalLayout(
+                (someip.OptionalSection(2, 1), someip.OptionalSection(0, 1))
+            )
+
+
+class TestRecordRoundTrip:
+    def test_frame_round_trip(self):
+        msg = someip.SomeIpMessage(0x0100, 0x8001, b"\x07", session_id=5)
+        frame = msg.to_frame(4.0, "ETH")
+        assert frame.message_id == someip.message_id(0x0100, 0x8001)
+        recovered = someip.frame_from_record(frame)
+        assert recovered == msg
+
+    def test_wrong_protocol_rejected(self):
+        from repro.protocols import can
+
+        frame = can.CanFrame(1, b"\x00").to_frame(0.0, "FC")
+        with pytest.raises(someip.SomeIpError):
+            someip.frame_from_record(frame)

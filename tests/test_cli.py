@@ -1,0 +1,174 @@
+"""CLI subcommands, driven in-process through main()."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "j0.trc"
+    code, _out = run_cli(
+        "simulate", "--dataset", "SYN", "--duration", "10", "--out", str(path)
+    )
+    assert code == 0
+    return path
+
+
+class TestSimulate:
+    def test_writes_trace(self, tmp_path):
+        path = tmp_path / "t.trc"
+        code, out = run_cli(
+            "simulate", "--dataset", "SYN", "--duration", "5",
+            "--out", str(path),
+        )
+        assert code == 0
+        assert path.is_file()
+        assert "records" in out
+
+    def test_binary_format_by_suffix(self, tmp_path):
+        path = tmp_path / "t.btrc"
+        run_cli(
+            "simulate", "--dataset", "SYN", "--duration", "5",
+            "--out", str(path),
+        )
+        assert path.read_bytes()[:8] == b"IVNTRACE"
+
+    def test_journey_seed_changes_trace(self, tmp_path):
+        a, b = tmp_path / "a.trc", tmp_path / "b.trc"
+        run_cli("simulate", "--dataset", "SYN", "--duration", "5",
+                "--out", str(a))
+        run_cli("simulate", "--dataset", "SYN", "--duration", "5",
+                "--journey", "1", "--out", str(b))
+        assert a.read_text() != b.read_text()
+
+
+class TestStats:
+    def test_reports_channels(self, trace_file):
+        code, out = run_cli("stats", "--trace", str(trace_file))
+        assert code == 0
+        assert "rows" in out
+        assert "channel FC" in out
+        assert "channel K-LIN" in out
+
+
+class TestExportDbc:
+    def test_writes_one_file_per_channel(self, tmp_path):
+        code, out = run_cli(
+            "export-dbc", "--dataset", "SYN", "--out-dir", str(tmp_path)
+        )
+        assert code == 0
+        files = sorted(p.name for p in tmp_path.glob("*.dbc"))
+        assert len(files) == 5
+        from repro.network.dbcio import load_database
+
+        db = load_database(tmp_path / files[0])
+        assert len(db) > 0
+
+
+class TestExtract:
+    def test_extracts_into_store(self, trace_file, tmp_path):
+        store = tmp_path / "store"
+        code, out = run_cli(
+            "extract", "--dataset", "SYN", "--trace", str(trace_file),
+            "--signals", "syn_num_000,syn_num_001",
+            "--store", str(store),
+        )
+        assert code == 0
+        assert "extracted" in out
+        from repro.engine import EngineContext, TableStore
+
+        loaded = TableStore(store).read(EngineContext.serial(), "extraction")
+        signals = {r[2] for r in loaded.collect()}
+        assert signals == {"syn_num_000", "syn_num_001"}
+
+
+class TestPipeline:
+    def test_default_parameterization(self, trace_file, tmp_path):
+        output = tmp_path / "state.md"
+        code, out = run_cli(
+            "pipeline", "--dataset", "SYN", "--trace", str(trace_file),
+            "--max-rows", "3", "--output", str(output),
+        )
+        assert code == 0
+        assert "classification:" in out
+        assert "| t |" in out
+        assert output.is_file()
+
+    def test_with_params_file(self, trace_file, tmp_path):
+        params = {
+            "signals": ["syn_num_000"],
+            "constraints": [],
+            "branch": {"sax_alphabet": 3},
+        }
+        params_path = tmp_path / "p.json"
+        params_path.write_text(json.dumps(params))
+        code, out = run_cli(
+            "pipeline", "--dataset", "SYN", "--trace", str(trace_file),
+            "--params", str(params_path), "--max-rows", "2",
+        )
+        assert code == 0
+        assert "syn_num_000" in out
+        assert "syn_num_001" not in out
+
+
+class TestProfile:
+    def test_profiles_all_signals(self, trace_file):
+        code, out = run_cli(
+            "profile", "--dataset", "SYN", "--trace", str(trace_file)
+        )
+        assert code == 0
+        assert "rate/s" in out
+        assert "syn_num_000" in out
+        assert "alpha" in out
+
+    def test_sort_by_signal(self, trace_file):
+        code, out = run_cli(
+            "profile", "--dataset", "SYN", "--trace", str(trace_file),
+            "--sort", "signal",
+        )
+        assert code == 0
+        lines = [l for l in out.splitlines()[2:] if l.strip()]
+        names = [l.split()[0] for l in lines]
+        assert names == sorted(names)
+
+
+class TestReport:
+    def test_report_to_stdout(self, trace_file):
+        code, out = run_cli(
+            "report", "--dataset", "SYN", "--trace", str(trace_file)
+        )
+        assert code == 0
+        assert "# Verification report" in out
+        assert "## Signals" in out
+
+    def test_report_to_file(self, trace_file, tmp_path):
+        path = tmp_path / "report.md"
+        code, out = run_cli(
+            "report", "--dataset", "SYN", "--trace", str(trace_file),
+            "--out", str(path), "--state-rows", "3",
+        )
+        assert code == 0
+        text = path.read_text()
+        assert "## State representation (first 3 rows)" in text
+
+
+class TestShowParams:
+    def test_prints_valid_starter_document(self):
+        code, out = run_cli("show-params", "--dataset", "SYN")
+        assert code == 0
+        document = json.loads(out)
+        assert len(document["signals"]) == 13
+        assert all(
+            c["type"] == "unchanged_within_cycle"
+            for c in document["constraints"]
+        )

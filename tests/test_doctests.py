@@ -1,0 +1,24 @@
+"""Docstring examples must stay executable."""
+
+import doctest
+
+import pytest
+
+import repro.engine.context
+import repro.engine.expressions
+import repro.engine.schema
+import repro.engine.table
+
+MODULES = [
+    repro.engine.schema,
+    repro.engine.expressions,
+    repro.engine.table,
+    repro.engine.context,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0
+    assert result.attempted > 0  # every listed module has runnable examples

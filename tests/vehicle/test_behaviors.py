@@ -1,0 +1,137 @@
+"""Behaviour models: determinism and value-stream shapes."""
+
+import math
+
+import pytest
+
+from repro.vehicle import behaviors as bhv
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: bhv.Sine(10, 5, noise=0.5, seed=3),
+            lambda: bhv.RandomWalk(step=1.0, seed=7),
+            lambda: bhv.StateMachine(
+                ("a", "b"),
+                {"a": (("b", 1.0),), "b": (("a", 1.0),)},
+                dwell=1.0,
+                seed=5,
+            ),
+            lambda: bhv.ValidityFlag(0.3, seed=2),
+            lambda: bhv.OutlierInjector(bhv.Constant(5.0), 0.2, 100.0, seed=4),
+            lambda: bhv.Occasionally(bhv.Constant("x"), "invalid", 0.2, seed=9),
+        ],
+    )
+    def test_same_schedule_same_stream(self, factory):
+        times = [0.1 * i for i in range(200)]
+        a = factory()
+        first = [a.sample(t) for t in times]
+        b = factory()
+        second = [b.sample(t) for t in times]
+        assert first == second
+
+    def test_reset_restores_stateful_behaviors(self):
+        walk = bhv.RandomWalk(step=1.0, seed=7)
+        times = [0.1 * i for i in range(50)]
+        first = [walk.sample(t) for t in times]
+        walk.reset()
+        second = [walk.sample(t) for t in times]
+        assert first == second
+
+
+class TestShapes:
+    def test_constant(self):
+        assert bhv.Constant(42).sample(99.0) == 42
+
+    def test_sine_period(self):
+        s = bhv.Sine(amplitude=10, period=2.0, mean=5.0)
+        assert s.sample(0.0) == pytest.approx(5.0)
+        assert s.sample(0.5) == pytest.approx(15.0)
+        assert s.sample(1.0) == pytest.approx(5.0)
+
+    def test_ramp_clamps(self):
+        r = bhv.Ramp(rate=2.0, start=0.0, maximum=5.0)
+        assert r.sample(1.0) == 2.0
+        assert r.sample(100.0) == 5.0
+
+    def test_sawtooth_triangle_symmetry(self):
+        s = bhv.Sawtooth(amplitude=10.0, period=4.0)
+        assert s.sample(0.0) == 0.0
+        assert s.sample(1.0) == pytest.approx(5.0)
+        assert s.sample(2.0) == pytest.approx(10.0)
+        assert s.sample(3.0) == pytest.approx(5.0)
+
+    def test_random_walk_bounded(self):
+        walk = bhv.RandomWalk(step=5.0, seed=1, minimum=0.0, maximum=10.0)
+        values = [walk.sample(0.1 * i) for i in range(500)]
+        assert all(0.0 <= v <= 10.0 for v in values)
+
+    def test_toggle_duty_cycle(self):
+        t = bhv.Toggle(period=10.0, duty=0.3)
+        assert t.sample(1.0) == "ON"
+        assert t.sample(5.0) == "OFF"
+
+    def test_ordinal_steps_staircase(self):
+        o = bhv.OrdinalSteps(("low", "mid", "high"), dwell=1.0)
+        seq = [o.sample(float(i)) for i in range(5)]
+        assert seq == ["low", "mid", "high", "mid", "low"]
+
+    def test_ordinal_single_level(self):
+        o = bhv.OrdinalSteps(("only",), dwell=1.0)
+        assert o.sample(7.0) == "only"
+
+    def test_state_machine_stays_in_states(self):
+        machine = bhv.StateMachine(
+            ("driving", "parking"),
+            {
+                "driving": (("parking", 1.0), ("driving", 2.0)),
+                "parking": (("driving", 1.0),),
+            },
+            dwell=0.5,
+            seed=11,
+        )
+        values = {machine.sample(0.1 * i) for i in range(500)}
+        assert values <= {"driving", "parking"}
+        assert len(values) == 2  # actually transitions
+
+    def test_state_machine_requires_transition_rows(self):
+        with pytest.raises(ValueError):
+            bhv.StateMachine(("a", "b"), {"a": (("b", 1.0),)}, dwell=1.0)
+
+    def test_event_pulse_windows(self):
+        pulse = bhv.EventPulse(((1.0, 2.0),), active="GO", idle="WAIT")
+        assert pulse.sample(0.5) == "WAIT"
+        assert pulse.sample(1.5) == "GO"
+        assert pulse.sample(2.0) == "WAIT"
+
+    def test_validity_flag_rate(self):
+        flag = bhv.ValidityFlag(invalid_rate=0.2, seed=6)
+        values = [flag.sample(0.01 * i) for i in range(2000)]
+        rate = values.count("invalid") / len(values)
+        assert 0.1 < rate < 0.3
+
+    def test_outlier_injector_rate_and_magnitude(self):
+        inj = bhv.OutlierInjector(bhv.Constant(0.0), rate=0.1, magnitude=50.0, seed=8)
+        values = [inj.sample(0.01 * i) for i in range(2000)]
+        outliers = [v for v in values if abs(v) > 1]
+        assert 0.05 < len(outliers) / len(values) < 0.2
+        assert all(math.isclose(abs(v), 50.0) for v in outliers)
+
+    def test_occasionally_replaces(self):
+        occ = bhv.Occasionally(bhv.Constant("ok"), "invalid", rate=0.5, seed=3)
+        values = {occ.sample(0.01 * i) for i in range(200)}
+        assert values == {"ok", "invalid"}
+
+    def test_quantized(self):
+        q = bhv.Quantized(bhv.Constant(3.7), step=0.5)
+        assert q.sample(0.0) == 3.5
+
+    def test_derived(self):
+        d = bhv.Derived(bhv.Constant(2.0), _square)
+        assert d.sample(0.0) == 4.0
+
+
+def _square(x):
+    return x * x

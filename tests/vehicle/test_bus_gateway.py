@@ -1,0 +1,160 @@
+"""Bus arbitration, gateway routing and the trace recorder."""
+
+import pytest
+
+from repro.protocols import can, flexray
+from repro.protocols.frames import Frame
+from repro.vehicle import Gateway, Route, TraceRecorder
+from repro.vehicle.bus import (
+    EthernetBus,
+    FlexRayBus,
+    can_bus,
+    can_frame_time,
+    lin_bus,
+    lin_frame_time,
+)
+from repro.vehicle.gateway import GatewayError
+
+
+def can_frame(t, m_id, payload=b"\x00", channel="FC"):
+    return can.CanFrame(m_id, payload).to_frame(t, channel)
+
+
+class TestFrameTimes:
+    def test_can_frame_time_grows_with_dlc(self):
+        assert can_frame_time(8) > can_frame_time(0)
+
+    def test_can_frame_time_order_of_magnitude(self):
+        # 8-byte frame at 500 kbit/s is roughly 130 bits ~ 260 µs.
+        assert 1e-4 < can_frame_time(8) < 4e-4
+
+    def test_lin_slower_than_can(self):
+        assert lin_frame_time(8) > can_frame_time(8)
+
+
+class TestPriorityBus:
+    def test_uncontended_frames_delayed_by_transmission_time(self):
+        bus = can_bus("FC")
+        [out] = bus.arbitrate([can_frame(1.0, 0x10)])
+        assert out.timestamp == pytest.approx(1.0 + can_frame_time(1))
+
+    def test_simultaneous_frames_serialize_by_priority(self):
+        bus = can_bus("FC")
+        frames = [can_frame(1.0, 0x20), can_frame(1.0, 0x10)]
+        out = bus.arbitrate(frames)
+        assert [f.message_id for f in out] == [0x10, 0x20]
+        assert out[1].timestamp > out[0].timestamp
+
+    def test_overload_drops_frames(self):
+        bus = can_bus("FC")
+        bus.max_queue_delay = 0.0005
+        frames = [can_frame(1.0, i, b"\x00" * 8) for i in range(1, 50)]
+        out = bus.arbitrate(frames)
+        assert len(out) < len(frames)
+
+    def test_idle_bus_preserves_order(self):
+        bus = can_bus("FC")
+        frames = [can_frame(0.1, 5), can_frame(0.5, 4)]
+        out = bus.arbitrate(frames)
+        assert [f.message_id for f in out] == [5, 4]
+
+
+class TestEthernetBus:
+    def test_adds_latency(self):
+        bus = EthernetBus("ETH", latency=0.001)
+        frame = Frame(1.0, "ETH", "SOMEIP", 7, b"", ())
+        [out] = bus.arbitrate([frame])
+        assert out.timestamp == pytest.approx(1.001)
+
+
+class TestFlexRayBus:
+    def test_frames_snap_to_slot_grid(self):
+        bus = FlexRayBus("FR", cycle_length=0.005, num_slots=10)
+        frame = flexray.FlexRayFrame(3, 0, b"\x01\x02").to_frame(0.0017, "FR")
+        [out] = bus.arbitrate([frame])
+        slot_offset = (3 - 1) * 0.005 / 10
+        # Next occurrence of slot 3 after 0.0017 s.
+        assert (out.timestamp - slot_offset) % 0.005 == pytest.approx(0.0, abs=1e-9)
+        assert out.timestamp >= 0.0017
+
+    def test_cycle_counter_stamped(self):
+        bus = FlexRayBus("FR", cycle_length=0.005, num_slots=10)
+        frame = flexray.FlexRayFrame(1, 0, b"\x01\x02").to_frame(0.052, "FR")
+        [out] = bus.arbitrate([frame])
+        assert out.info_dict()["cycle"] == 11 % 64
+
+    def test_same_slot_same_cycle_collision_resolved(self):
+        bus = FlexRayBus("FR", cycle_length=0.005, num_slots=10)
+        frames = [
+            flexray.FlexRayFrame(1, 0, b"\x01\x02").to_frame(0.0, "FR"),
+            flexray.FlexRayFrame(1, 0, b"\x03\x04").to_frame(0.0, "FR"),
+        ]
+        out = bus.arbitrate(frames)
+        assert out[0].timestamp != out[1].timestamp
+
+
+class TestGateway:
+    def test_forwards_matching_frames(self):
+        gw = Gateway("GW", (Route("FC", 3, "BC", delay=0.002),))
+        frames = [can_frame(1.0, 3), can_frame(1.0, 4)]
+        forwarded = gw.forward(frames)
+        assert len(forwarded) == 1
+        assert forwarded[0].channel == "BC"
+        assert forwarded[0].timestamp == pytest.approx(1.002)
+
+    def test_payload_forwarded_verbatim(self):
+        gw = Gateway("GW", (Route("FC", 3, "BC"),))
+        [fwd] = gw.forward([can_frame(1.0, 3, b"\xca\xfe")])
+        assert fwd.payload == b"\xca\xfe"
+
+    def test_id_remapping(self):
+        gw = Gateway("GW", (Route("FC", 3, "BC", dst_message_id=0x99),))
+        [fwd] = gw.forward([can_frame(1.0, 3)])
+        assert fwd.message_id == 0x99
+
+    def test_same_channel_route_rejected(self):
+        with pytest.raises(GatewayError):
+            Route("FC", 3, "FC")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(GatewayError):
+            Route("FC", 3, "BC", delay=-1)
+
+    def test_extend_database_adds_clone(self, wiper_database):
+        gw = Gateway("GW", (Route("FC", 3, "BC"),))
+        extended = gw.extend_database(wiper_database)
+        clone = extended.message("BC", 3)
+        assert clone.signal_names() == ("wpos", "wvel")
+        assert len(extended) == len(wiper_database) + 1
+
+    def test_extend_database_idempotent_for_existing(self, wiper_database):
+        gw = Gateway("GW", (Route("FC", 3, "BC"),))
+        once = gw.extend_database(wiper_database)
+        twice = gw.extend_database(once)
+        assert len(twice) == len(once)
+
+
+class TestTraceRecorder:
+    def test_records_sorted_by_time(self):
+        recorder = TraceRecorder()
+        frames = [can_frame(2.0, 1), can_frame(1.0, 2)]
+        records = recorder.record(frames)
+        assert [r[0] for r in records] == [1.0, 2.0]
+
+    def test_record_layout(self):
+        recorder = TraceRecorder()
+        [record] = recorder.record([can_frame(1.0, 3, b"\x5a")])
+        t, payload, b_id, m_id, m_info = record
+        assert (t, payload, b_id, m_id) == (1.0, b"\x5a", "FC", 3)
+        assert dict(m_info)["protocol"] == "CAN"
+
+    def test_time_quantization(self):
+        recorder = TraceRecorder(time_resolution=0.001)
+        [record] = recorder.record([can_frame(1.00042, 3)])
+        assert record[0] == 1.0
+
+    def test_to_table(self, ctx):
+        recorder = TraceRecorder()
+        table = recorder.to_table(ctx, [can_frame(1.0, 3)])
+        assert table.columns == ["t", "l", "b_id", "m_id", "m_info"]
+        assert table.count() == 1

@@ -1,0 +1,177 @@
+"""Fault injection and end-to-end detectability through the pipeline."""
+
+import pytest
+
+from repro.core import (
+    Constraint,
+    ConstraintSet,
+    CycleViolationExtension,
+    ExtensionSet,
+    PipelineConfig,
+    PreprocessingPipeline,
+    UnchangedWithinCycle,
+)
+from repro.mining import find_cycle_violations
+from repro.protocols import can
+from repro.vehicle.faults import (
+    EcuReset,
+    FaultError,
+    InjectionEvent,
+    MessageDropout,
+    PayloadCorruption,
+    StuckSignal,
+    inject,
+)
+
+
+@pytest.fixture
+def frames(wiper_simulation):
+    return wiper_simulation.run(30.0)
+
+
+def count_message(frames, channel, message_id):
+    return sum(
+        1 for f in frames if f.channel == channel and f.message_id == message_id
+    )
+
+
+class TestMessageDropout:
+    def test_drops_expected_count(self, frames):
+        before = count_message(frames, "FC", 3)
+        out, report = inject(
+            frames, [MessageDropout("FC", 3, burst_length=5, num_bursts=2)]
+        )
+        after = count_message(out, "FC", 3)
+        # Bursts may overlap, so between 5 and 10 frames vanish.
+        assert 5 <= before - after <= 10
+        assert 1 <= len(report.by_fault("dropout")) <= 2
+
+    def test_other_messages_untouched(self, frames):
+        before = count_message(frames, "FC", 7)
+        out, _report = inject(frames, [MessageDropout("FC", 3)])
+        assert count_message(out, "FC", 7) == before
+
+    def test_deterministic_for_seed(self, frames):
+        a, _ra = inject(frames, [MessageDropout("FC", 3)], seed=5)
+        b, _rb = inject(frames, [MessageDropout("FC", 3)], seed=5)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            MessageDropout("FC", 3, burst_length=0)
+
+
+class TestStuckSignal:
+    def test_payload_frozen_in_window(self, frames):
+        out, report = inject(
+            frames, [StuckSignal("FC", 3, start=5.0, duration=5.0)]
+        )
+        window = [
+            f.payload
+            for f in out
+            if f.channel == "FC" and f.message_id == 3
+            and 5.0 <= f.timestamp < 10.0
+        ]
+        assert len(set(window)) == 1
+        assert len(report.by_fault("stuck")) == 1
+
+    def test_outside_window_unfrozen(self, frames):
+        out, _report = inject(
+            frames, [StuckSignal("FC", 3, start=5.0, duration=5.0)]
+        )
+        outside = [
+            f.payload
+            for f in out
+            if f.channel == "FC" and f.message_id == 3 and f.timestamp >= 10.0
+        ]
+        assert len(set(outside)) > 1
+
+
+class TestPayloadCorruption:
+    def test_corrupts_at_roughly_requested_rate(self, frames):
+        out, report = inject(
+            frames, [PayloadCorruption("FC", 3, rate=0.2)], seed=3
+        )
+        n = count_message(frames, "FC", 3)
+        corrupted = len(report.by_fault("corruption"))
+        assert 0.1 * n < corrupted < 0.35 * n
+
+    def test_corruption_detected_by_crc(self, frames):
+        out, report = inject(
+            frames, [PayloadCorruption("FC", 3, rate=0.2)], seed=3
+        )
+        corrupted_times = set(report.timestamps("corruption"))
+        failures = 0
+        for frame in out:
+            if frame.channel != "FC" or frame.message_id != 3:
+                continue
+            try:
+                can.frame_from_record(frame)
+            except can.CanError:
+                failures += 1
+                assert frame.timestamp in corrupted_times
+        assert failures == len(corrupted_times)
+
+
+class TestEcuReset:
+    def test_channel_silenced_in_window(self, frames):
+        out, report = inject(frames, [EcuReset("FC", start=10.0, duration=3.0)])
+        in_window = [
+            f for f in out if f.channel == "FC" and 10.0 <= f.timestamp < 13.0
+        ]
+        assert in_window == []
+        assert len(report.by_fault("ecu_reset")) == 1
+
+    def test_other_channels_unaffected(self, frames):
+        out, _report = inject(frames, [EcuReset("FC", 10.0, 3.0)])
+        klin = [
+            f for f in out if f.channel == "K-LIN" and 10.0 <= f.timestamp < 13.0
+        ]
+        assert klin
+
+
+class TestComposition:
+    def test_multiple_faults_compose(self, frames):
+        out, report = inject(
+            frames,
+            [
+                MessageDropout("FC", 3, burst_length=3),
+                StuckSignal("FC", 7, start=2.0, duration=4.0),
+                EcuReset("K-LIN", 20.0, 2.0),
+            ],
+        )
+        kinds = {e.fault for e in report.events}
+        assert kinds == {"dropout", "stuck", "ecu_reset"}
+
+    def test_injection_event_fields(self):
+        e = InjectionEvent("dropout", 1.0, "FC", 3, "x")
+        assert e.fault == "dropout"
+
+
+class TestEndToEndDetection:
+    def test_dropout_surfaces_as_cycle_violation(
+        self, ctx, wiper_simulation, frames
+    ):
+        """The injected dropout must be found by the pipeline's
+        cycle-violation extension at the right location."""
+        faulted, report = inject(
+            frames, [MessageDropout("FC", 3, burst_length=8, num_bursts=1)]
+        )
+        k_b = wiper_simulation.recorder.to_table(ctx, faulted)
+        config = PipelineConfig(
+            catalog=wiper_simulation.database.translation_catalog(["wvel"])
+            .restrict_channels(["FC"]),
+            constraints=ConstraintSet(
+                (Constraint("wvel", True, (UnchangedWithinCycle(0.1),)),)
+            ),
+            extensions=ExtensionSet(
+                (CycleViolationExtension("wvel", 0.1, tolerance=2.0),)
+            ),
+        )
+        result = PreprocessingPipeline(config).run(k_b)
+        violations = find_cycle_violations(result)
+        assert violations
+        injected_at = report.timestamps("dropout")[0]
+        # One detected violation sits just after the injected gap.
+        nearest = min(abs(v.timestamp - injected_at) for v in violations)
+        assert nearest < 1.5

@@ -1,0 +1,153 @@
+"""Phase-based scenarios and the standard vehicle."""
+
+import pytest
+
+from repro.vehicle import behaviors as bhv
+from repro.vehicle.scenarios import (
+    COMMUTE,
+    Phase,
+    PhasedBehavior,
+    PhaseLabel,
+    ScenarioError,
+    StandardVehicle,
+    Timeline,
+)
+
+
+class TestTimeline:
+    def test_total_duration(self):
+        assert COMMUTE.total_duration == 240.0
+
+    def test_phase_at(self):
+        assert COMMUTE.phase_at(10.0).name == "city"
+        assert COMMUTE.phase_at(100.0).name == "highway"
+        assert COMMUTE.phase_at(225.0).name == "parked"
+
+    def test_after_end_holds_last_phase(self):
+        assert COMMUTE.phase_at(9999.0).name == "parked"
+
+    def test_phase_start(self):
+        assert COMMUTE.phase_start("highway") == 60.0
+        with pytest.raises(ScenarioError):
+            COMMUTE.phase_start("moon")
+
+    def test_validation(self):
+        with pytest.raises(ScenarioError):
+            Timeline(())
+        with pytest.raises(ScenarioError):
+            Phase("x", 0.0)
+
+
+class TestPhasedBehavior:
+    def test_switches_by_phase(self):
+        timeline = Timeline((Phase("a", 1.0), Phase("b", 1.0)))
+        behavior = PhasedBehavior(
+            timeline,
+            {"a": bhv.Constant(1), "b": bhv.Constant(2)},
+        )
+        assert behavior.sample(0.5) == 1
+        assert behavior.sample(1.5) == 2
+
+    def test_default_covers_missing_phase(self):
+        timeline = Timeline((Phase("a", 1.0), Phase("b", 1.0)))
+        behavior = PhasedBehavior(
+            timeline, {"a": bhv.Constant(1)}, default=bhv.Constant(9)
+        )
+        assert behavior.sample(1.5) == 9
+
+    def test_missing_phase_without_default_raises(self):
+        timeline = Timeline((Phase("a", 1.0),))
+        behavior = PhasedBehavior(timeline, {})
+        with pytest.raises(ScenarioError):
+            behavior.sample(0.0)
+
+    def test_phase_label(self):
+        label = PhaseLabel(COMMUTE)
+        assert label.sample(100.0) == "highway"
+
+
+class TestStandardVehicle:
+    @pytest.fixture(scope="class")
+    def journey(self):
+        from repro.engine import EngineContext
+
+        ctx = EngineContext.serial()
+        vehicle = StandardVehicle()
+        sim, k_b = vehicle.run(ctx)
+        return sim, k_b.cache(), ctx
+
+    def test_duration_matches_timeline(self, journey):
+        _sim, k_b, _ctx = journey
+        last = max(r[0] for r in k_b.collect())
+        assert last == pytest.approx(COMMUTE.total_duration, abs=1.0)
+
+    def test_speed_tracks_phases(self, journey):
+        sim, k_b, ctx = journey
+        from repro.core import interpret, preselect
+
+        catalog = sim.database.translation_catalog(["speed"])
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        rows = sorted(k_s.collect())
+        city = [r[1] for r in rows if r[0] < 55.0]
+        highway = [r[1] for r in rows if 70.0 < r[0] < 170.0]
+        parked = [r[1] for r in rows if r[0] > 225.0]
+        assert max(city) <= 70.0
+        assert min(highway) >= 80.0
+        assert set(parked) == {0.0}
+
+    def test_wiper_correlates_with_rain(self, journey):
+        sim, k_b, ctx = journey
+        from repro.core import interpret, preselect
+
+        catalog = sim.database.translation_catalog(["rain", "wiper_active"])
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        by_time = {}
+        for t, v, s_id, _b in k_s.collect():
+            by_time.setdefault(t, {})[s_id] = v
+        assert by_time
+        for values in by_time.values():
+            assert values["rain"] == values["wiper_active"]
+
+    def test_pipeline_discovers_rain_wiper_rule(self, journey):
+        """End to end: the scenario's built-in correlation is mined back
+        out as an association rule."""
+        sim, k_b, _ctx = journey
+        from repro.core import (
+            Constraint,
+            ConstraintSet,
+            PipelineConfig,
+            PreprocessingPipeline,
+            UnchangedValue,
+        )
+        from repro.mining import AssociationRuleMiner, Item
+
+        config = PipelineConfig(
+            catalog=sim.database.translation_catalog(
+                ["rain", "wiper_active", "drive_phase"]
+            ),
+            constraints=ConstraintSet(
+                tuple(
+                    Constraint(s, True, (UnchangedValue(),))
+                    for s in ("rain", "wiper_active", "drive_phase")
+                )
+            ),
+        )
+        result = PreprocessingPipeline(config).run(k_b)
+        rep = result.state_representation(
+            ["rain", "wiper_active", "drive_phase"]
+        )
+        miner = AssociationRuleMiner(min_support=0.05, min_confidence=0.95)
+        rules = miner.mine(rep)
+        assert any(
+            Item("rain", "ON") in r.antecedent
+            and Item("wiper_active", "ON") in r.consequent
+            for r in rules
+        )
+
+    def test_deterministic(self):
+        from repro.engine import EngineContext
+
+        ctx = EngineContext.serial()
+        _s1, a = StandardVehicle(seed=4).run(ctx, duration=30.0)
+        _s2, b = StandardVehicle(seed=4).run(ctx, duration=30.0)
+        assert a.collect() == b.collect()

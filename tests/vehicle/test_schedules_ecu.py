@@ -1,0 +1,153 @@
+"""Schedules and ECU frame generation."""
+
+import pytest
+
+from repro.network import MessageDefinition, SignalDefinition
+from repro.protocols import SignalEncoding
+from repro.vehicle import Cyclic, Ecu, OnChange
+from repro.vehicle import behaviors as bhv
+from repro.vehicle.ecu import EcuError, Transmission
+
+
+class TestCyclic:
+    def test_send_count(self):
+        assert len(Cyclic(0.1).send_times(1.0)) == 10
+
+    def test_offset_shifts_start(self):
+        times = Cyclic(0.5, offset=0.2).send_times(1.0)
+        assert times[0] == pytest.approx(0.2)
+
+    def test_jitter_bounded(self):
+        times = Cyclic(0.1, jitter=0.01, seed=5).send_times(10.0)
+        nominal = [i * 0.1 for i in range(len(times))]
+        assert all(abs(t - n) <= 0.0101 for t, n in zip(times, nominal))
+
+    def test_drop_rate_skips_sends(self):
+        full = Cyclic(0.01).send_times(10.0)
+        dropped = Cyclic(0.01, drop_rate=0.2, seed=4).send_times(10.0)
+        assert 0.65 * len(full) < len(dropped) < 0.95 * len(full)
+
+    def test_deterministic(self):
+        a = Cyclic(0.1, jitter=0.02, drop_rate=0.1, seed=9)
+        b = Cyclic(0.1, jitter=0.02, drop_rate=0.1, seed=9)
+        assert a.send_times(5.0) == b.send_times(5.0)
+
+    def test_invalid_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            Cyclic(0.0)
+
+
+class TestOnChange:
+    def test_poll_grid(self):
+        assert OnChange(0.25).poll_times(1.0) == [0.0, 0.25, 0.5, 0.75]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            OnChange(0)
+
+
+@pytest.fixture
+def message():
+    speed = SignalDefinition("speed", SignalEncoding(0, 16, scale=0.1))
+    return MessageDefinition("SPEED", 0x55, "DC", "CAN", 2, (speed,), 0.1)
+
+
+class TestEcu:
+    def test_cyclic_transmission_produces_frames(self, message):
+        ecu = Ecu("E").add_transmission(
+            message, {"speed": bhv.Constant(50.0)}, Cyclic(0.1)
+        )
+        frames = ecu.generate_frames(1.0)
+        assert len(frames) == 10
+        assert all(f.channel == "DC" and f.message_id == 0x55 for f in frames)
+
+    def test_payload_encodes_behavior_value(self, message):
+        ecu = Ecu("E").add_transmission(
+            message, {"speed": bhv.Constant(50.0)}, Cyclic(0.5)
+        )
+        frame = ecu.generate_frames(0.6)[0]
+        assert message.decode(frame.payload)["speed"] == pytest.approx(50.0)
+
+    def test_frames_time_ordered(self, message):
+        ecu = Ecu("E")
+        ecu.add_transmission(message, {"speed": bhv.Constant(1.0)}, Cyclic(0.07))
+        other = MessageDefinition(
+            "OTHER", 0x56, "DC", "CAN", 2,
+            (SignalDefinition("x", SignalEncoding(0, 8)),), 0.11,
+        )
+        ecu.add_transmission(other, {"x": bhv.Constant(2)}, Cyclic(0.11))
+        frames = ecu.generate_frames(2.0)
+        times = [f.timestamp for f in frames]
+        assert times == sorted(times)
+
+    def test_on_change_sends_only_on_change(self, message):
+        ecu = Ecu("E").add_transmission(
+            message,
+            {"speed": bhv.OrdinalStepsNumeric((10.0, 20.0), dwell=1.0)}
+            if hasattr(bhv, "OrdinalStepsNumeric")
+            else {"speed": bhv.Ramp(rate=0.0, start=10.0)},
+            OnChange(0.1),
+        )
+        frames = ecu.generate_frames(1.0)
+        # Constant value: only the initial send.
+        assert len(frames) == 1
+
+    def test_on_change_heartbeat_forces_sends(self, message):
+        ecu = Ecu("E").add_transmission(
+            message,
+            {"speed": bhv.Ramp(rate=0.0, start=10.0)},
+            OnChange(0.1, heartbeat=0.3),
+        )
+        frames = ecu.generate_frames(1.0)
+        assert len(frames) >= 3
+
+    def test_on_change_min_gap_suppresses(self, message):
+        ecu = Ecu("E").add_transmission(
+            message,
+            {"speed": bhv.Ramp(rate=100.0)},  # changes every poll
+            OnChange(0.1, min_gap=0.35),
+        )
+        frames = ecu.generate_frames(1.05)
+        gaps = [
+            b.timestamp - a.timestamp
+            for a, b in zip(frames, frames[1:])
+        ]
+        assert all(g >= 0.35 - 1e-9 for g in gaps)
+
+    def test_unknown_behavior_signal_rejected(self, message):
+        with pytest.raises(EcuError):
+            Transmission(message, {"ghost": bhv.Constant(1)}, Cyclic(0.1))
+
+    def test_unknown_schedule_rejected(self, message):
+        ecu = Ecu("E").add_transmission(
+            message, {"speed": bhv.Constant(1.0)}, schedule="every minute"
+        )
+        with pytest.raises(EcuError):
+            ecu.generate_frames(1.0)
+
+
+class TestProtocolWrapping:
+    def test_lin_message_framed_as_lin(self):
+        sig = SignalDefinition("x", SignalEncoding(0, 8))
+        msg = MessageDefinition("L", 0x11, "K-LIN", "LIN", 1, (sig,), 1.0)
+        ecu = Ecu("E").add_transmission(msg, {"x": bhv.Constant(5)}, Cyclic(1.0))
+        frame = ecu.generate_frames(1.5)[0]
+        assert frame.protocol == "LIN"
+        assert "checksum" in frame.info_dict()
+
+    def test_someip_message_framed_with_session(self):
+        sig = SignalDefinition("x", SignalEncoding(0, 8))
+        msg = MessageDefinition(
+            "S", 0x01018001, "ETH", "SOMEIP", 1, (sig,), 0.5
+        )
+        ecu = Ecu("E").add_transmission(msg, {"x": bhv.Constant(5)}, Cyclic(0.5))
+        frames = ecu.generate_frames(1.4)
+        sessions = [f.info_dict()["session_id"] for f in frames]
+        assert sessions == [1, 2, 3]
+
+    def test_flexray_payload_padded_to_even(self):
+        sig = SignalDefinition("x", SignalEncoding(0, 8))
+        msg = MessageDefinition("F", 5, "FR", "FLEXRAY", 1, (sig,), 0.5)
+        ecu = Ecu("E").add_transmission(msg, {"x": bhv.Constant(5)}, Cyclic(0.5))
+        frame = ecu.generate_frames(0.6)[0]
+        assert len(frame.payload) % 2 == 0

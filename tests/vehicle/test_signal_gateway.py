@@ -1,0 +1,122 @@
+"""Signal-level gateway: repackaging signals across message layouts."""
+
+import pytest
+
+from repro.core import equality_split, interpret, preselect
+from repro.network import MessageDefinition, NetworkDatabase, SignalDefinition
+from repro.protocols import SignalEncoding
+from repro.protocols.signalcodec import MOTOROLA
+from repro.vehicle import Cyclic, Ecu, SignalGateway, SignalRoute, VehicleSimulation
+from repro.vehicle import behaviors as bhv
+from repro.vehicle.gateway import GatewayError
+
+
+@pytest.fixture
+def source_message():
+    speed = SignalDefinition("speed", SignalEncoding(0, 16, scale=0.1))
+    temp = SignalDefinition("temp", SignalEncoding(16, 8, offset=-40))
+    return MessageDefinition(
+        "DRIVE", 0x10, "DC", "CAN", 3, (speed, temp), cycle_time=0.1
+    )
+
+
+@pytest.fixture
+def dst_message():
+    """Different channel, id, byte order AND byte position -- same
+    value granularity."""
+    speed = SignalDefinition(
+        "speed", SignalEncoding(23, 16, byte_order=MOTOROLA, scale=0.1)
+    )
+    return MessageDefinition(
+        "SPEED_REPACK", 0x77, "BC", "CAN", 4, (speed,), cycle_time=0.1
+    )
+
+
+@pytest.fixture
+def vehicle(source_message, dst_message):
+    db = NetworkDatabase((source_message,))
+    ecu = Ecu("E").add_transmission(
+        source_message,
+        {
+            "speed": bhv.Quantized(
+                bhv.Sine(40.0, 30.0, mean=90.0, seed=2), step=0.1
+            ),
+            "temp": bhv.Constant(20),
+        },
+        Cyclic(0.1, seed=1),
+    )
+    sim = VehicleSimulation(db, [ecu])
+    gateway = SignalGateway(
+        "SGW",
+        database=db,
+        routes=(
+            SignalRoute("DC", 0x10, ("speed",), dst_message, delay=0.002),
+        ),
+    )
+    sim.add_gateway(gateway)
+    return sim
+
+
+class TestSignalRouteValidation:
+    def test_same_channel_rejected(self, source_message):
+        bad_dst = MessageDefinition(
+            "X", 0x99, "DC", "CAN", 2,
+            (SignalDefinition("speed", SignalEncoding(0, 16, scale=0.1)),),
+        )
+        with pytest.raises(GatewayError):
+            SignalRoute("DC", 0x10, ("speed",), bad_dst)
+
+    def test_missing_signal_in_destination_rejected(self, dst_message):
+        with pytest.raises(GatewayError):
+            SignalRoute("DC", 0x10, ("speed", "temp"), dst_message)
+
+
+class TestRepackaging:
+    def test_forwarded_frames_use_destination_layout(self, vehicle, dst_message):
+        frames = vehicle.run(2.0)
+        repacked = [f for f in frames if f.channel == "BC"]
+        assert repacked
+        assert all(f.message_id == 0x77 for f in repacked)
+        assert all(len(f.payload) == 4 for f in repacked)
+
+    def test_values_identical_across_layouts(self, vehicle, ctx):
+        db = vehicle.database
+        k_b = vehicle.record_table(ctx, 5.0)
+        catalog = db.translation_catalog(["speed"])
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        by_channel = {}
+        for t, v, s_id, b_id in sorted(k_s.collect()):
+            by_channel.setdefault(b_id, []).append(v)
+        assert by_channel["DC"] == by_channel["BC"]
+
+    def test_equality_check_collapses_repacked_copies(self, vehicle, ctx):
+        """The paper's e() works on values: even though the BC copies
+        use a different id, byte order and position, they are found to
+        correspond."""
+        db = vehicle.database
+        k_b = vehicle.record_table(ctx, 5.0)
+        catalog = db.translation_catalog(["speed"])
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        result = equality_split(k_s, "speed")
+        assert len(result.groups) == 1
+        assert set(result.groups[0].all_channels()) == {"BC", "DC"}
+
+    def test_unrouted_signals_stay_on_source_channel(self, vehicle, ctx):
+        db = vehicle.database
+        k_b = vehicle.record_table(ctx, 3.0)
+        catalog = db.translation_catalog(["temp"])
+        k_s = interpret(preselect(k_b, catalog), catalog)
+        assert {r[3] for r in k_s.collect()} == {"DC"}
+
+    def test_extend_database_rejects_collisions(self, source_message, dst_message):
+        colliding = MessageDefinition(
+            "NATIVE", 0x77, "BC", "CAN", 1,
+            (SignalDefinition("other", SignalEncoding(0, 8)),),
+        )
+        db = NetworkDatabase((source_message, colliding))
+        gateway = SignalGateway(
+            "SGW", database=db,
+            routes=(SignalRoute("DC", 0x10, ("speed",), dst_message),),
+        )
+        with pytest.raises(GatewayError):
+            gateway.extend_database(db)
