@@ -8,8 +8,16 @@ windowed partition maps, executed either serially or on a process pool.
 
 from repro.engine import aggregates
 from repro.engine.context import EngineContext
-from repro.engine.errors import EngineError, ExecutionError, PlanError, SchemaError
+from repro.engine.errors import (
+    EngineError,
+    ExecutionError,
+    InjectedFaultError,
+    PlanError,
+    SchemaError,
+    TaskError,
+)
 from repro.engine.executor import (
+    FaultPolicy,
     MultiprocessingExecutor,
     SerialExecutor,
     SimulatedClusterExecutor,
@@ -29,8 +37,11 @@ __all__ = [
     "EngineContext",
     "EngineError",
     "ExecutionError",
+    "FaultPolicy",
+    "InjectedFaultError",
     "PlanError",
     "SchemaError",
+    "TaskError",
     "MultiprocessingExecutor",
     "SerialExecutor",
     "SimulatedClusterExecutor",

@@ -17,10 +17,18 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import time
+import zlib
 from dataclasses import dataclass, field
 
 from repro.engine import plan as logical
-from repro.engine.errors import ExecutionError, PlanError
+from repro.engine.errors import (
+    ExecutionError,
+    InjectedFaultError,
+    PlanError,
+    TaskError,
+)
 from repro.engine.operations import (
     BroadcastJoinTask,
     BucketAggregateTask,
@@ -51,26 +59,169 @@ class ExecutorMetrics:
     shuffles: int = 0
     broadcast_joins: int = 0
     rows_shuffled: int = 0
+    retries: int = 0
 
     def reset(self):
         self.tasks_run = 0
         self.shuffles = 0
         self.broadcast_joins = 0
         self.rows_shuffled = 0
+        self.retries = 0
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Deterministic fault injection for per-partition tasks.
+
+    A policy decides, per ``(stage, partition)`` coordinate, whether a
+    task crashes (raises :class:`InjectedFaultError` on its first
+    ``crashes_per_task`` attempts), is delayed, or is *poisoned* (its
+    output is silently corrupted -- used by the differential harness to
+    prove the oracle catches divergence; never enable in production).
+
+    Decisions are derived from a CRC32 of the seeded coordinate string,
+    not from :func:`hash`, so they are stable across worker processes
+    and interpreter runs. A crashed task with ``crashes_per_task`` less
+    than or equal to the executor's retry budget always succeeds on a
+    later attempt, which makes fault-equivalence tests deterministic.
+    """
+
+    crash_rate: float = 0.0
+    delay_rate: float = 0.0
+    poison_rate: float = 0.0
+    seed: int = 0
+    crashes_per_task: int = 1
+    delay_seconds: float = 0.001
+
+    def __post_init__(self):
+        for name in ("crash_rate", "delay_rate", "poison_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("{} must be in [0, 1]".format(name))
+        if self.crashes_per_task < 1:
+            raise ValueError("crashes_per_task must be >= 1")
+
+    def _roll(self, kind, stage, partition):
+        key = "{}|{}|{}|{}".format(self.seed, kind, stage, partition)
+        return (zlib.crc32(key.encode("utf-8")) % 100_000) / 100_000.0
+
+    def crashes_for(self, stage, partition):
+        """Number of leading attempts of this task that must crash."""
+        if self._roll("crash", stage, partition) < self.crash_rate:
+            return self.crashes_per_task
+        return 0
+
+    def should_delay(self, stage, partition):
+        return self._roll("delay", stage, partition) < self.delay_rate
+
+    def should_poison(self, stage, partition):
+        return self._roll("poison", stage, partition) < self.poison_rate
+
+    def run(self, stage, partition, attempt, task, x):
+        """Run one attempt of *task* on *x* under this policy."""
+        if attempt < self.crashes_for(stage, partition):
+            raise InjectedFaultError(
+                "injected crash in stage {!r} partition {} attempt {}".format(
+                    stage, partition, attempt
+                )
+            )
+        if self.should_delay(stage, partition):
+            time.sleep(self.delay_seconds)
+        out = task(x)
+        if self.should_poison(stage, partition) and isinstance(out, list) and out:
+            out = out[:-1]
+        return out
+
+
+@dataclass(frozen=True)
+class _FaultingTask:
+    """Picklable wrapper running one task attempt under a FaultPolicy."""
+
+    task: object
+    policy: FaultPolicy
+    stage: str
+    partition: int
+    attempt: int
+
+    def __call__(self, x):
+        return self.policy.run(
+            self.stage, self.partition, self.attempt, self.task, x
+        )
 
 
 class Executor:
-    """Base executor: physical planning plus a task-running strategy."""
+    """Base executor: physical planning plus a task-running strategy.
 
-    def __init__(self, default_parallelism=4):
+    Parameters
+    ----------
+    default_parallelism:
+        Partition count used for shuffles and splits.
+    optimize_plans:
+        When False the logical optimizer is skipped entirely; the
+        differential harness uses this to compare optimized against
+        unoptimized execution of the same plan.
+    fault_policy:
+        Optional :class:`FaultPolicy` injecting crashes/delays/poison
+        into per-partition tasks.
+    max_task_retries:
+        How many times a failed per-partition task is retried before the
+        stage fails with a structured :class:`TaskError`.
+    retry_backoff:
+        Base sleep (seconds) between retries; doubles per attempt.
+    """
+
+    def __init__(self, default_parallelism=4, optimize_plans=True,
+                 fault_policy=None, max_task_retries=2, retry_backoff=0.01):
         if default_parallelism < 1:
             raise ValueError("default_parallelism must be >= 1")
+        if max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
         self.default_parallelism = default_parallelism
+        self.optimize_plans = optimize_plans
+        self.fault_policy = fault_policy
+        self.max_task_retries = max_task_retries
+        self.retry_backoff = retry_backoff
         self.metrics = ExecutorMetrics()
+        self._stage_seq = 0
 
     # -- task running (strategy implemented by subclasses) ---------------
-    def run_tasks(self, task, inputs):
+    def run_tasks(self, task, inputs, stage="task"):
         raise NotImplementedError
+
+    def _attempt_task(self, task, x, stage, index, attempt):
+        """One attempt of *task* on partition *index*, fault-injected."""
+        if self.fault_policy is None:
+            return task(x)
+        return _FaultingTask(task, self.fault_policy, stage, index, attempt)(x)
+
+    def _run_partition_with_retries(self, task, x, stage, index):
+        """Run one partition task, retrying injected faults with backoff.
+
+        Genuine task exceptions propagate immediately (a deterministic
+        bug does not become less buggy by retrying in-process); injected
+        faults model transient worker loss and are retried up to
+        ``max_task_retries`` times.
+        """
+        attempts = self.max_task_retries + 1
+        last_exc = None
+        for attempt in range(attempts):
+            try:
+                return self._attempt_task(task, x, stage, index, attempt)
+            except InjectedFaultError as exc:
+                last_exc = exc
+                if attempt < attempts - 1:
+                    self.metrics.retries += 1
+                    if self.retry_backoff:
+                        time.sleep(self.retry_backoff * (2 ** attempt))
+        raise TaskError(
+            "task failed after {} attempts in stage {!r} partition {}: {}".format(
+                attempts, stage, index, last_exc
+            ),
+            stage=stage,
+            partition=index,
+            attempts=attempts,
+            cause=last_exc,
+        )
 
     def close(self):
         """Release worker resources (no-op for serial execution)."""
@@ -87,18 +238,21 @@ class Executor:
         """Materialize a plan node into a list of row-tuple partitions."""
         from repro.engine.optimizer import optimize
 
-        node = optimize(node)
+        if self.optimize_plans:
+            node = optimize(node)
         base, steps = self._linearize(node)
         partitions = self._execute_wide(base)
         if steps:
             task = PartitionTask(tuple(steps))
-            partitions = self._run(task, partitions)
+            partitions = self._run(task, partitions, "narrow")
         return partitions
 
-    def _run(self, task, inputs):
+    def _run(self, task, inputs, stage="stage"):
+        label = "{}[{}]".format(stage, self._stage_seq)
+        self._stage_seq += 1
         self.metrics.tasks_run += len(inputs)
         try:
-            return self.run_tasks(task, inputs)
+            return self.run_tasks(task, inputs, stage=label)
         except ExecutionError:
             raise
         except Exception as exc:
@@ -149,7 +303,7 @@ class Executor:
                 rem = tuple(v for i, v in enumerate(row) if i not in drop)
                 index.setdefault(key, []).append(rem)
             task = BroadcastJoinTask(left_keys, index, node.how, right_width)
-            return self._run(task, left_parts)
+            return self._run(task, left_parts, "broadcast-join")
         # Large right side: hash-shuffle both sides into aligned buckets.
         self.metrics.shuffles += 1
         buckets = max(self.default_parallelism, 1)
@@ -160,7 +314,9 @@ class Executor:
         task = BucketJoinTask(
             left_keys, right_keys, right_keys, node.how, right_width
         )
-        return self._run(task, list(zip(left_buckets, right_buckets)))
+        return self._run(
+            task, list(zip(left_buckets, right_buckets)), "bucket-join"
+        )
 
     def _execute_group_by(self, node):
         child_parts = self.execute(node.child)
@@ -181,7 +337,7 @@ class Executor:
             rows, key_indices, max(self.default_parallelism, 1)
         )
         task = BucketAggregateTask(key_indices, bound_aggs)
-        return self._run(task, buckets)
+        return self._run(task, buckets, "group-by")
 
     def _execute_sort(self, node):
         child_parts = self.execute(node.child)
@@ -194,7 +350,7 @@ class Executor:
         # Routed through the task runner so cost models charge the sort
         # as one (serial) task; executors with a single input run it in
         # the driver anyway.
-        [ordered] = self._run(task, [rows])
+        [ordered] = self._run(task, [rows], "sort")
         return split_evenly(ordered, self.default_parallelism)
 
     def _execute_repartition(self, node):
@@ -220,7 +376,7 @@ class Executor:
                 # pass the right carry rows downstream.
                 previous = (previous + list(part))[-tail:]
         task = CarryMapTask(node.func)
-        return self._run(task, list(zip(child_parts, carries)))
+        return self._run(task, list(zip(child_parts, carries)), "sorted-map")
 
 
 def _narrow_step(node):
@@ -242,8 +398,11 @@ def _narrow_step(node):
 class SerialExecutor(Executor):
     """Run every task in the driver process, one partition at a time."""
 
-    def run_tasks(self, task, inputs):
-        return [task(x) for x in inputs]
+    def run_tasks(self, task, inputs, stage="task"):
+        return [
+            self._run_partition_with_retries(task, x, stage, i)
+            for i, x in enumerate(inputs)
+        ]
 
 
 class SimulatedClusterExecutor(SerialExecutor):
@@ -263,10 +422,10 @@ class SimulatedClusterExecutor(SerialExecutor):
     """
 
     def __init__(self, num_workers=10, stage_latency=0.001,
-                 default_parallelism=None):
+                 default_parallelism=None, **kwargs):
         if default_parallelism is None:
             default_parallelism = num_workers
-        super().__init__(default_parallelism=default_parallelism)
+        super().__init__(default_parallelism=default_parallelism, **kwargs)
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
@@ -280,14 +439,16 @@ class SimulatedClusterExecutor(SerialExecutor):
         self.simulated_seconds = 0.0
         self.serial_task_seconds = 0.0
 
-    def run_tasks(self, task, inputs):
+    def run_tasks(self, task, inputs, stage="task"):
         import time as _time
 
         outputs = []
         durations = []
-        for x in inputs:
+        for i, x in enumerate(inputs):
             start = _time.perf_counter()
-            outputs.append(task(x))
+            outputs.append(
+                self._run_partition_with_retries(task, x, stage, i)
+            )
             durations.append(_time.perf_counter() - start)
         self.simulated_seconds += self._makespan(durations) + self.stage_latency
         self.serial_task_seconds += sum(durations)
@@ -311,12 +472,12 @@ class MultiprocessingExecutor(Executor):
     :meth:`close` (or by using the executor as a context manager).
     """
 
-    def __init__(self, num_workers=None, default_parallelism=None):
+    def __init__(self, num_workers=None, default_parallelism=None, **kwargs):
         if num_workers is None:
             num_workers = max(2, (os.cpu_count() or 2) - 1)
         if default_parallelism is None:
             default_parallelism = num_workers
-        super().__init__(default_parallelism=default_parallelism)
+        super().__init__(default_parallelism=default_parallelism, **kwargs)
         self.num_workers = num_workers
         self._pool = None
 
@@ -326,12 +487,74 @@ class MultiprocessingExecutor(Executor):
             self._pool = ctx.Pool(processes=self.num_workers)
         return self._pool
 
-    def run_tasks(self, task, inputs):
+    def run_tasks(self, task, inputs, stage="task"):
         if len(inputs) <= 1:
             # Not worth a round-trip through the pool.
-            return [task(x) for x in inputs]
+            return [
+                self._run_partition_with_retries(task, x, stage, i)
+                for i, x in enumerate(inputs)
+            ]
         pool = self._ensure_pool()
-        return pool.map(task, inputs)
+        # Fail fast (and without burning retries) on unpicklable tasks:
+        # nested functions raise AttributeError and exotic objects
+        # TypeError from pickle, which are indistinguishable from
+        # genuine worker exceptions once they come back from the pool.
+        try:
+            pickle.dumps(task)
+        except Exception as exc:
+            raise ExecutionError(
+                "task for stage {!r} is not picklable: {} "
+                "(use module-level functions or dataclasses, "
+                "not lambdas or closures)".format(stage, exc),
+                exc,
+            )
+        results = [None] * len(inputs)
+        pending = list(range(len(inputs)))
+        attempts = self.max_task_retries + 1
+        last_errors = {}
+        for attempt in range(attempts):
+            handles = []
+            for i in pending:
+                call = task
+                if self.fault_policy is not None:
+                    call = _FaultingTask(
+                        task, self.fault_policy, stage, i, attempt
+                    )
+                handles.append((i, pool.apply_async(call, (inputs[i],))))
+            failed = []
+            for i, handle in handles:
+                try:
+                    results[i] = handle.get()
+                except pickle.PicklingError as exc:
+                    raise ExecutionError(
+                        "task for stage {!r} is not picklable: {} "
+                        "(use module-level functions or dataclasses, "
+                        "not lambdas or closures)".format(stage, exc),
+                        exc,
+                    )
+                except Exception as exc:
+                    # Worker loss is transient by assumption; genuine
+                    # task bugs fail identically on every attempt and
+                    # exhaust the (bounded) retry budget quickly.
+                    failed.append(i)
+                    last_errors[i] = exc
+            if not failed:
+                return results
+            pending = failed
+            if attempt < attempts - 1:
+                self.metrics.retries += len(failed)
+                if self.retry_backoff:
+                    time.sleep(self.retry_backoff * (2 ** attempt))
+        first = pending[0]
+        raise TaskError(
+            "task failed after {} attempts in stage {!r} partition {}: {}".format(
+                attempts, stage, first, last_errors[first]
+            ),
+            stage=stage,
+            partition=first,
+            attempts=attempts,
+            cause=last_errors[first],
+        )
 
     def close(self):
         if self._pool is not None:

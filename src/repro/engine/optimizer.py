@@ -34,21 +34,28 @@ from repro.engine.expressions import (
 )
 
 
-def optimize(node):
-    """Rewrite *node* bottom-up; returns an equivalent, cheaper plan."""
-    node = _rewrite_children(node)
+def optimize(node, trace=None):
+    """Rewrite *node* bottom-up; returns an equivalent, cheaper plan.
+
+    When *trace* is a list, the name of every rule that fires is
+    appended to it (``"filter_fusion"``, ``"filter_pushdown"``,
+    ``"project_fusion"``, ``"identity_project_elimination"``) -- the
+    per-rule equivalence tests use this to assert a plan actually
+    exercised the rewrite under test.
+    """
+    node = _rewrite_children(node, trace)
     while True:
-        rewritten = _apply_rules(node)
+        rewritten = _apply_rules(node, trace)
         if rewritten is node:
             return node
         node = rewritten
 
 
-def _rewrite_children(node):
+def _rewrite_children(node, trace):
     children = node.children()
     if not children:
         return node
-    new_children = tuple(optimize(c) for c in children)
+    new_children = tuple(optimize(c, trace) for c in children)
     if new_children == children:
         return node
     if len(children) == 1:
@@ -58,28 +65,37 @@ def _rewrite_children(node):
     )
 
 
-def _apply_rules(node):
+def _apply_rules(node, trace=None):
     if isinstance(node, logical.Filter):
         child = node.child
         if isinstance(child, logical.Filter):
             # Filter fusion: evaluate the lower predicate first.
+            _record(trace, "filter_fusion")
             return logical.Filter(
                 child.child, BoundAnd(child.predicate, node.predicate)
             )
         if isinstance(child, logical.Project):
             pushed = _push_filter_below_project(node, child)
             if pushed is not None:
+                _record(trace, "filter_pushdown")
                 return pushed
     if isinstance(node, logical.Project):
         child = node.child
         if isinstance(child, logical.Project):
+            _record(trace, "project_fusion")
             composed = tuple(
                 substitute(e, child.exprs) for e in node.exprs
             )
             return logical.Project(child.child, node.out_schema, composed)
         if _is_identity_project(node):
+            _record(trace, "identity_project_elimination")
             return node.child
     return node
+
+
+def _record(trace, rule_name):
+    if trace is not None:
+        trace.append(rule_name)
 
 
 def _push_filter_below_project(filter_node, project_node):

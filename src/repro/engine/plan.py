@@ -30,6 +30,24 @@ class PlanNode:
         return ()
 
 
+def iter_nodes(node):
+    """Yield *node* and every descendant, depth-first, parents first."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(current.children()))
+
+
+def plan_size(node):
+    """Number of nodes in the plan tree rooted at *node*.
+
+    The differential shrinker reports reproducer size in plan nodes; the
+    count excludes nothing (sources included).
+    """
+    return sum(1 for _unused in iter_nodes(node))
+
+
 @dataclass(frozen=True)
 class Source(PlanNode):
     """Materialized in-memory partitions."""

@@ -1,0 +1,422 @@
+"""Seeded random generation of trace-shaped tables and logical plans.
+
+Everything here is deterministic given a seed: the same seed always
+produces the same dataset and the same plan spec, on any host (no use of
+``hash`` on strings, no wall-clock input).
+
+A *plan spec* is a tuple of pure-data op tuples -- ``("filter_cmp", "v",
+"gt", 40)``, ``("groupby", ("m_id",), (("n", "count", None),))`` -- that
+:func:`apply_spec` replays against a :class:`~repro.engine.table.Table`.
+Keeping specs as plain data (JSON-serializable) is what makes shrinking
+and on-disk reproducers possible; callables needed by flat-map and
+window ops are reconstructed from their encoded parameters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engine import aggregates, col
+from repro.engine.window import (
+    drop_consecutive_duplicates,
+    forward_fill,
+    with_gap,
+    with_lag,
+)
+
+#: Value domains for the trace-shaped table. Mirrors a decoded CAN/LIN
+#: signal table: timestamp, skewed message id, bus name, numeric signal
+#: value with NULLs, sparse string annotation.
+TRACE_COLUMNS = ("t", "m_id", "bus", "v", "flag")
+CATALOG_COLUMNS = ("m_id", "scale", "label")
+_BUSES = ("FC", "BC", "K-LIN")
+_FLAGS = (None, None, None, "rise", "fall", "hold")
+_MESSAGE_IDS = tuple(range(8))
+
+
+@dataclass(frozen=True)
+class DatasetCase:
+    """One generated input: a trace table plus a small catalog table.
+
+    ``trace_partitions`` preserves an explicit partition layout (possibly
+    with empty partitions) because partition boundaries are exactly what
+    distributed execution can get wrong.
+    """
+
+    trace_partitions: tuple  # tuple of tuples of row tuples
+    catalog_rows: tuple
+
+    def total_rows(self):
+        return sum(len(p) for p in self.trace_partitions)
+
+
+@dataclass(frozen=True)
+class _ColumnInfo:
+    """What the generator may safely do with a column."""
+
+    orderable: bool  # usable as a sort / window-order key
+    numeric: bool  # usable in arithmetic
+    nullable: bool
+
+
+_BASE_INFO = {
+    "t": _ColumnInfo(True, True, False),
+    "m_id": _ColumnInfo(True, True, False),
+    "bus": _ColumnInfo(True, False, False),
+    "v": _ColumnInfo(False, True, True),
+    "flag": _ColumnInfo(False, False, True),
+}
+
+
+def generate_dataset(rng):
+    """Draw a trace table and catalog from *rng* (a ``random.Random``)."""
+    num_rows = rng.choice((0, rng.randint(1, 30), rng.randint(20, 120)))
+    num_partitions = rng.randint(1, 6)
+    t = 0.0
+    rows = []
+    for _unused in range(num_rows):
+        t += rng.choice((0.0, 0.01, 0.1, 0.5))
+        # Skewed message ids: low ids dominate, as real bus traffic does.
+        m_id = _MESSAGE_IDS[min(int(rng.random() ** 2 * len(_MESSAGE_IDS)),
+                                len(_MESSAGE_IDS) - 1)]
+        v = None if rng.random() < 0.15 else rng.randint(0, 100)
+        rows.append((t, m_id, rng.choice(_BUSES), v, rng.choice(_FLAGS)))
+    partitions = [[] for _unused in range(num_partitions)]
+    for row in rows:
+        partitions[rng.randrange(num_partitions)].append(row)
+    catalog = tuple(
+        (m, rng.randint(1, 5), "msg-{}".format(m))
+        for m in _MESSAGE_IDS
+        if rng.random() < 0.8  # leave some ids unmatched for left joins
+    )
+    return DatasetCase(
+        tuple(tuple(p) for p in partitions), catalog
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plan specs
+# ---------------------------------------------------------------------------
+
+_COMPARISONS = ("lt", "le", "gt", "ge")
+_AGG_KINDS = ("count", "sum", "mean", "min", "max", "count_distinct")
+
+
+def generate_spec(rng, case, max_ops=8):
+    """Draw a random plan spec valid for *case*'s schema.
+
+    Tracks per-column orderability/nullability so every generated spec
+    builds without schema errors; shrinking may still produce invalid
+    specs, which the shrinker filters by attempting to build them.
+    """
+    info = dict(_BASE_INFO)
+    joined = False
+    unions = 0
+    ops = []
+    for _unused in range(rng.randint(1, max_ops)):
+        choices = ["filter_cmp", "filter_null", "filter_in", "select",
+                   "distinct", "repartition",
+                   "flat_map_repeat", "keep_every", "sort", "groupby"]
+        if unions < 2:  # each union doubles the executed subtree
+            choices.append("union_self")
+        if any(i.numeric and not i.nullable for i in info.values()):
+            choices.append("with_column_scale")
+        if "m_id" in info and not joined:
+            choices.append("join")
+        orderable = [n for n, i in info.items() if i.orderable]
+        if orderable:
+            choices += ["lag", "gap", "dropdup", "ffill"]
+        op = _draw_op(rng, rng.choice(choices), info, joined)
+        if op is None:
+            continue
+        ops.append(op)
+        if op[0] == "union_self":
+            unions += 1
+        info, joined = _advance_schema(op, info, joined)
+        if not info:  # defensive; should not happen
+            break
+    return tuple(ops)
+
+
+def _draw_op(rng, kind, info, joined):
+    names = list(info)
+    orderable = [n for n, i in info.items() if i.orderable]
+    numeric = [n for n, i in info.items() if i.numeric and not i.nullable]
+    if kind == "filter_cmp":
+        candidates = [n for n in orderable if info[n].numeric]
+        if not candidates:
+            return None
+        return ("filter_cmp", rng.choice(candidates),
+                rng.choice(_COMPARISONS), rng.randint(0, 60))
+    if kind == "filter_null":
+        name = rng.choice(names)
+        return ("filter_null", name, rng.random() < 0.3)
+    if kind == "filter_in":
+        name = rng.choice(names)
+        if info[name].numeric:
+            values = sorted(rng.sample(range(0, 101), rng.randint(1, 6)))
+        else:
+            values = sorted(
+                rng.sample(_BUSES + ("rise", "fall", "none"),
+                           rng.randint(1, 3))
+            )
+        return ("filter_in", name, tuple(values))
+    if kind == "select":
+        keep = rng.sample(names, rng.randint(1, len(names)))
+        # Preserve original relative order half the time, shuffle otherwise.
+        if rng.random() < 0.5:
+            keep = [n for n in names if n in set(keep)]
+        return ("select", tuple(keep))
+    if kind == "with_column_scale":
+        if not numeric:
+            return None
+        return ("with_column_scale", "d{}".format(rng.randint(0, 99)),
+                rng.choice(numeric), rng.randint(2, 9))
+    if kind == "join":
+        return ("join", rng.choice(("inner", "left")))
+    if kind == "union_self":
+        return ("union_self",)
+    if kind == "distinct":
+        return ("distinct",)
+    if kind == "repartition":
+        keys = ()
+        if orderable and rng.random() < 0.5:
+            keys = (rng.choice(orderable),)
+        return ("repartition", rng.randint(1, 6), keys)
+    if kind == "flat_map_repeat":
+        return ("flat_map_repeat", rng.randint(1, 3))
+    if kind == "keep_every":
+        return ("keep_every", rng.randint(1, 4))
+    if kind == "sort":
+        keys = rng.sample(orderable, min(len(orderable), rng.randint(1, 2)))
+        ascending = tuple(rng.random() < 0.8 for _unused in keys)
+        return ("sort", tuple(keys), ascending)
+    if kind == "groupby":
+        keys = tuple(rng.sample(names, rng.randint(1, min(2, len(names)))))
+        aggs = []
+        used = set(keys)
+        for _unused in range(rng.randint(1, 3)):
+            agg_kind = rng.choice(_AGG_KINDS)
+            if agg_kind in ("sum", "mean", "min", "max"):
+                if not numeric:
+                    continue
+                column = rng.choice(numeric)
+            elif agg_kind == "count":
+                column = None
+            else:  # count_distinct works on any column
+                column = rng.choice(names)
+            out = "a{}".format(len(aggs))
+            if out in used:
+                continue
+            used.add(out)
+            aggs.append((out, agg_kind, column))
+        if not aggs:
+            return None
+        return ("groupby", keys, tuple(aggs))
+    if kind in ("lag", "gap"):
+        order = rng.choice(orderable)
+        if kind == "gap":
+            candidates = numeric
+        else:
+            candidates = names
+        if not candidates:
+            return None
+        value = rng.choice(candidates)
+        groups = ()
+        group_candidates = [n for n in orderable if n != order]
+        if group_candidates and rng.random() < 0.5:
+            groups = (rng.choice(group_candidates),)
+        out = "w{}".format(rng.randint(0, 99))
+        if out in info:  # appended window columns must not collide
+            return None
+        return (kind, value, order, out, groups)
+    if kind == "dropdup":
+        order = rng.choice(orderable)
+        compare = tuple(rng.sample(names, rng.randint(1, min(2, len(names)))))
+        groups = ()
+        group_candidates = [n for n in orderable if n != order]
+        if group_candidates and rng.random() < 0.5:
+            groups = (rng.choice(group_candidates),)
+        return ("dropdup", compare, order, groups)
+    if kind == "ffill":
+        nullable = [n for n, i in info.items() if i.nullable]
+        if not nullable:
+            return None
+        order = rng.choice(orderable)
+        fill = tuple(rng.sample(nullable, rng.randint(1, len(nullable))))
+        return ("ffill", order, fill)
+    raise ValueError("unknown op kind {!r}".format(kind))
+
+
+def _advance_schema(op, info, joined):
+    """Track column metadata across one op, mirroring apply_spec."""
+    kind = op[0]
+    info = dict(info)
+    if kind == "select":
+        info = {n: info[n] for n in op[1]}
+    elif kind == "with_column_scale":
+        info[op[1]] = _ColumnInfo(True, True, False)
+    elif kind == "join":
+        nullable = op[1] == "left"
+        info["scale"] = _ColumnInfo(not nullable, True, nullable)
+        info["label"] = _ColumnInfo(not nullable, False, nullable)
+        joined = True
+    elif kind == "groupby":
+        keys, aggs = op[1], op[2]
+        new = {k: info[k] for k in keys}
+        for out, agg_kind, column in aggs:
+            if agg_kind in ("count", "count_distinct"):
+                new[out] = _ColumnInfo(True, True, False)
+            elif agg_kind == "mean":
+                new[out] = _ColumnInfo(True, True, False)
+            else:  # sum/min/max inherit the input column's domain
+                src = info[column]
+                new[out] = _ColumnInfo(
+                    src.orderable or (src.numeric and not src.nullable),
+                    src.numeric,
+                    src.nullable,
+                )
+        info = new
+    elif kind == "lag":
+        src = info[op[1]]
+        info[op[3]] = _ColumnInfo(False, src.numeric, True)
+    elif kind == "gap":
+        info[op[3]] = _ColumnInfo(False, True, True)
+    elif kind == "ffill":
+        # Values may still be None before the first non-null; keep nullable.
+        pass
+    return info, joined
+
+
+# ---------------------------------------------------------------------------
+# Spec replay
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RepeatRow:
+    """Picklable flat-map body: emit each row ``n`` times."""
+
+    n: int
+
+    def __call__(self, row):
+        return [row] * self.n
+
+
+@dataclass(frozen=True)
+class KeepEvery:
+    """Picklable partition map: keep rows at indices 0, k, 2k, ..."""
+
+    k: int
+
+    def __call__(self, rows):
+        return rows[:: self.k]
+
+
+_AGG_FACTORIES = {
+    "count": aggregates.Count,
+    "sum": aggregates.Sum,
+    "mean": aggregates.Mean,
+    "min": aggregates.Min,
+    "max": aggregates.Max,
+    "count_distinct": aggregates.CountDistinct,
+    "first": aggregates.First,
+    "last": aggregates.Last,
+}
+
+
+def build_table(ctx, case):
+    """Materialize the case's trace table, preserving its partitions."""
+    return ctx.table_from_partitions(TRACE_COLUMNS, case.trace_partitions)
+
+
+def _catalog_table(ctx, case):
+    return ctx.table_from_rows(
+        CATALOG_COLUMNS, case.catalog_rows, num_partitions=1
+    )
+
+
+def apply_spec(ctx, case, spec):
+    """Replay *spec* over the case's tables; returns the final Table.
+
+    Raises :class:`~repro.engine.errors.EngineError` subclasses when the
+    spec is invalid for the current schema -- the shrinker relies on this
+    to discard invalid shrink candidates.
+    """
+    table = build_table(ctx, case)
+    for op in spec:
+        table = _apply_op(ctx, case, table, op)
+    return table
+
+
+def _apply_op(ctx, case, table, op):
+    kind = op[0]
+    if kind == "filter_cmp":
+        _unused, name, cmp_op, value = op
+        column = col(name)
+        predicate = {
+            "lt": column < value,
+            "le": column <= value,
+            "gt": column > value,
+            "ge": column >= value,
+            "eq": column == value,
+            "ne": column != value,
+        }[cmp_op]
+        return table.filter(predicate)
+    if kind == "filter_null":
+        _unused, name, want_null = op
+        column = col(name)
+        return table.filter(
+            column.is_null() if want_null else column.is_not_null()
+        )
+    if kind == "filter_in":
+        return table.filter(col(op[1]).is_in(op[2]))
+    if kind == "select":
+        return table.select(*op[1])
+    if kind == "with_column_scale":
+        _unused, name, src, factor = op
+        return table.with_column(name, col(src) * factor)
+    if kind == "join":
+        return table.join(_catalog_table(ctx, case), on="m_id", how=op[1])
+    if kind == "union_self":
+        return table.union(table)
+    if kind == "distinct":
+        return table.distinct()
+    if kind == "repartition":
+        return table.repartition(op[1], keys=list(op[2]))
+    if kind == "flat_map_repeat":
+        return table.flat_map(RepeatRow(op[1]), list(table.columns))
+    if kind == "keep_every":
+        return table.map_partitions(KeepEvery(op[1]))
+    if kind == "sort":
+        return table.sort(list(op[1]), ascending=list(op[2]))
+    if kind == "groupby":
+        _unused, keys, aggs = op
+        specs = tuple(
+            (out, _AGG_FACTORIES[agg_kind](), column)
+            for out, agg_kind, column in aggs
+        )
+        return table.group_by(*keys).agg(*specs)
+    if kind == "lag":
+        _unused, value, order, out, groups = op
+        return with_lag(table, order, value, out, group_by=list(groups))
+    if kind == "gap":
+        _unused, value, order, out, groups = op
+        return with_gap(table, order, value, out, group_by=list(groups))
+    if kind == "dropdup":
+        _unused, compare, order, groups = op
+        return drop_consecutive_duplicates(
+            table, order, list(compare), group_by=list(groups)
+        )
+    if kind == "ffill":
+        return forward_fill(table, op[1], list(op[2]))
+    raise ValueError("unknown op kind {!r}".format(kind))
+
+
+def generate_case(seed, max_ops=8):
+    """Generate the (dataset, spec) pair for one seed."""
+    rng = random.Random(seed)
+    case = generate_dataset(rng)
+    spec = generate_spec(rng, case, max_ops=max_ops)
+    return case, spec

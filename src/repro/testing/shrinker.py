@@ -1,0 +1,190 @@
+"""Shrink a diverging (dataset, spec) pair to a minimal reproducer.
+
+Greedy delta debugging: repeatedly try to delete plan ops, trace
+partitions, trace rows and catalog rows, keeping any deletion that
+preserves the divergence, until a full pass removes nothing. Candidate
+specs that become schema-invalid after a deletion simply fail to build,
+which the oracle reports as non-diverging, so they are rejected
+automatically -- no separate validity tracking is needed.
+
+The result is written to disk as JSON (:func:`write_reproducer`) and can
+be re-executed with ``python -m repro.testing.fuzz --reproduce FILE`` or
+loaded programmatically with :func:`load_reproducer`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.testing.generator import DatasetCase
+
+
+def shrink_case(case, spec, diverges, max_checks=2000):
+    """Minimize (*case*, *spec*) while ``diverges(case, spec)`` holds.
+
+    *diverges* must already be True for the input pair; the shrinker
+    only ever keeps candidates for which it stays True. ``max_checks``
+    bounds the number of oracle invocations so pathological cases cannot
+    stall a fuzz run.
+    """
+    budget = [max_checks]
+
+    def check(candidate_case, candidate_spec):
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        return diverges(candidate_case, candidate_spec)
+
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        spec, did = _shrink_spec(case, spec, check)
+        changed = changed or did
+        case, did = _shrink_partitions(case, spec, check)
+        changed = changed or did
+        case, did = _shrink_rows(case, spec, check)
+        changed = changed or did
+        case, did = _shrink_catalog(case, spec, check)
+        changed = changed or did
+    return case, spec
+
+
+def _shrink_spec(case, spec, check):
+    changed = False
+    i = 0
+    while i < len(spec):
+        candidate = spec[:i] + spec[i + 1:]
+        if check(case, candidate):
+            spec = candidate
+            changed = True
+        else:
+            i += 1
+    return spec, changed
+
+
+def _shrink_partitions(case, spec, check):
+    changed = False
+    parts = list(case.trace_partitions)
+    i = 0
+    # Dropping a whole partition also perturbs carry/partition-boundary
+    # behaviour, so only keep the deletion when divergence survives.
+    while i < len(parts) and len(parts) > 1:
+        candidate = DatasetCase(
+            tuple(parts[:i] + parts[i + 1:]), case.catalog_rows
+        )
+        if check(candidate, spec):
+            del parts[i]
+            case = candidate
+            changed = True
+        else:
+            i += 1
+    return case, changed
+
+
+def _shrink_rows(case, spec, check):
+    changed = False
+    for index, part in enumerate(case.trace_partitions):
+        rows = list(part)
+        # First try halves (log-time progress on big partitions)...
+        for half in (slice(len(rows) // 2, None), slice(None, len(rows) // 2)):
+            if len(rows) > 1:
+                candidate = _with_partition(case, index, rows[half])
+                if check(candidate, spec):
+                    rows = rows[half]
+                    case = candidate
+                    changed = True
+        # ...then individual rows.
+        i = 0
+        while i < len(rows):
+            candidate = _with_partition(case, index, rows[:i] + rows[i + 1:])
+            if check(candidate, spec):
+                del rows[i]
+                case = candidate
+                changed = True
+            else:
+                i += 1
+    return case, changed
+
+
+def _shrink_catalog(case, spec, check):
+    changed = False
+    rows = list(case.catalog_rows)
+    i = 0
+    while i < len(rows):
+        candidate = DatasetCase(
+            case.trace_partitions, tuple(rows[:i] + rows[i + 1:])
+        )
+        if check(candidate, spec):
+            del rows[i]
+            case = candidate
+            changed = True
+        else:
+            i += 1
+    return case, changed
+
+
+def _with_partition(case, index, rows):
+    parts = list(case.trace_partitions)
+    parts[index] = tuple(rows)
+    return DatasetCase(tuple(parts), case.catalog_rows)
+
+
+# ---------------------------------------------------------------------------
+# Reproducer files
+# ---------------------------------------------------------------------------
+
+
+def write_reproducer(path, case, spec, seed=None, divergences=()):
+    """Persist a shrunk failure as JSON; returns the path written."""
+    payload = {
+        "format": "repro.testing/1",
+        "seed": seed,
+        "spec": _encode(spec),
+        "trace_partitions": _encode(case.trace_partitions),
+        "catalog_rows": _encode(case.catalog_rows),
+        "divergences": [
+            {
+                "combo": d.combo,
+                "kind": d.kind,
+                "detail": d.detail,
+                "missing": _encode(d.missing),
+                "extra": _encode(d.extra),
+            }
+            for d in divergences
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def load_reproducer(path):
+    """Load a reproducer file; returns ``(case, spec, payload)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "trace_partitions" not in payload:
+        raise ValueError(
+            "{} is not a repro.testing reproducer (expected the JSON "
+            "written by write_reproducer)".format(path)
+        )
+    case = DatasetCase(
+        _decode(payload["trace_partitions"]),
+        _decode(payload["catalog_rows"]),
+    )
+    spec = _decode(payload["spec"])
+    return case, spec, payload
+
+
+def _encode(value):
+    """Tuples -> lists, recursively (JSON has no tuple)."""
+    if isinstance(value, (tuple, list)):
+        return [_encode(v) for v in value]
+    return value
+
+
+def _decode(value):
+    """Lists -> tuples, recursively (specs and rows are tuple-shaped)."""
+    if isinstance(value, list):
+        return tuple(_decode(v) for v in value)
+    return value

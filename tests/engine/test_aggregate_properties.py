@@ -1,0 +1,154 @@
+"""Property tests: every aggregate satisfies the distributed fold contract.
+
+The engine's partial aggregation relies on initialize/update/merge/finish
+behaving like a monoid fold over ordered chunks: splitting a value
+sequence into consecutive chunks, folding each chunk independently and
+merging the partials in chunk order must equal a single pass. For the
+order-insensitive aggregates, merging in *any* order must also agree.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import aggregates
+
+ALL_AGGREGATES = (
+    aggregates.Count(),
+    aggregates.Sum(),
+    aggregates.Min(),
+    aggregates.Max(),
+    aggregates.Mean(),
+    aggregates.First(),
+    aggregates.Last(),
+    aggregates.CollectList(),
+    aggregates.CountDistinct(),
+)
+
+#: Aggregates whose merge is commutative (partial arrival order free).
+COMMUTATIVE = (
+    aggregates.Count(),
+    aggregates.Sum(),
+    aggregates.Min(),
+    aggregates.Max(),
+    aggregates.Mean(),
+    aggregates.CountDistinct(),
+)
+
+values_strategy = st.lists(st.integers(-50, 50), max_size=40)
+cuts_strategy = st.lists(st.integers(0, 1_000_000), max_size=6)
+
+
+def _single_pass(agg, values):
+    acc = agg.initial()
+    for value in values:
+        acc = agg.update(acc, value)
+    return agg.finish(acc)
+
+
+def _chunks(values, cuts):
+    """Split *values* at the (normalized) cut offsets, keeping order.
+
+    Cut positions are reduced modulo ``len(values) + 1`` so hypothesis
+    can draw them independently of the list length; duplicate and
+    boundary cuts produce empty chunks on purpose -- empty partitions
+    are exactly the edge case partial aggregation must survive.
+    """
+    n = len(values)
+    positions = sorted({c % (n + 1) for c in cuts})
+    bounds = [0] + positions + [n]
+    return [values[a:b] for a, b in zip(bounds, bounds[1:])]
+
+
+def _fold_chunk(agg, chunk):
+    acc = agg.initial()
+    for value in chunk:
+        acc = agg.update(acc, value)
+    return acc
+
+
+@pytest.mark.parametrize(
+    "agg", ALL_AGGREGATES, ids=lambda a: type(a).__name__
+)
+class TestSplitMergeEquivalence:
+    @given(values=values_strategy, cuts=cuts_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_any_split_order_equals_single_pass(self, agg, values, cuts):
+        partials = [_fold_chunk(agg, c) for c in _chunks(values, cuts)]
+        merged = partials[0]
+        for partial in partials[1:]:
+            merged = agg.merge(merged, partial)
+        assert agg.finish(merged) == _single_pass(agg, values)
+
+    @given(values=values_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_merging_initial_is_identity(self, agg, values):
+        acc = _fold_chunk(agg, values)
+        assert agg.finish(agg.merge(acc, agg.initial())) == agg.finish(acc)
+        assert agg.finish(agg.merge(agg.initial(), acc)) == agg.finish(acc)
+
+    def test_empty_input_matches_merged_empties(self, agg):
+        merged = agg.merge(agg.initial(), agg.initial())
+        assert agg.finish(merged) == _single_pass(agg, [])
+
+
+@pytest.mark.parametrize(
+    "agg", COMMUTATIVE, ids=lambda a: type(a).__name__
+)
+class TestCommutativeMerge:
+    @given(values=values_strategy, cuts=cuts_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_reversed_merge_order_agrees(self, agg, values, cuts):
+        partials = [_fold_chunk(agg, c) for c in _chunks(values, cuts)]
+        forward = partials[0]
+        for partial in partials[1:]:
+            forward = agg.merge(forward, partial)
+        backward = partials[-1]
+        for partial in reversed(partials[:-1]):
+            backward = agg.merge(backward, partial)
+        assert agg.finish(forward) == agg.finish(backward)
+
+
+class TestOrderSensitiveSemantics:
+    """First/Last/CollectList depend on order -- pin the exact contract."""
+
+    @given(values=st.lists(st.integers(), min_size=1, max_size=20),
+           cuts=cuts_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_first_and_last_across_chunks(self, values, cuts):
+        for agg, expected in (
+            (aggregates.First(), values[0]),
+            (aggregates.Last(), values[-1]),
+        ):
+            partials = [
+                _fold_chunk(agg, c) for c in _chunks(values, cuts)
+            ]
+            merged = partials[0]
+            for partial in partials[1:]:
+                merged = agg.merge(merged, partial)
+            assert agg.finish(merged) == expected
+
+    @given(values=values_strategy, cuts=cuts_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_collect_list_preserves_order(self, values, cuts):
+        agg = aggregates.CollectList()
+        partials = [_fold_chunk(agg, c) for c in _chunks(values, cuts)]
+        merged = partials[0]
+        for partial in partials[1:]:
+            merged = agg.merge(merged, partial)
+        assert agg.finish(merged) == values
+
+
+class TestMeanExactness:
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=30),
+           cuts=cuts_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_mean_matches_arithmetic(self, values, cuts):
+        agg = aggregates.Mean()
+        partials = [_fold_chunk(agg, c) for c in _chunks(values, cuts)]
+        merged = partials[0]
+        for partial in partials[1:]:
+            merged = agg.merge(merged, partial)
+        assert agg.finish(merged) == pytest.approx(
+            sum(values) / len(values)
+        )

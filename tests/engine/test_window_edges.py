@@ -1,0 +1,165 @@
+"""SortedMapPartitions carry rows: partition-layout edge cases.
+
+These pin the carry semantics for the layouts distributed execution
+actually produces: empty leading partitions, all-empty inputs,
+single-row partitions, and carry windows deeper than any one partition.
+All cases run through explicit ``table_from_partitions`` layouts so the
+executor cannot re-balance the edge away.
+"""
+
+import pytest
+
+from repro.engine import EngineContext
+from repro.engine.window import (
+    DropConsecutiveDuplicates,
+    ForwardFill,
+    GapFunction,
+    LagFunction,
+    drop_consecutive_duplicates,
+    forward_fill,
+    with_gap,
+    with_lag,
+)
+
+
+def _carry_probe(partition, carry):
+    """Append the tuple of carry first-column values to each row."""
+    seen = tuple(row[0] for row in carry)
+    return [row + (seen,) for row in partition]
+
+
+class TestCarryLayouts:
+    def test_empty_first_partition(self, ctx):
+        t = ctx.table_from_partitions(
+            ["t", "v"], [[], [(1.0, 10)], [(2.0, 20)]]
+        )
+        out = t.sorted_map_partitions(
+            LagFunction(1, ()), output_columns=["t", "v", "prev"]
+        )
+        assert out.collect() == [(1.0, 10, None), (2.0, 20, 10)]
+
+    def test_all_empty_partitions(self, ctx):
+        t = ctx.table_from_partitions(["t", "v"], [[], [], []])
+        out = t.sorted_map_partitions(
+            LagFunction(1, ()), output_columns=["t", "v", "prev"]
+        )
+        assert out.collect() == []
+        assert len(out.collect_partitions()) == 3
+
+    def test_single_row_partitions(self, ctx):
+        t = ctx.table_from_partitions(
+            ["t"], [[(1.0,)], [(2.0,)], [(3.0,)]]
+        )
+        out = t.sorted_map_partitions(
+            GapFunction(0, ()), output_columns=["t", "gap"]
+        )
+        assert out.collect() == [(1.0, None), (2.0, 1.0), (3.0, 1.0)]
+
+    def test_carry_skips_interleaved_empty_partitions(self, ctx):
+        t = ctx.table_from_partitions(
+            ["t"], [[], [(1.0,)], [], [(2.0,)], [(3.0,)], []]
+        )
+        out = t.sorted_map_partitions(_carry_probe, carry_rows=2)
+        assert out.collect() == [
+            (1.0, ()),
+            (2.0, (1.0,)),
+            (3.0, (1.0, 2.0)),
+        ]
+
+    def test_carry_window_deeper_than_partitions(self, ctx):
+        # carry_rows=3 with single-row partitions: the carry must span
+        # several predecessors, not just the immediately previous one.
+        t = ctx.table_from_partitions(
+            ["t"], [[(1.0,)], [(2.0,)], [(3.0,)], [(4.0,)]]
+        )
+        out = t.sorted_map_partitions(_carry_probe, carry_rows=3)
+        assert out.collect() == [
+            (1.0, ()),
+            (2.0, (1.0,)),
+            (3.0, (1.0, 2.0)),
+            (4.0, (1.0, 2.0, 3.0)),
+        ]
+
+    def test_zero_carry_rows_passes_empty_carry(self, ctx):
+        t = ctx.table_from_partitions(["t"], [[(1.0,)], [(2.0,)]])
+        out = t.sorted_map_partitions(_carry_probe, carry_rows=0)
+        assert out.collect() == [(1.0, ()), (2.0, ())]
+
+
+class TestWindowFunctionsOnEdgeLayouts:
+    def test_forward_fill_across_empty_partition(self, ctx):
+        t = ctx.table_from_partitions(
+            ["t", "v"], [[(1.0, 7)], [], [(2.0, None), (3.0, None)]]
+        )
+        out = t.sorted_map_partitions(ForwardFill((1,)), carry_rows=1)
+        assert out.collect() == [(1.0, 7), (2.0, 7), (3.0, 7)]
+
+    def test_group_boundary_at_partition_boundary(self, ctx):
+        t = ctx.table_from_partitions(
+            ["g", "t", "v"],
+            [[("a", 1.0, 1)], [("a", 2.0, 2)], [("b", 3.0, 3)]],
+        )
+        out = t.sorted_map_partitions(
+            LagFunction(2, (0,)), output_columns=["g", "t", "v", "prev"]
+        )
+        assert out.collect() == [
+            ("a", 1.0, 1, None),
+            ("a", 2.0, 2, 1),
+            ("b", 3.0, 3, None),
+        ]
+
+    def test_dropdup_run_spanning_partitions(self, ctx):
+        t = ctx.table_from_partitions(
+            ["t", "v"],
+            [[(1.0, 1)], [(2.0, 1)], [], [(3.0, 1)], [(4.0, 2)]],
+        )
+        out = t.sorted_map_partitions(
+            DropConsecutiveDuplicates((1,), ()), carry_rows=1
+        )
+        assert out.collect() == [(1.0, 1), (4.0, 2)]
+
+
+class TestHighLevelHelpersOnEdgeInputs:
+    """The public helpers must also survive degenerate tables."""
+
+    def test_with_lag_empty_table(self, ctx):
+        t = ctx.empty_table(["t", "v"])
+        assert with_lag(t, "t", "v", "prev").collect() == []
+
+    def test_with_gap_single_row(self, ctx):
+        t = ctx.table_from_rows(["t", "v"], [(1.0, 5)])
+        assert with_gap(t, "t", "t", "gap").collect() == [(1.0, 5, None)]
+
+    def test_forward_fill_all_none_column(self, ctx):
+        t = ctx.table_from_rows(
+            ["t", "v"], [(1.0, None), (2.0, None)], num_partitions=2
+        )
+        assert forward_fill(t, "t", ["v"]).collect() == [
+            (1.0, None),
+            (2.0, None),
+        ]
+
+    def test_drop_consecutive_duplicates_single_rows(self, ctx):
+        t = ctx.table_from_rows(
+            ["t", "v"], [(1.0, 1), (2.0, 1), (3.0, 2)], num_partitions=3
+        )
+        assert drop_consecutive_duplicates(t, "t", "v").collect() == [
+            (1.0, 1),
+            (3.0, 2),
+        ]
+
+    def test_parallel_matches_serial_on_edge_layout(self):
+        layout = [[], [(1.0, 10)], [], [(2.0, None)], [(3.0, 30)]]
+        serial_ctx = EngineContext.serial(default_parallelism=3)
+        serial = (
+            serial_ctx.table_from_partitions(["t", "v"], layout)
+            .sorted_map_partitions(ForwardFill((1,)), carry_rows=2)
+            .collect()
+        )
+        with EngineContext.parallel(num_workers=2) as pctx:
+            parallel = (
+                pctx.table_from_partitions(["t", "v"], layout)
+                .sorted_map_partitions(ForwardFill((1,)), carry_rows=2)
+                .collect()
+            )
+        assert parallel == serial == [(1.0, 10), (2.0, 10), (3.0, 30)]
