@@ -21,8 +21,9 @@ once many journeys are processed for few signals.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+
+from repro.obs import stopwatch
 
 
 class InHouseError(RuntimeError):
@@ -62,31 +63,31 @@ class InHouseTool:
         tuples. Unknown message types are skipped (a real tool logs
         them). May be called once per journey; the store accumulates.
         """
-        start = time.perf_counter()
-        rule_cache = {}
-        for t, payload, b_id, m_id, _m_info in byte_records:
-            self.stats.rows_scanned += 1
-            key = (b_id, m_id)
-            rules = rule_cache.get(key)
-            if rules is None:
-                try:
-                    message = self.database.message(b_id, m_id)
-                except KeyError:
-                    rules = ()
-                else:
-                    rules = tuple(
-                        (s.name, message.interpretation_rule(s.name))
-                        for s in message.signals
-                    )
-                rule_cache[key] = rules
-            for s_id, rule in rules:
-                value = rule.interpret(payload)
-                self.stats.signals_interpreted += 1
-                if value is None:
-                    continue
-                self._store.setdefault(s_id, []).append((t, value, b_id))
-        self._ingested = True
-        self.stats.seconds += time.perf_counter() - start
+        with stopwatch() as watch:
+            rule_cache = {}
+            for t, payload, b_id, m_id, _m_info in byte_records:
+                self.stats.rows_scanned += 1
+                key = (b_id, m_id)
+                rules = rule_cache.get(key)
+                if rules is None:
+                    try:
+                        message = self.database.message(b_id, m_id)
+                    except KeyError:
+                        rules = ()
+                    else:
+                        rules = tuple(
+                            (s.name, message.interpretation_rule(s.name))
+                            for s in message.signals
+                        )
+                    rule_cache[key] = rules
+                for s_id, rule in rules:
+                    value = rule.interpret(payload)
+                    self.stats.signals_interpreted += 1
+                    if value is None:
+                        continue
+                    self._store.setdefault(s_id, []).append((t, value, b_id))
+            self._ingested = True
+        self.stats.seconds += watch.seconds
         return self.stats
 
     def ingest_journeys(self, journeys):

@@ -29,7 +29,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 from repro.core.params import config_from_dict, load_config
@@ -37,6 +36,7 @@ from repro.core.pipeline import PipelineConfig, PreprocessingPipeline
 from repro.datasets import SPECS, build_dataset
 from repro.engine import EngineContext, TableStore
 from repro.network.dbcio import dump_database
+from repro.obs import stopwatch
 from repro.tracefile import asciilog, binlog
 
 
@@ -126,14 +126,14 @@ def cmd_extract(args, out=sys.stdout):
     catalog = bundle.database.translation_catalog(signals)
     pipeline = PreprocessingPipeline(PipelineConfig(catalog=catalog))
     store = TableStore(args.store)
-    start = time.perf_counter()
-    k_s = pipeline.extract_signals(k_b, cache=False)
-    manifest = store.write(args.table, k_s)
-    elapsed = time.perf_counter() - start
+    with stopwatch() as watch:
+        k_s = pipeline.extract_signals(k_b, cache=False)
+        manifest = store.write(args.table, k_s)
     print(
         "extracted {} signal instances of {} signals into {}/{} "
         "in {:.2f} s".format(
-            manifest["num_rows"], len(signals), args.store, args.table, elapsed
+            manifest["num_rows"], len(signals), args.store, args.table,
+            watch.seconds,
         ),
         file=out,
     )
@@ -177,6 +177,13 @@ def cmd_pipeline(args, out=sys.stdout):
     if args.output:
         Path(args.output).write_text(representation.to_markdown())
         print("state representation written to {}".format(args.output), file=out)
+    if args.report:
+        result.report.set_meta(
+            dataset=args.dataset, trace=str(args.trace),
+            workers=getattr(args, "workers", 1),
+        )
+        result.report.write(args.report)
+        print("run report written to {}".format(args.report), file=out)
     return 0
 
 
@@ -310,6 +317,8 @@ def build_parser():
     p.add_argument("--params", help="JSON parameter file (see core.params)")
     p.add_argument("--max-rows", type=int, default=10)
     p.add_argument("--output", help="write the full state table here")
+    p.add_argument("--report",
+                   help="write the run's observability report (JSON) here")
     p.add_argument("--workers", type=int, default=1)
     p.set_defaults(func=cmd_pipeline)
 

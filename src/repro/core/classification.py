@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import median as _median
+
 #: z_type values.
 STRING_TYPE = "S"
 NUMERIC_TYPE = "N"
@@ -114,10 +116,13 @@ def _change_rate(times, config):
     if len(times) < 2:
         return LOW_RATE
     gaps = [b - a for a, b in zip(times, times[1:])]
-    positive = sorted(g for g in gaps if g > 0)
+    positive = [g for g in gaps if g > 0]
     if not positive:
         return HIGH_RATE  # all simultaneous: infinitely fast
-    median_gap = positive[len(positive) // 2]
+    # Shared nearest-rank median so classification and profiling agree
+    # on median_gap for identical input (the old // 2 indexing took the
+    # upper middle element for even-length sequences).
+    median_gap = _median(positive)
     limit = config.activity_gap_factor * median_gap
     active_duration = sum(g for g in gaps if g <= limit)
     n = sum(1 for g in gaps if g <= limit) + 1

@@ -13,15 +13,20 @@ framework over the dataflow engine:
 
 The pipeline is parameterized once per domain via
 :class:`PipelineConfig` and then applied to any number of traces -- the
-"one-time parameterization" of the paper's abstract. Per-stage wall
-times are collected in :class:`PipelineResult.timings` for the
+"one-time parameterization" of the paper's abstract. Every run records
+a :class:`repro.obs.RunReport` -- per-stage wall-time spans with
+row-in/row-out attributes, selectivity/reduction gauges and the
+executor's task/retry/fault metrics -- exposed as
+:attr:`PipelineResult.report`; the flat :attr:`PipelineResult.timings`
+and :attr:`PipelineResult.counts` dicts are derived views kept for the
 evaluation benchmarks.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+
+from repro.obs import RunReport
 
 from repro.core.branches import BranchConfig, R_COLUMNS, process_branch
 from repro.core.classification import SequenceClassifier
@@ -97,8 +102,9 @@ class PipelineResult:
     k_s: object  # interpreted signal table (cached)
     outcomes: dict  # s_id -> SignalOutcome
     r_out: object  # merged homogeneous table (R_COLUMNS)
-    timings: dict  # stage name -> seconds
+    timings: dict  # stage name -> seconds (derived from report spans)
     counts: dict  # diagnostic row counts per stage
+    report: object = None  # repro.obs.RunReport of this run
 
     def state_representation(self, signal_order=None):
         """The Table 4 pivot of ``R_out``."""
@@ -143,42 +149,70 @@ class PreprocessingPipeline:
         return k_s.cache() if cache else k_s
 
     # -- full run ---------------------------------------------------------------
-    def run(self, k_b):
-        """Execute Algorithm 1 on a raw trace table ``K_b``."""
-        timings = {}
+    #: The seven Algorithm-1 stages, in execution order; each one gets a
+    #: span with rows_in/rows_out attributes in the run report.
+    STAGES = (
+        "preselect", "interpret", "split", "reduce", "extend", "branch",
+        "merge",
+    )
+
+    def run(self, k_b, report=None):
+        """Execute Algorithm 1 on a raw trace table ``K_b``.
+
+        *report*, when given, is the :class:`~repro.obs.RunReport` to
+        record into (callers batching many traces aggregate this way);
+        by default each run gets a fresh one, returned as
+        :attr:`PipelineResult.report`.
+        """
+        if report is None:
+            report = RunReport("pipeline.run")
+        recorder = report.spans
+        registry = report.metrics
         counts = {}
         context = k_b.context
-
-        start = time.perf_counter()
-        k_pre = self.preselect(k_b).cache()
-        timings["preselect"] = time.perf_counter() - start
-        counts["k_pre"] = k_pre.count()
-
-        start = time.perf_counter()
-        k_s = self.interpret(k_pre).cache()
-        timings["interpret"] = time.perf_counter() - start
-        counts["k_s"] = k_s.count()
-
-        start = time.perf_counter()
-        per_signal = split_signal_types(
-            k_s, sorted(set(self.config.catalog.signal_ids()))
+        report.set_meta(
+            signals=len(set(self.config.catalog.signal_ids())),
+            interpretation_strategy=self.config.interpretation_strategy,
+            dedup_channels=self.config.dedup_channels,
         )
-        splits = {}
-        for s_id, table in per_signal.items():
-            if self.config.dedup_channels:
-                splits[s_id] = equality_split(table, s_id)
-            else:
-                from repro.core.splitting import SplitResult
 
-                splits[s_id] = SplitResult(s_id, table.sort(["t"]), groups=[])
-        timings["split"] = time.perf_counter() - start
+        k_b_rows = k_b.count()
+        with recorder.span("preselect") as span:
+            k_pre = self.preselect(k_b).cache()
+        counts["k_pre"] = k_pre.count()
+        span.set(rows_in=k_b_rows, rows_out=counts["k_pre"])
+        if k_b_rows:
+            registry.set_gauge(
+                "pipeline.preselect.selectivity", counts["k_pre"] / k_b_rows
+            )
+
+        with recorder.span("interpret") as span:
+            k_s = self.interpret(k_pre).cache()
+        counts["k_s"] = k_s.count()
+        span.set(rows_in=counts["k_pre"], rows_out=counts["k_s"])
+
+        with recorder.span("split") as split_span:
+            per_signal = split_signal_types(
+                k_s, sorted(set(self.config.catalog.signal_ids()))
+            )
+            splits = {}
+            for s_id, table in per_signal.items():
+                if self.config.dedup_channels:
+                    splits[s_id] = equality_split(table, s_id)
+                else:
+                    from repro.core.splitting import SplitResult
+
+                    splits[s_id] = SplitResult(
+                        s_id, table.sort(["t"]), groups=[]
+                    )
 
         outcomes = {}
         branch_tables = []
         extension_tables = []
-        reduce_time = 0.0
-        extend_time = 0.0
-        branch_time = 0.0
+        total_before = 0
+        total_after = 0
+        total_extension_rows = 0
+        total_branch_rows = 0
         for s_id in sorted(splits):
             split = splits[s_id]
             constraints = self.config.constraints.for_signal(s_id)
@@ -188,33 +222,36 @@ class PreprocessingPipeline:
             after = 0
             w_tables = []
             for group, table in split.tables():
-                start = time.perf_counter()
-                before += table.count()
-                k_red = reduce_signal(table, constraints).cache()
-                after += k_red.count()
-                reduce_time += time.perf_counter() - start
+                with recorder.span("reduce"):
+                    before += table.count()
+                    k_red = reduce_signal(table, constraints).cache()
+                    after += k_red.count()
 
-                start = time.perf_counter()
-                w_table = apply_extensions(k_red, ext_rules)
-                w_tables.append(w_table)
-                extend_time += time.perf_counter() - start
+                with recorder.span("extend"):
+                    w_table = apply_extensions(k_red, ext_rules)
+                    w_tables.append(w_table)
 
-                start = time.perf_counter()
-                ordered_rows = k_red.sort(["t"]).collect()
-                classification = self._classify_rows(k_red.schema, ordered_rows)
-                result_rows.extend(
-                    process_branch(
-                        ordered_rows,
-                        k_red.schema,
-                        classification,
-                        self.config.branch_config,
+                with recorder.span("branch"):
+                    ordered_rows = k_red.sort(["t"]).collect()
+                    classification = self._classify_rows(
+                        k_red.schema, ordered_rows
                     )
-                )
-                branch_time += time.perf_counter() - start
+                    result_rows.extend(
+                        process_branch(
+                            ordered_rows,
+                            k_red.schema,
+                            classification,
+                            self.config.branch_config,
+                        )
+                    )
             merged_w = w_tables[0]
             for extra in w_tables[1:]:
                 merged_w = merged_w.union(extra)
             extension_tables.append(merged_w)
+            total_extension_rows += merged_w.count()
+            total_branch_rows += len(result_rows)
+            total_before += before
+            total_after += after
             outcomes[s_id] = SignalOutcome(
                 signal_id=s_id,
                 classification=classification,
@@ -227,21 +264,59 @@ class PreprocessingPipeline:
             branch_tables.append(
                 context.table_from_rows(list(R_COLUMNS), result_rows)
             )
-        timings["reduce"] = reduce_time
-        timings["extend"] = extend_time
-        timings["branch"] = branch_time
+        split_span.set(rows_in=counts["k_s"], rows_out=total_before)
+        if counts["k_s"]:
+            registry.set_gauge(
+                "pipeline.split.dedup_ratio", total_before / counts["k_s"]
+            )
+        reduce_span = recorder.find("reduce")
+        if reduce_span is not None:
+            reduce_span.set(rows_in=total_before, rows_out=total_after)
+        if total_before:
+            registry.set_gauge(
+                "pipeline.reduce.reduction_ratio", total_after / total_before
+            )
+        extend_span = recorder.find("extend")
+        if extend_span is not None:
+            extend_span.set(rows_in=total_after, rows_out=total_extension_rows)
+        branch_span = recorder.find("branch")
+        if branch_span is not None:
+            branch_span.set(rows_in=total_after, rows_out=total_branch_rows)
 
-        start = time.perf_counter()
-        r_out = merge_results(context, branch_tables, extension_tables).cache()
-        timings["merge"] = time.perf_counter() - start
+        with recorder.span("merge") as span:
+            r_out = merge_results(
+                context, branch_tables, extension_tables
+            ).cache()
         counts["r_out"] = r_out.count()
+        span.set(
+            rows_in=total_branch_rows + total_extension_rows,
+            rows_out=counts["r_out"],
+        )
 
+        for name in self.STAGES:
+            stage_span = recorder.find(name)
+            attrs = stage_span.attrs if stage_span is not None else {}
+            registry.counter(
+                "pipeline.{}.rows_in".format(name)
+            ).inc(attrs.get("rows_in", 0))
+            registry.counter(
+                "pipeline.{}.rows_out".format(name)
+            ).inc(attrs.get("rows_out", 0))
+        # Executor metrics are executor-lifetime (a context reused across
+        # runs keeps accumulating); with one context per run they read as
+        # per-run values.
+        report.merge_registry(context.executor.obs)
+
+        timings = {
+            name: recorder.seconds(name) for name in self.STAGES
+        }
         return PipelineResult(
             k_s=k_s,
             outcomes=outcomes,
             r_out=r_out,
             timings=timings,
             counts=counts,
+            report=report,
         )
 
     def _classify_rows(self, schema, ordered_rows):

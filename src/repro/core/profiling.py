@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.core.classification import ClassifierConfig, classify
 from repro.core.splitting import split_signal_types
+from repro.obs import median, percentile
 
 
 @dataclass(frozen=True)
@@ -78,8 +79,8 @@ def profile_signal(rows, signal_id, config=None):
         numeric=numeric,
         value_min=min(values) if numeric else None,
         value_max=max(values) if numeric else None,
-        median_gap=gaps[len(gaps) // 2] if gaps else 0.0,
-        p95_gap=gaps[int(len(gaps) * 0.95)] if gaps else 0.0,
+        median_gap=median(gaps) if gaps else 0.0,
+        p95_gap=percentile(gaps, 95) if gaps else 0.0,
         change_ratio=changes / (len(rows) - 1) if len(rows) > 1 else 0.0,
         data_type=classification.data_type,
         branch=classification.branch,

@@ -11,11 +11,11 @@ aggregating a fleet report.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.pipeline import PreprocessingPipeline
 from repro.datasets.synthetic import build_dataset
+from repro.obs import MetricsRegistry, stopwatch
 from repro.protocols.frames import BYTE_RECORD_COLUMNS
 
 
@@ -97,6 +97,9 @@ class FleetReport:
     """Aggregate over a batch run."""
 
     results: list = field(default_factory=list)
+    #: Per-journey extraction metrics (``fleet.journey_seconds``
+    #: histogram, row counters) recorded by :class:`BatchExtractor`.
+    metrics: object = field(default_factory=MetricsRegistry)
 
     def __len__(self):
         return len(self.results)
@@ -156,16 +159,18 @@ class BatchExtractor:
             k_b = context.table_from_rows(
                 list(BYTE_RECORD_COLUMNS), records
             )
-            start = time.perf_counter()
-            k_s = pipeline.extract_signals(k_b, cache=False)
-            manifest = self.store.write(ref.name, k_s)
-            elapsed = time.perf_counter() - start
+            with stopwatch() as watch:
+                k_s = pipeline.extract_signals(k_b, cache=False)
+                manifest = self.store.write(ref.name, k_s)
+            report.metrics.observe("fleet.journey_seconds", watch.seconds)
+            report.metrics.inc("fleet.trace_rows", len(records))
+            report.metrics.inc("fleet.extracted_rows", manifest["num_rows"])
             report.results.append(
                 JourneyResult(
                     ref=ref,
                     trace_rows=len(records),
                     extracted_rows=manifest["num_rows"],
-                    seconds=elapsed,
+                    seconds=watch.seconds,
                     table_name=ref.name,
                 )
             )

@@ -43,6 +43,7 @@ from repro.engine.operations import (
     hash_partition,
     split_evenly,
 )
+from repro.obs import MetricsRegistry, RuleFireCounter, stopwatch
 
 #: Right-side row-count limit under which joins are broadcast instead of
 #: shuffled. Parameter catalogs (U_rel) are tiny, so in practice the
@@ -51,22 +52,62 @@ from repro.engine.operations import (
 BROADCAST_THRESHOLD = 20_000
 
 
-@dataclass
-class ExecutorMetrics:
-    """Counters accumulated across one executor's lifetime."""
+#: Counter names every executor pre-creates (so run reports always show
+#: them, zero-valued, even for runs that never retried or shuffled).
+_EXECUTOR_COUNTERS = (
+    "tasks_run",
+    "shuffles",
+    "broadcast_joins",
+    "rows_shuffled",
+    "retries",
+    "faults_injected",
+)
 
-    tasks_run: int = 0
-    shuffles: int = 0
-    broadcast_joins: int = 0
-    rows_shuffled: int = 0
-    retries: int = 0
+
+class ExecutorMetrics:
+    """Counters accumulated across one executor's lifetime.
+
+    A read-only view over the executor's :class:`MetricsRegistry`
+    (``executor.obs``), kept for its established attribute API
+    (``metrics.retries`` etc.); new counters/gauges/histograms live on
+    the registry directly and flow into run reports from there.
+    """
+
+    def __init__(self, registry=None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name in _EXECUTOR_COUNTERS:
+            self.registry.counter("executor." + name)
+
+    def _value(self, name):
+        return self.registry.counter("executor." + name).value
+
+    @property
+    def tasks_run(self):
+        return self._value("tasks_run")
+
+    @property
+    def shuffles(self):
+        return self._value("shuffles")
+
+    @property
+    def broadcast_joins(self):
+        return self._value("broadcast_joins")
+
+    @property
+    def rows_shuffled(self):
+        return self._value("rows_shuffled")
+
+    @property
+    def retries(self):
+        return self._value("retries")
+
+    @property
+    def faults_injected(self):
+        return self._value("faults_injected")
 
     def reset(self):
-        self.tasks_run = 0
-        self.shuffles = 0
-        self.broadcast_joins = 0
-        self.rows_shuffled = 0
-        self.retries = 0
+        for name in _EXECUTOR_COUNTERS:
+            self.registry.counter("executor." + name).value = 0
 
 
 @dataclass(frozen=True)
@@ -181,7 +222,8 @@ class Executor:
         self.fault_policy = fault_policy
         self.max_task_retries = max_task_retries
         self.retry_backoff = retry_backoff
-        self.metrics = ExecutorMetrics()
+        self.obs = MetricsRegistry()
+        self.metrics = ExecutorMetrics(self.obs)
         self._stage_seq = 0
 
     # -- task running (strategy implemented by subclasses) ---------------
@@ -209,8 +251,9 @@ class Executor:
                 return self._attempt_task(task, x, stage, index, attempt)
             except InjectedFaultError as exc:
                 last_exc = exc
+                self.obs.inc("executor.faults_injected")
                 if attempt < attempts - 1:
-                    self.metrics.retries += 1
+                    self.obs.inc("executor.retries")
                     if self.retry_backoff:
                         time.sleep(self.retry_backoff * (2 ** attempt))
         raise TaskError(
@@ -222,6 +265,24 @@ class Executor:
             attempts=attempts,
             cause=last_exc,
         )
+
+    def _timed_partition(self, task, x, stage, index):
+        """Run one partition (with retries), observing its duration.
+
+        Returns ``(result, seconds)``; the duration lands in the
+        ``executor.task_seconds`` histograms (global and per stage
+        kind), which is where run reports read per-partition task
+        timings from.
+        """
+        with stopwatch() as watch:
+            result = self._run_partition_with_retries(task, x, stage, index)
+        self._observe_task(stage, watch.seconds)
+        return result, watch.seconds
+
+    def _observe_task(self, stage, seconds):
+        kind = stage.split("[", 1)[0]
+        self.obs.observe("executor.task_seconds", seconds)
+        self.obs.observe("executor.task_seconds.{}".format(kind), seconds)
 
     def close(self):
         """Release worker resources (no-op for serial execution)."""
@@ -239,7 +300,7 @@ class Executor:
         from repro.engine.optimizer import optimize
 
         if self.optimize_plans:
-            node = optimize(node)
+            node = optimize(node, trace=RuleFireCounter(self.obs))
         base, steps = self._linearize(node)
         partitions = self._execute_wide(base)
         if steps:
@@ -250,13 +311,17 @@ class Executor:
     def _run(self, task, inputs, stage="stage"):
         label = "{}[{}]".format(stage, self._stage_seq)
         self._stage_seq += 1
-        self.metrics.tasks_run += len(inputs)
+        self.obs.inc("executor.tasks_run", len(inputs))
         try:
-            return self.run_tasks(task, inputs, stage=label)
+            with stopwatch() as watch:
+                outputs = self.run_tasks(task, inputs, stage=label)
         except ExecutionError:
             raise
         except Exception as exc:
             raise ExecutionError("task execution failed: {}".format(exc), exc)
+        self.obs.observe("executor.stage_seconds.{}".format(stage),
+                         watch.seconds)
+        return outputs
 
     @staticmethod
     def _linearize(node):
@@ -295,7 +360,7 @@ class Executor:
         right_width = len(right_schema) - len(right_keys)
         right_rows = [r for p in right_parts for r in p]
         if len(right_rows) <= BROADCAST_THRESHOLD:
-            self.metrics.broadcast_joins += 1
+            self.obs.inc("executor.broadcast_joins")
             index = {}
             drop = set(right_keys)
             for row in right_rows:
@@ -305,10 +370,10 @@ class Executor:
             task = BroadcastJoinTask(left_keys, index, node.how, right_width)
             return self._run(task, left_parts, "broadcast-join")
         # Large right side: hash-shuffle both sides into aligned buckets.
-        self.metrics.shuffles += 1
+        self.obs.inc("executor.shuffles")
         buckets = max(self.default_parallelism, 1)
         left_rows = [r for p in left_parts for r in p]
-        self.metrics.rows_shuffled += len(left_rows) + len(right_rows)
+        self.obs.inc("executor.rows_shuffled", len(left_rows) + len(right_rows))
         left_buckets = hash_partition(left_rows, left_keys, buckets)
         right_buckets = hash_partition(right_rows, right_keys, buckets)
         task = BucketJoinTask(
@@ -331,8 +396,8 @@ class Executor:
             # Global aggregation: one group, one output row.
             task = BucketAggregateTask((), bound_aggs)
             return [task(rows)]
-        self.metrics.shuffles += 1
-        self.metrics.rows_shuffled += len(rows)
+        self.obs.inc("executor.shuffles")
+        self.obs.inc("executor.rows_shuffled", len(rows))
         buckets = hash_partition(
             rows, key_indices, max(self.default_parallelism, 1)
         )
@@ -344,8 +409,8 @@ class Executor:
         schema = node.child.schema
         key_indices = tuple(schema.index_of(k) for k in node.keys)
         rows = [r for p in child_parts for r in p]
-        self.metrics.shuffles += 1
-        self.metrics.rows_shuffled += len(rows)
+        self.obs.inc("executor.shuffles")
+        self.obs.inc("executor.rows_shuffled", len(rows))
         task = SortPartitionTask(key_indices, node.ascending)
         # Routed through the task runner so cost models charge the sort
         # as one (serial) task; executors with a single input run it in
@@ -356,8 +421,8 @@ class Executor:
     def _execute_repartition(self, node):
         child_parts = self.execute(node.child)
         rows = [r for p in child_parts for r in p]
-        self.metrics.shuffles += 1
-        self.metrics.rows_shuffled += len(rows)
+        self.obs.inc("executor.shuffles")
+        self.obs.inc("executor.rows_shuffled", len(rows))
         if node.keys:
             schema = node.child.schema
             key_indices = tuple(schema.index_of(k) for k in node.keys)
@@ -400,7 +465,7 @@ class SerialExecutor(Executor):
 
     def run_tasks(self, task, inputs, stage="task"):
         return [
-            self._run_partition_with_retries(task, x, stage, i)
+            self._timed_partition(task, x, stage, i)[0]
             for i, x in enumerate(inputs)
         ]
 
@@ -440,16 +505,17 @@ class SimulatedClusterExecutor(SerialExecutor):
         self.serial_task_seconds = 0.0
 
     def run_tasks(self, task, inputs, stage="task"):
-        import time as _time
-
+        if not inputs:
+            # A zero-partition stage schedules no tasks; charging the
+            # per-stage coordination latency for it would make empty
+            # stages cost a full stage_latency each.
+            return []
         outputs = []
         durations = []
         for i, x in enumerate(inputs):
-            start = _time.perf_counter()
-            outputs.append(
-                self._run_partition_with_retries(task, x, stage, i)
-            )
-            durations.append(_time.perf_counter() - start)
+            output, seconds = self._timed_partition(task, x, stage, i)
+            outputs.append(output)
+            durations.append(seconds)
         self.simulated_seconds += self._makespan(durations) + self.stage_latency
         self.serial_task_seconds += sum(durations)
         return outputs
@@ -491,7 +557,7 @@ class MultiprocessingExecutor(Executor):
         if len(inputs) <= 1:
             # Not worth a round-trip through the pool.
             return [
-                self._run_partition_with_retries(task, x, stage, i)
+                self._timed_partition(task, x, stage, i)[0]
                 for i, x in enumerate(inputs)
             ]
         pool = self._ensure_pool()
@@ -500,7 +566,7 @@ class MultiprocessingExecutor(Executor):
         # TypeError from pickle, which are indistinguishable from
         # genuine worker exceptions once they come back from the pool.
         try:
-            pickle.dumps(task)
+            blob = pickle.dumps(task)
         except Exception as exc:
             raise ExecutionError(
                 "task for stage {!r} is not picklable: {} "
@@ -508,6 +574,9 @@ class MultiprocessingExecutor(Executor):
                 "not lambdas or closures)".format(stage, exc),
                 exc,
             )
+        self.obs.set_gauge("executor.pickle_task_bytes", len(blob))
+        self.obs.gauge("executor.pickle_task_bytes_max").set_max(len(blob))
+        self.obs.observe("executor.pickle_task_bytes_hist", len(blob))
         results = [None] * len(inputs)
         pending = list(range(len(inputs)))
         attempts = self.max_task_retries + 1
@@ -538,11 +607,13 @@ class MultiprocessingExecutor(Executor):
                     # exhaust the (bounded) retry budget quickly.
                     failed.append(i)
                     last_errors[i] = exc
+                    if isinstance(exc, InjectedFaultError):
+                        self.obs.inc("executor.faults_injected")
             if not failed:
                 return results
             pending = failed
             if attempt < attempts - 1:
-                self.metrics.retries += len(failed)
+                self.obs.inc("executor.retries", len(failed))
                 if self.retry_backoff:
                     time.sleep(self.retry_backoff * (2 ** attempt))
         first = pending[0]

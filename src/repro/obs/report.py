@@ -1,0 +1,223 @@
+"""Run reports: spans + metrics + metadata, serializable and validated.
+
+A :class:`RunReport` is the unit of observability output: the pipeline
+returns one per run, the CLI writes one with ``--report FILE``, and the
+fuzz harness embeds one in every divergence reproducer. The JSON shape
+is versioned (``format`` field) and :func:`validate_report` checks it
+structurally, so report regressions fail fast in CI without a JSON
+Schema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+#: Version tag of the serialized report shape.
+REPORT_FORMAT = "repro.obs/1"
+
+
+class ReportSchemaError(ValueError):
+    """Raised by :func:`validate_report` for malformed report payloads."""
+
+
+class RunReport:
+    """One component run's observability bundle.
+
+    Parameters
+    ----------
+    name:
+        What ran, e.g. ``"pipeline.run"`` or ``"fuzz.divergence"``.
+    metrics, spans:
+        Existing registry/recorder to adopt; fresh ones by default.
+    """
+
+    def __init__(self, name, metrics=None, spans=None):
+        self.name = name
+        self.meta = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanRecorder()
+
+    def set_meta(self, **entries):
+        self.meta.update(entries)
+        return self
+
+    def span(self, name, **attrs):
+        return self.spans.span(name, **attrs)
+
+    def merge_registry(self, registry, prefix=""):
+        """Fold a component's registry (e.g. an executor's) in."""
+        registry.merge_into(self.metrics, prefix=prefix)
+        return self
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self):
+        payload = {
+            "format": REPORT_FORMAT,
+            "name": self.name,
+            "meta": dict(self.meta),
+            "spans": self.spans.to_list(),
+        }
+        payload.update(self.metrics.snapshot())
+        return payload
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False,
+                          default=str)
+
+    def write(self, path):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+        return path
+
+    def to_text(self):
+        """Human-readable summary (span tree + non-zero metrics)."""
+        lines = ["run report: {}".format(self.name)]
+        for key, value in sorted(self.meta.items()):
+            lines.append("  meta {} = {}".format(key, value))
+        if self.spans.spans:
+            lines.append("spans:")
+            for span in self.spans.spans:
+                _render_span(span, lines, indent=1)
+        counters = self.metrics.counters()
+        if counters:
+            lines.append("counters:")
+            for name, value in counters.items():
+                lines.append("  {} = {}".format(name, value))
+        gauges = self.metrics.gauges()
+        if gauges:
+            lines.append("gauges:")
+            for name, value in gauges.items():
+                lines.append("  {} = {}".format(name, value))
+        histograms = self.metrics.histograms()
+        if histograms:
+            lines.append("histograms:")
+            for name, summary in histograms.items():
+                lines.append(
+                    "  {}: n={} mean={:.6f} p50={} p95={}".format(
+                        name,
+                        summary["count"],
+                        summary.get("mean", 0.0),
+                        summary.get("p50", "-"),
+                        summary.get("p95", "-"),
+                    )
+                )
+        return "\n".join(lines)
+
+
+def _render_span(span, lines, indent):
+    attrs = ""
+    if span.attrs:
+        attrs = "  [{}]".format(
+            ", ".join(
+                "{}={}".format(k, v) for k, v in sorted(span.attrs.items())
+            )
+        )
+    lines.append(
+        "{}{} {:.6f}s{}".format("  " * indent, span.name, span.seconds, attrs)
+    )
+    for child in span.children:
+        _render_span(child, lines, indent + 1)
+
+
+# ---------------------------------------------------------------------------
+# Structural validation (the "report schema")
+# ---------------------------------------------------------------------------
+
+
+def _fail(errors, message):
+    errors.append(message)
+
+
+def _check_span(span, path, errors):
+    if not isinstance(span, dict):
+        return _fail(errors, "{}: span must be an object".format(path))
+    if not isinstance(span.get("name"), str) or not span.get("name"):
+        _fail(errors, "{}: span needs a non-empty string 'name'".format(path))
+    seconds = span.get("seconds")
+    if not isinstance(seconds, (int, float)) or isinstance(seconds, bool) \
+            or seconds < 0:
+        _fail(errors, "{}: span 'seconds' must be a number >= 0".format(path))
+    attrs = span.get("attrs", {})
+    if not isinstance(attrs, dict):
+        _fail(errors, "{}: span 'attrs' must be an object".format(path))
+    children = span.get("children", [])
+    if not isinstance(children, list):
+        return _fail(errors, "{}: span 'children' must be a list".format(path))
+    for i, child in enumerate(children):
+        _check_span(child, "{}.children[{}]".format(path, i), errors)
+
+
+_HISTOGRAM_NUMERIC = ("total", "mean", "min", "max", "p50", "p95")
+
+
+def validate_report(payload):
+    """Check a report payload against the ``repro.obs/1`` shape.
+
+    Returns the payload when valid; raises :class:`ReportSchemaError`
+    listing every problem otherwise. Accepts a dict or a JSON string.
+    """
+    if isinstance(payload, (str, bytes)):
+        try:
+            payload = json.loads(payload)
+        except ValueError as exc:
+            raise ReportSchemaError("report is not valid JSON: {}".format(exc))
+    errors = []
+    if not isinstance(payload, dict):
+        raise ReportSchemaError("report must be a JSON object")
+    if payload.get("format") != REPORT_FORMAT:
+        _fail(errors, "format must be {!r}, got {!r}".format(
+            REPORT_FORMAT, payload.get("format")))
+    if not isinstance(payload.get("name"), str) or not payload.get("name"):
+        _fail(errors, "name must be a non-empty string")
+    if not isinstance(payload.get("meta", {}), dict):
+        _fail(errors, "meta must be an object")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        _fail(errors, "spans must be a list")
+    else:
+        for i, span in enumerate(spans):
+            _check_span(span, "spans[{}]".format(i), errors)
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
+        _fail(errors, "counters must be an object")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                _fail(errors, "counters[{!r}] must be an int >= 0".format(name))
+    gauges = payload.get("gauges")
+    if not isinstance(gauges, dict):
+        _fail(errors, "gauges must be an object")
+    else:
+        for name, value in gauges.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                _fail(errors, "gauges[{!r}] must be a number".format(name))
+    histograms = payload.get("histograms")
+    if not isinstance(histograms, dict):
+        _fail(errors, "histograms must be an object")
+    else:
+        for name, summary in histograms.items():
+            if not isinstance(summary, dict):
+                _fail(errors, "histograms[{!r}] must be an object".format(name))
+                continue
+            count = summary.get("count")
+            if not isinstance(count, int) or isinstance(count, bool) \
+                    or count < 0:
+                _fail(errors, "histograms[{!r}].count must be an int >= 0"
+                      .format(name))
+            for key in _HISTOGRAM_NUMERIC:
+                if key in summary and (
+                    not isinstance(summary[key], (int, float))
+                    or isinstance(summary[key], bool)
+                ):
+                    _fail(errors, "histograms[{!r}].{} must be a number"
+                          .format(name, key))
+    if errors:
+        raise ReportSchemaError(
+            "invalid run report: {}".format("; ".join(errors))
+        )
+    return payload

@@ -1,0 +1,127 @@
+"""Nested wall-time spans and the stopwatch primitive.
+
+This module is the repository's only sanctioned caller of
+``time.perf_counter`` (enforced by a grep in the tier-1 suite): every
+layer that used to hand-roll ``start = perf_counter(); ...; elapsed``
+now uses either :func:`stopwatch` (flat timing) or
+:meth:`SpanRecorder.span` (nested stage timing feeding a
+:class:`~repro.obs.report.RunReport`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Elapsed wall time of one ``with stopwatch() as sw`` block."""
+
+    seconds: float = 0.0
+    _start: float = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.seconds += time.perf_counter() - self._start
+        return False
+
+
+def stopwatch():
+    """A fresh :class:`Stopwatch` (usable directly as a context manager)."""
+    return Stopwatch()
+
+
+@dataclass
+class Span:
+    """One named, timed region with attributes and child spans.
+
+    ``seconds`` accumulates: re-entering the same span name at the same
+    nesting level (see :meth:`SpanRecorder.span`) adds to the existing
+    span instead of creating a sibling, which is how per-item loop
+    stages (reduce/extend/branch over signals) report one total.
+    """
+
+    name: str
+    seconds: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    children: list = field(default_factory=list)
+
+    def set(self, **attrs):
+        """Attach (or overwrite) attributes, e.g. rows_in/rows_out."""
+        self.attrs.update(attrs)
+        return self
+
+    def child(self, name):
+        for span in self.children:
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self):
+        out = {"name": self.name, "seconds": self.seconds}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+class SpanRecorder:
+    """Collects a forest of :class:`Span` objects via context managers."""
+
+    def __init__(self):
+        self.spans = []
+        self._stack = []
+
+    def _level(self):
+        return self._stack[-1].children if self._stack else self.spans
+
+    @contextmanager
+    def span(self, name, merge=True, **attrs):
+        """Time a region as a span nested under the currently open one.
+
+        With ``merge=True`` (the default) a span named like an existing
+        sibling accumulates into it -- loop bodies produce one span per
+        stage, not one per iteration. ``attrs`` are set on entry and can
+        be extended via the yielded span's :meth:`Span.set`.
+        """
+        level = self._level()
+        span = None
+        if merge:
+            for existing in level:
+                if existing.name == name:
+                    span = existing
+                    break
+        if span is None:
+            span = Span(name)
+            level.append(span)
+        span.set(**attrs)
+        self._stack.append(span)
+        start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.seconds += time.perf_counter() - start
+            self._stack.pop()
+
+    def find(self, name):
+        """Top-level span by name (None when absent)."""
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    def seconds(self, name, default=0.0):
+        span = self.find(name)
+        return span.seconds if span is not None else default
+
+    def total_seconds(self):
+        return sum(span.seconds for span in self.spans)
+
+    def to_list(self):
+        return [span.to_dict() for span in self.spans]

@@ -22,6 +22,7 @@ import argparse
 import os
 import sys
 
+from repro.obs import RunReport
 from repro.testing.generator import generate_case
 from repro.testing.oracle import (
     DEFAULT_COMBOS,
@@ -65,15 +66,31 @@ def run_fuzz(num_seeds, start=0, out_dir="fuzz-failures", max_ops=8,
             ))
             path = None
             if shrink:
-                small_case, small_spec = shrink_case(
-                    case, spec, oracle.diverges
+                run_report = RunReport("fuzz.divergence")
+                with run_report.span("shrink"):
+                    small_case, small_spec = shrink_case(
+                        case, spec, oracle.diverges
+                    )
+                with run_report.span("recheck"):
+                    final = oracle.check_case(
+                        small_case, small_spec, seed=seed
+                    )
+                run_report.set_meta(
+                    seed=seed,
+                    ops=len(small_spec),
+                    trace_rows=small_case.total_rows(),
+                    divergent_combos=[d.combo for d in final.divergences],
                 )
-                final = oracle.check_case(small_case, small_spec, seed=seed)
+                for name, executor in sorted(oracle.executors().items()):
+                    run_report.merge_registry(
+                        executor.obs, prefix="combo.{}.".format(name)
+                    )
                 os.makedirs(out_dir, exist_ok=True)
                 path = os.path.join(out_dir, "seed-{}.json".format(seed))
                 write_reproducer(
                     path, small_case, small_spec,
                     seed=seed, divergences=final.divergences,
+                    report=run_report,
                 )
                 log("seed {}: shrunk to {} ops / {} rows -> {}".format(
                     seed, len(small_spec), small_case.total_rows(), path

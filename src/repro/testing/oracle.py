@@ -122,6 +122,15 @@ class DifferentialOracle:
             self._executors[combo.name] = executor
         return executor
 
+    def executors(self):
+        """Live ``{combo name: executor}`` map of this oracle's cache.
+
+        The fuzz harness reads each executor's ``obs`` registry from
+        here to embed task/retry/fault metrics into divergence
+        reproducers.
+        """
+        return dict(self._executors)
+
     def close(self):
         for executor in self._executors.values():
             executor.close()

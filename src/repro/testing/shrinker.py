@@ -134,8 +134,13 @@ def _with_partition(case, index, rows):
 # ---------------------------------------------------------------------------
 
 
-def write_reproducer(path, case, spec, seed=None, divergences=()):
-    """Persist a shrunk failure as JSON; returns the path written."""
+def write_reproducer(path, case, spec, seed=None, divergences=(),
+                     report=None):
+    """Persist a shrunk failure as JSON; returns the path written.
+
+    *report*, when given, is a :class:`repro.obs.RunReport` (shrink
+    timing + per-combo executor metrics) embedded under ``"report"``.
+    """
     payload = {
         "format": "repro.testing/1",
         "seed": seed,
@@ -153,8 +158,10 @@ def write_reproducer(path, case, spec, seed=None, divergences=()):
             for d in divergences
         ],
     }
+    if report is not None:
+        payload["report"] = report.to_dict()
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+        json.dump(payload, handle, indent=2, default=str)
         handle.write("\n")
     return path
 

@@ -84,6 +84,70 @@ class TestPipelineRun:
         assert result.counts["k_s"] > result.counts["r_out"]
 
 
+STAGES = (
+    "preselect", "interpret", "split", "reduce", "extend", "branch", "merge",
+)
+
+
+class TestRunReport:
+    def test_report_validates_against_schema(self, result):
+        from repro.obs import validate_report
+
+        validate_report(result.report.to_json())
+
+    def test_every_stage_has_a_span_with_row_counts(self, result):
+        spans = {s.name: s for s in result.report.spans.spans}
+        for stage in STAGES:
+            assert stage in spans, stage
+            assert "rows_in" in spans[stage].attrs, stage
+            assert "rows_out" in spans[stage].attrs, stage
+
+    def test_row_counters_match_span_attrs(self, result):
+        counters = result.report.metrics.counters()
+        spans = {s.name: s for s in result.report.spans.spans}
+        for stage in STAGES:
+            key = "pipeline.{}.rows_in".format(stage)
+            assert counters[key] == spans[stage].attrs["rows_in"]
+
+    def test_stage_row_flow_is_consistent(self, result):
+        spans = {s.name: s for s in result.report.spans.spans}
+        assert (
+            spans["preselect"].attrs["rows_out"]
+            == spans["interpret"].attrs["rows_in"]
+            == result.counts["k_pre"]
+        )
+        assert spans["reduce"].attrs["rows_out"] <= \
+            spans["reduce"].attrs["rows_in"]
+        assert spans["merge"].attrs["rows_out"] == result.counts["r_out"]
+
+    def test_selectivity_and_reduction_gauges(self, result):
+        gauges = result.report.metrics.gauges()
+        assert 0.0 < gauges["pipeline.preselect.selectivity"] <= 1.0
+        # wvel collapses to one row, so reduction strictly compresses.
+        assert 0.0 < gauges["pipeline.reduce.reduction_ratio"] < 1.0
+
+    def test_executor_counters_merged_in(self, result):
+        counters = result.report.metrics.counters()
+        assert counters["executor.tasks_run"] > 0
+        assert "executor.retries" in counters
+        assert "executor.faults_injected" in counters
+
+    def test_timings_are_span_seconds(self, result):
+        for stage in STAGES:
+            assert result.timings[stage] == \
+                result.report.spans.seconds(stage)
+
+    def test_caller_supplied_report_aggregates(self, config, wiper_trace):
+        from repro.obs import RunReport
+
+        report = RunReport("batch")
+        PreprocessingPipeline(config).run(wiper_trace, report=report)
+        first = report.metrics.counter("pipeline.preselect.rows_in").value
+        PreprocessingPipeline(config).run(wiper_trace, report=report)
+        second = report.metrics.counter("pipeline.preselect.rows_in").value
+        assert second == 2 * first
+
+
 class TestStateRepresentationIntegration:
     def test_pivot_columns(self, result):
         rep = result.state_representation(["wpos", "heat", "belt"])

@@ -4,10 +4,19 @@ import pytest
 
 from repro.core import interpret, preselect
 from repro.core.profiling import profile_report, profile_signal, profile_trace
+from repro.obs import median, percentile
 
 
 def rows_for(times, values, s_id="s", b_id="FC"):
     return [(t, v, s_id, b_id) for t, v in zip(times, values)]
+
+
+def times_with_gaps(gaps):
+    """21 timestamps whose consecutive gaps are exactly *gaps*."""
+    times = [0.0]
+    for gap in gaps:
+        times.append(times[-1] + gap)
+    return times
 
 
 class TestProfileSignal:
@@ -70,6 +79,65 @@ class TestProfileSignal:
         rows = rows_for([0.0], [1]) + rows_for([0.1], [1], b_id="BC")
         p = profile_signal(rows, "s")
         assert p.channels == ("BC", "FC")
+
+    def test_two_row_sequence(self):
+        p = profile_signal(rows_for([0.0, 0.5], [1, 2]), "s")
+        assert p.count == 2
+        # One gap: it is simultaneously the median and every percentile.
+        assert p.median_gap == pytest.approx(0.5)
+        assert p.p95_gap == pytest.approx(0.5)
+        assert p.change_ratio == pytest.approx(1.0)
+
+    def test_constant_value_sequence(self):
+        p = profile_signal(
+            rows_for([0.1 * i for i in range(10)], [7] * 10), "s"
+        )
+        assert p.distinct_values == 1
+        assert p.change_ratio == 0.0
+        assert p.value_min == p.value_max == 7
+        assert p.median_gap == pytest.approx(0.1)
+        assert p.p95_gap == pytest.approx(0.1)
+
+
+class TestPercentileRegressions:
+    """The old hand-rolled indexing returned p100 as p95 at n = 20."""
+
+    GAPS = [float(g) for g in range(1, 21)]  # 20 distinct gaps: 1..20
+
+    def profile(self):
+        times = times_with_gaps(self.GAPS)
+        return profile_signal(rows_for(times, range(len(times))), "s")
+
+    def test_p95_gap_is_nearest_rank_not_maximum(self):
+        p = self.profile()
+        # Nearest rank: ceil(0.95 * 20) - 1 == index 18 -> gap 19. The
+        # old int(len * 0.95) indexing picked index 19 == max(gaps),
+        # i.e. p100 masquerading as p95.
+        assert p.p95_gap == 19.0
+        assert p.p95_gap != max(self.GAPS)
+        assert p.p95_gap == percentile(self.GAPS, 95)
+
+    def test_median_gap_even_length_takes_lower_middle(self):
+        p = self.profile()
+        # 20 gaps: nearest-rank median is the 10th value (10.0); the
+        # old // 2 indexing took the upper middle (11.0).
+        assert p.median_gap == 10.0
+        assert p.median_gap == median(self.GAPS)
+
+    def test_profiling_and_classification_medians_agree(self):
+        # Both modules route median_gap through repro.obs.median, so an
+        # even-length gap sequence yields one answer everywhere.
+        from repro.core.classification import _change_rate, ClassifierConfig
+
+        gaps = [0.1, 0.1, 5.0, 5.0]  # even length; lower middle = 0.1
+        times = times_with_gaps(gaps)
+        p = profile_signal(rows_for(times, range(len(times))), "s")
+        assert p.median_gap == pytest.approx(0.1)
+        # With median 0.1 the active-segment limit (factor 10 -> 1.0 s)
+        # excludes the 5.0 s gaps: 3 active points over 0.2 s -> high
+        # rate. The old upper-middle median (5.0 -> limit 50 s) kept
+        # every gap active: 5 points over 10.2 s -> low rate.
+        assert _change_rate(times, ClassifierConfig()) == "H"
 
 
 class TestProfileTrace:

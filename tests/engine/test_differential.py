@@ -121,8 +121,21 @@ class TestMutantDetection:
         seed, report, path = failures[0]
         assert report.divergences
         assert path is not None
-        loaded_case, loaded_spec, _payload = load_reproducer(path)
+        loaded_case, loaded_spec, payload = load_reproducer(path)
         assert len(loaded_spec) <= 5
+        # Every reproducer carries an observability report describing
+        # the shrink/recheck run that produced it.
+        from repro.obs import validate_report
+
+        report_payload = validate_report(payload["report"])
+        assert report_payload["name"] == "fuzz.divergence"
+        assert report_payload["meta"]["seed"] == seed
+        span_names = {s["name"] for s in report_payload["spans"]}
+        assert {"shrink", "recheck"} <= span_names
+        assert any(
+            name.startswith("combo.") and name.endswith("executor.tasks_run")
+            for name in report_payload["counters"]
+        )
 
 
 class TestShrinkerValidityHandling:

@@ -10,7 +10,10 @@ import pytest
 
 from repro.engine import EngineContext, aggregates, col
 from repro.engine.errors import EngineError, ExecutionError
-from repro.engine.executor import MultiprocessingExecutor
+from repro.engine.executor import (
+    MultiprocessingExecutor,
+    SimulatedClusterExecutor,
+)
 
 
 def _workload(ctx, rows=200, partitions=4):
@@ -62,6 +65,36 @@ class TestWorkerAndPartitionShapes:
         with EngineContext.parallel(num_workers=2) as ctx:
             t = ctx.table_from_partitions(["t", "m", "v"], layout)
             assert t.filter(col("v") > 5).count() == 2
+
+
+def _identity(x):
+    return x
+
+
+class TestSimulatedClusterEmptyStages:
+    def test_empty_stage_charges_no_latency(self):
+        # Invariant: a stage with zero partitions schedules zero tasks,
+        # so it must not be billed the per-stage coordination latency.
+        # The old code charged stage_latency unconditionally, making a
+        # zero-partition stage cost a full stage each.
+        executor = SimulatedClusterExecutor(num_workers=4, stage_latency=0.5)
+        assert executor.run_tasks(_identity, [], stage="empty[0]") == []
+        assert executor.simulated_seconds == 0.0
+        assert executor.serial_task_seconds == 0.0
+
+    def test_nonempty_stage_still_charges_latency(self):
+        executor = SimulatedClusterExecutor(num_workers=4, stage_latency=0.5)
+        outputs = executor.run_tasks(_identity, [[1], [2]], stage="full[0]")
+        assert outputs == [[1], [2]]
+        assert executor.simulated_seconds >= 0.5
+
+    def test_mixed_empty_and_full_stages(self):
+        executor = SimulatedClusterExecutor(num_workers=2, stage_latency=0.25)
+        executor.run_tasks(_identity, [[1]], stage="a[0]")
+        executor.run_tasks(_identity, [], stage="b[1]")
+        executor.run_tasks(_identity, [[2]], stage="c[2]")
+        # Exactly two stages ran tasks -> exactly two latency charges.
+        assert 0.5 <= executor.simulated_seconds < 0.75
 
 
 class TestPicklingFailurePath:

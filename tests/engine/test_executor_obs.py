@@ -1,0 +1,117 @@
+"""Executor observability: task-duration histograms, rule-fire counters,
+retry/fault counters and pickle-size gauges on the obs registry."""
+
+import pytest
+
+from repro.engine import EngineContext, FaultPolicy, col
+from repro.engine.executor import (
+    MultiprocessingExecutor,
+    SerialExecutor,
+    SimulatedClusterExecutor,
+)
+
+
+def _table(ctx, rows=60, partitions=4):
+    return ctx.table_from_rows(
+        ["x"], [(i,) for i in range(rows)], num_partitions=partitions
+    )
+
+
+def _double(rows):
+    return [(x * 2,) for (x,) in rows]
+
+
+class TestTaskDurationHistograms:
+    def test_serial_executor_records_per_task_durations(self):
+        ctx = EngineContext.serial(default_parallelism=4)
+        _table(ctx).filter(col("x") >= 0).collect()
+        histogram = ctx.executor.obs.histogram("executor.task_seconds")
+        assert histogram.count == ctx.executor.metrics.tasks_run
+        assert histogram.min >= 0.0
+        assert histogram.percentile(95) >= histogram.percentile(50)
+
+    def test_per_stage_kind_histograms(self):
+        ctx = EngineContext.serial(default_parallelism=4)
+        _table(ctx).filter(col("x") > 5).sort("x").collect()
+        names = set(ctx.executor.obs.histograms())
+        assert "executor.task_seconds.narrow" in names
+        assert "executor.task_seconds.sort" in names
+        assert any(n.startswith("executor.stage_seconds.") for n in names)
+
+    def test_simulated_cluster_histograms_feed_makespan(self):
+        executor = SimulatedClusterExecutor(num_workers=2, stage_latency=0.0)
+        executor.run_tasks(_double, [[(1,)], [(2,)], [(3,)]], stage="map[0]")
+        histogram = executor.obs.histogram("executor.task_seconds")
+        assert histogram.count == 3
+        assert executor.serial_task_seconds == pytest.approx(
+            histogram.total, rel=1e-6
+        )
+
+
+class TestOptimizerRuleCounters:
+    def test_filter_fusion_fires_counter(self):
+        ctx = EngineContext.serial(default_parallelism=2)
+        _table(ctx).filter(col("x") > 1).filter(col("x") < 50).collect()
+        counters = ctx.executor.obs.counters()
+        assert counters.get("optimizer.rule.filter_fusion", 0) >= 1
+
+    def test_unoptimized_executor_fires_nothing(self):
+        executor = SerialExecutor(default_parallelism=2, optimize_plans=False)
+        ctx = EngineContext(executor)
+        _table(ctx).filter(col("x") > 1).filter(col("x") < 50).collect()
+        assert not any(
+            name.startswith("optimizer.rule.")
+            for name in executor.obs.counters()
+        )
+
+
+class TestRetryAndFaultCounters:
+    def test_injected_faults_and_retries_counted(self):
+        policy = FaultPolicy(crash_rate=1.0, seed=3, crashes_per_task=1)
+        executor = SerialExecutor(
+            default_parallelism=2, fault_policy=policy,
+            max_task_retries=2, retry_backoff=0.0,
+        )
+        ctx = EngineContext(executor)
+        _table(ctx, rows=20, partitions=2).filter(col("x") >= 0).collect()
+        counters = executor.obs.counters()
+        assert counters["executor.faults_injected"] > 0
+        assert counters["executor.retries"] > 0
+        # The back-compat metrics view reads the same counters.
+        assert executor.metrics.retries == counters["executor.retries"]
+        assert (
+            executor.metrics.faults_injected
+            == counters["executor.faults_injected"]
+        )
+
+    def test_counters_exist_at_zero_before_any_run(self):
+        executor = SerialExecutor()
+        counters = executor.obs.counters()
+        assert counters["executor.retries"] == 0
+        assert counters["executor.faults_injected"] == 0
+        assert counters["executor.tasks_run"] == 0
+
+
+class TestPickleSizeGauges:
+    def test_pool_path_records_task_pickle_size(self):
+        executor = MultiprocessingExecutor(num_workers=2, retry_backoff=0.0)
+        try:
+            executor.run_tasks(_double, [[(1,)], [(2,)], [(3,)]], stage="m[0]")
+            gauges = executor.obs.gauges()
+            assert gauges["executor.pickle_task_bytes"] > 0
+            assert (
+                gauges["executor.pickle_task_bytes_max"]
+                >= gauges["executor.pickle_task_bytes"]
+            )
+            histogram = executor.obs.histogram("executor.pickle_task_bytes_hist")
+            assert histogram.count == 1
+        finally:
+            executor.close()
+
+    def test_single_partition_path_skips_pool_and_gauge(self):
+        executor = MultiprocessingExecutor(num_workers=2, retry_backoff=0.0)
+        try:
+            executor.run_tasks(_double, [[(1,)]], stage="m[0]")
+            assert "executor.pickle_task_bytes" not in executor.obs.gauges()
+        finally:
+            executor.close()

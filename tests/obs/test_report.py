@@ -1,0 +1,108 @@
+"""RunReport serialization and the repro.obs/1 schema validation."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    REPORT_FORMAT,
+    ReportSchemaError,
+    RunReport,
+    validate_report,
+)
+
+
+def make_report():
+    report = RunReport("test.run")
+    report.set_meta(dataset="SYN")
+    with report.span("stage", rows_in=10) as span:
+        span.set(rows_out=5)
+    report.metrics.inc("executor.retries", 2)
+    report.metrics.set_gauge("selectivity", 0.5)
+    report.metrics.observe("task_seconds", 0.01)
+    return report
+
+
+class TestRunReport:
+    def test_to_dict_is_valid(self):
+        payload = make_report().to_dict()
+        assert validate_report(payload) is payload
+        assert payload["format"] == REPORT_FORMAT
+        assert payload["meta"] == {"dataset": "SYN"}
+        assert payload["counters"]["executor.retries"] == 2
+
+    def test_json_roundtrip_validates(self):
+        text = make_report().to_json()
+        payload = validate_report(text)
+        assert payload["name"] == "test.run"
+
+    def test_write_and_reload(self, tmp_path):
+        path = tmp_path / "report.json"
+        make_report().write(str(path))
+        payload = json.loads(path.read_text())
+        validate_report(payload)
+
+    def test_to_text_mentions_spans_and_metrics(self):
+        text = make_report().to_text()
+        assert "test.run" in text
+        assert "stage" in text
+        assert "executor.retries" in text
+        assert "task_seconds" in text
+
+    def test_merge_registry(self):
+        report = RunReport("r")
+        other = MetricsRegistry()
+        other.inc("executor.tasks_run", 7)
+        report.merge_registry(other)
+        assert report.metrics.counter("executor.tasks_run").value == 7
+
+
+class TestValidateReport:
+    def test_rejects_wrong_format_tag(self):
+        payload = make_report().to_dict()
+        payload["format"] = "something/else"
+        with pytest.raises(ReportSchemaError):
+            validate_report(payload)
+
+    def test_rejects_negative_span_seconds(self):
+        payload = make_report().to_dict()
+        payload["spans"][0]["seconds"] = -1.0
+        with pytest.raises(ReportSchemaError):
+            validate_report(payload)
+
+    def test_rejects_non_integer_counter(self):
+        payload = make_report().to_dict()
+        payload["counters"]["executor.retries"] = "two"
+        with pytest.raises(ReportSchemaError):
+            validate_report(payload)
+
+    def test_rejects_missing_spans(self):
+        payload = make_report().to_dict()
+        del payload["spans"]
+        with pytest.raises(ReportSchemaError):
+            validate_report(payload)
+
+    def test_rejects_invalid_json_text(self):
+        with pytest.raises(ReportSchemaError):
+            validate_report("{not json")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ReportSchemaError):
+            validate_report([1, 2, 3])
+
+    def test_error_lists_every_problem(self):
+        payload = make_report().to_dict()
+        payload["format"] = "bad"
+        payload["name"] = ""
+        try:
+            validate_report(payload)
+        except ReportSchemaError as exc:
+            message = str(exc)
+        assert "format" in message and "name" in message
+
+    def test_nested_span_children_checked(self):
+        payload = make_report().to_dict()
+        payload["spans"][0]["children"] = [{"name": "", "seconds": 0.0}]
+        with pytest.raises(ReportSchemaError):
+            validate_report(payload)

@@ -1,0 +1,94 @@
+"""Span recorder nesting, merge accumulation, and the stopwatch."""
+
+import pytest
+
+from repro.obs import SpanRecorder, stopwatch
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        with stopwatch() as watch:
+            sum(range(1000))
+        assert watch.seconds >= 0.0
+
+    def test_accumulates_across_reuse(self):
+        watch = stopwatch()
+        with watch:
+            pass
+        first = watch.seconds
+        with watch:
+            sum(range(1000))
+        assert watch.seconds >= first
+
+
+class TestSpanNesting:
+    def test_top_level_spans(self):
+        recorder = SpanRecorder()
+        with recorder.span("a"):
+            pass
+        with recorder.span("b"):
+            pass
+        assert [s.name for s in recorder.spans] == ["a", "b"]
+
+    def test_children_nest_under_open_span(self):
+        recorder = SpanRecorder()
+        with recorder.span("parent"):
+            with recorder.span("child"):
+                pass
+        parent = recorder.find("parent")
+        assert [c.name for c in parent.children] == ["child"]
+        assert recorder.find("child") is None  # not top-level
+
+    def test_merge_accumulates_same_name_at_same_level(self):
+        recorder = SpanRecorder()
+        for _ in range(3):
+            with recorder.span("loop"):
+                sum(range(100))
+        assert len(recorder.spans) == 1
+        assert recorder.find("loop").seconds > 0.0
+
+    def test_merge_false_creates_siblings(self):
+        recorder = SpanRecorder()
+        with recorder.span("x", merge=False):
+            pass
+        with recorder.span("x", merge=False):
+            pass
+        assert len(recorder.spans) == 2
+
+    def test_attrs_set_on_entry_and_via_set(self):
+        recorder = SpanRecorder()
+        with recorder.span("s", rows_in=10) as span:
+            span.set(rows_out=4)
+        assert recorder.find("s").attrs == {"rows_in": 10, "rows_out": 4}
+
+    def test_seconds_survive_exceptions(self):
+        recorder = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("failing"):
+                raise RuntimeError("boom")
+        assert recorder.find("failing").seconds >= 0.0
+        # Stack is popped: the next span is top-level, not a child.
+        with recorder.span("after"):
+            pass
+        assert recorder.find("after") is not None
+
+
+class TestSerialization:
+    def test_to_list_shape(self):
+        recorder = SpanRecorder()
+        with recorder.span("outer", rows_in=2):
+            with recorder.span("inner"):
+                pass
+        [outer] = recorder.to_list()
+        assert outer["name"] == "outer"
+        assert outer["attrs"] == {"rows_in": 2}
+        assert outer["children"][0]["name"] == "inner"
+        assert outer["seconds"] >= outer["children"][0]["seconds"]
+
+    def test_seconds_helpers(self):
+        recorder = SpanRecorder()
+        with recorder.span("a"):
+            pass
+        assert recorder.seconds("a") == recorder.find("a").seconds
+        assert recorder.seconds("missing") == 0.0
+        assert recorder.total_seconds() == recorder.seconds("a")

@@ -104,6 +104,26 @@ class TestPipeline:
         assert "| t |" in out
         assert output.is_file()
 
+    def test_report_flag_writes_valid_schema(self, trace_file, tmp_path):
+        report_path = tmp_path / "run-report.json"
+        code, out = run_cli(
+            "pipeline", "--dataset", "SYN", "--trace", str(trace_file),
+            "--max-rows", "2", "--report", str(report_path),
+        )
+        assert code == 0
+        assert "run report written to" in out
+        from repro.obs import validate_report
+
+        payload = validate_report(report_path.read_text())
+        assert payload["meta"]["dataset"] == "SYN"
+        span_names = {s["name"] for s in payload["spans"]}
+        assert span_names >= {
+            "preselect", "interpret", "split", "reduce", "extend",
+            "branch", "merge",
+        }
+        assert payload["counters"]["pipeline.merge.rows_out"] > 0
+        assert "executor.retries" in payload["counters"]
+
     def test_with_params_file(self, trace_file, tmp_path):
         params = {
             "signals": ["syn_num_000"],
