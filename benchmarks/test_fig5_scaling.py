@@ -14,13 +14,15 @@ grows with examples and the growth is closer to linear than to
 quadratic.
 """
 
+import time
+
 import pytest
 
 from benchmarks.conftest import CLUSTER_WORKERS, DURATIONS, print_table
 from repro.core import PipelineConfig, PreprocessingPipeline
 from repro.core.reduction import reduce_signal
 from repro.core.splitting import equality_split, split_signal_types
-from repro.engine import EngineContext
+from repro.engine import EngineContext, SimulatedClusterExecutor, col
 from repro.protocols.frames import BYTE_RECORD_COLUMNS
 
 FRACTIONS = (0.25, 0.5, 0.75, 1.0)
@@ -100,3 +102,91 @@ def test_fig5_execution_time_vs_examples(benchmark, bundles, name):
     ratio_examples = examples[-1] / examples[0]
     ratio_time = times[-1] / times[0]
     assert ratio_time < 2.5 * ratio_examples
+
+
+# ---------------------------------------------------------------------------
+# Per-signal splitting: one routed pass vs one filter scan per signal
+# ---------------------------------------------------------------------------
+
+
+def _interpreted_k_s(bundle, duration):
+    """Columns + partitions of the bundle's interpreted ``K_s``."""
+    ctx = EngineContext.serial(default_parallelism=CLUSTER_WORKERS)
+    k_b = ctx.table_from_rows(
+        list(BYTE_RECORD_COLUMNS), bundle.byte_records(duration)
+    )
+    config = PipelineConfig(
+        catalog=bundle.catalog(), constraints=bundle.default_constraints()
+    )
+    pipeline = PreprocessingPipeline(config)
+    k_s = pipeline.interpret(pipeline.preselect(k_b))
+    return k_s.columns, k_s.collect_partitions()
+
+
+def measure_split_strategies(bundle, duration):
+    columns, partitions = _interpreted_k_s(bundle, duration)
+    signal_ids = sorted(bundle.signal_ids)
+
+    # Old pattern: one full filter scan per signal type. Optimization is
+    # off so the filter-to-split rewrite cannot rescue it.
+    fanout_exec = SimulatedClusterExecutor(
+        num_workers=CLUSTER_WORKERS, optimize_plans=False
+    )
+    k_s = EngineContext(fanout_exec).table_from_partitions(columns, partitions)
+    start = time.perf_counter()
+    for s_id in signal_ids:
+        k_s.filter(col("s_id") == s_id).collect()
+    fanout_seconds = time.perf_counter() - start
+
+    # New pattern: one routed pass producing every group at once.
+    split_exec = SimulatedClusterExecutor(num_workers=CLUSTER_WORKERS)
+    k_s = EngineContext(split_exec).table_from_partitions(columns, partitions)
+    start = time.perf_counter()
+    groups = k_s.split_by_key("s_id", keys=signal_ids)
+    for table in groups.values():
+        table.collect()
+    split_seconds = time.perf_counter() - start
+
+    return {
+        "signals": len(signal_ids),
+        "rows": sum(len(p) for p in partitions),
+        "partitions": len(partitions),
+        "fanout_seconds": fanout_seconds,
+        "fanout_tasks": fanout_exec.metrics.tasks_run,
+        "split_seconds": split_seconds,
+        "split_tasks": split_exec.metrics.tasks_run,
+        "split_shuffles": split_exec.metrics.shuffles,
+        "split_stages": split_exec.metrics.splits,
+    }
+
+
+def test_split_by_key_single_pass_vs_filter_fan_out(benchmark, syn_bundle):
+    stats = benchmark.pedantic(
+        measure_split_strategies,
+        args=(syn_bundle, DURATIONS["SYN"]),
+        rounds=1,
+        iterations=1,
+    )
+
+    speedup = stats["fanout_seconds"] / max(stats["split_seconds"], 1e-9)
+    print_table(
+        "Per-signal split of SYN K_s -- filter fan-out vs SplitByKey "
+        "({} signals, {} rows)".format(stats["signals"], stats["rows"]),
+        ["strategy", "scan stages", "tasks", "seconds"],
+        [
+            ("filter fan-out", stats["signals"], stats["fanout_tasks"],
+             round(stats["fanout_seconds"], 4)),
+            ("split_by_key", 1, stats["split_tasks"],
+             round(stats["split_seconds"], 4)),
+            ("speedup", "-", "-", "{:.1f}x".format(speedup)),
+        ],
+    )
+
+    # Scan count O(S) -> O(1): the fan-out runs one stage of P tasks per
+    # signal; the split runs a single routed stage of P tasks.
+    assert stats["split_stages"] == 1
+    assert stats["split_shuffles"] == 1
+    assert stats["split_tasks"] == stats["partitions"]
+    assert stats["fanout_tasks"] == stats["signals"] * stats["partitions"]
+    # And the single pass is measurably faster end to end.
+    assert stats["split_seconds"] < stats["fanout_seconds"]

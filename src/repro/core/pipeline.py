@@ -192,6 +192,7 @@ class PreprocessingPipeline:
         span.set(rows_in=counts["k_pre"], rows_out=counts["k_s"])
 
         with recorder.span("split") as split_span:
+            splits_before = context.executor.metrics.splits
             per_signal = split_signal_types(
                 k_s, sorted(set(self.config.catalog.signal_ids()))
             )
@@ -205,6 +206,14 @@ class PreprocessingPipeline:
                     splits[s_id] = SplitResult(
                         s_id, table.sort(["t"]), groups=[]
                     )
+            # Per-signal splitting is a single routed pass: this gauge
+            # counts shuffle stages spent splitting (1 for the s_id
+            # split + 1 per deduped signal's b_id split), not one per
+            # signal type as the old filter fan-out cost.
+            registry.set_gauge(
+                "pipeline.split.shuffle_stages",
+                context.executor.metrics.splits - splits_before,
+            )
 
         outcomes = {}
         branch_tables = []

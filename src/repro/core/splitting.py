@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine.expressions import col
-
 
 @dataclass(frozen=True)
 class ChannelGroup:
@@ -56,18 +54,17 @@ class SplitResult:
 def split_signal_types(k_s, signal_ids=None):
     """Line 7-8: one table per signal type ``K_s^{s_id}``.
 
-    Returns a dict s_id -> table. When *signal_ids* is None the ids are
-    discovered from the data (a distinct aggregation).
-    """
-    if signal_ids is None:
-        from repro.engine import aggregates
+    One routed pass over ``K_s`` (a single shuffle stage, the engine's
+    :meth:`~repro.engine.table.Table.split_by_key`) produces *every*
+    per-signal table at once, replacing the previous
+    one-filter-scan-per-signal fan-out -- a trace with S signal types
+    was scanned S+1 times, now once.
 
-        distinct = k_s.group_by("s_id").agg(("n", aggregates.Count(), None))
-        signal_ids = sorted(row[0] for row in distinct.collect())
-    out = {}
-    for s_id in signal_ids:
-        out[s_id] = k_s.filter(col("s_id") == s_id)
-    return out
+    Returns a dict s_id -> table. When *signal_ids* is None the ids are
+    discovered from the data during the same pass.
+    """
+    keys = None if signal_ids is None else sorted(signal_ids)
+    return k_s.split_by_key("s_id", keys=keys)
 
 
 def equality_split(k_s_sid, signal_id):
@@ -78,9 +75,14 @@ def equality_split(k_s_sid, signal_id):
     channel only.
     """
     ordered = k_s_sid.sort(["b_id", "t"]).cache()
-    sequences = {}
-    for t, v, s_id, b_id in ordered.collect():
-        sequences.setdefault(b_id, []).append(v)
+    # One routed pass yields every channel's table; each inherits the
+    # (b_id, t) sort, so its value column is already time-ordered.
+    per_channel = ordered.split_by_key("b_id")
+    v_index = ordered.schema.index_of("v")
+    sequences = {
+        b_id: [row[v_index] for row in table.collect()]
+        for b_id, table in per_channel.items()
+    }
     if not sequences:
         return SplitResult(signal_id, k_s_sid, groups=[])
     # Deterministic representative choice: longest sequence, ties by name.
@@ -103,10 +105,9 @@ def equality_split(k_s_sid, signal_id):
             ChannelGroup(signal_id, channel, tuple(sorted(map(str, corresponding))))
         )
     head = groups[0]
-    k_sep = ordered.filter(col("b_id") == head.representative)
+    k_sep = per_channel[head.representative]
     extra = [
-        (group, ordered.filter(col("b_id") == group.representative))
-        for group in groups[1:]
+        (group, per_channel[group.representative]) for group in groups[1:]
     ]
     return SplitResult(signal_id, k_sep, groups=groups, extra=extra)
 

@@ -81,12 +81,14 @@ class EngineContext:
         schema = Schema.of(*columns, dtypes=dtypes)
         width = len(schema)
         rows = [tuple(r) for r in rows]
-        for row in rows[:1]:
+        # Every row is validated, not just the first: a ragged row deep
+        # in the input would otherwise surface much later as an opaque
+        # IndexError inside some executor task.
+        for index, row in enumerate(rows):
             if len(row) != width:
                 raise PlanError(
-                    "row width {} does not match schema width {}".format(
-                        len(row), width
-                    )
+                    "row {} has width {}, which does not match schema "
+                    "width {}".format(index, len(row), width)
                 )
         if num_partitions is None:
             num_partitions = self.default_parallelism

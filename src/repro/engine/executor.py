@@ -40,6 +40,7 @@ from repro.engine.operations import (
     PartitionTask,
     ProjectStep,
     SortPartitionTask,
+    SplitRouteTask,
     hash_partition,
     split_evenly,
 )
@@ -61,7 +62,16 @@ _EXECUTOR_COUNTERS = (
     "rows_shuffled",
     "retries",
     "faults_injected",
+    "splits",
+    "split_groups",
+    "split_rows",
+    "split_cache_hits",
 )
+
+#: Entries kept in the per-executor split cache (materialized routings
+#: of SplitByKey children). Small: each entry holds one full copy of a
+#: (usually already cached) source table, grouped.
+_SPLIT_CACHE_MAX = 8
 
 
 class ExecutorMetrics:
@@ -104,6 +114,22 @@ class ExecutorMetrics:
     @property
     def faults_injected(self):
         return self._value("faults_injected")
+
+    @property
+    def splits(self):
+        return self._value("splits")
+
+    @property
+    def split_groups(self):
+        return self._value("split_groups")
+
+    @property
+    def split_rows(self):
+        return self._value("split_rows")
+
+    @property
+    def split_cache_hits(self):
+        return self._value("split_cache_hits")
 
     def reset(self):
         for name in _EXECUTOR_COUNTERS:
@@ -225,6 +251,7 @@ class Executor:
         self.obs = MetricsRegistry()
         self.metrics = ExecutorMetrics(self.obs)
         self._stage_seq = 0
+        self._split_cache = {}
 
     # -- task running (strategy implemented by subclasses) ---------------
     def run_tasks(self, task, inputs, stage="task"):
@@ -348,6 +375,14 @@ class Executor:
             return self._execute_repartition(node)
         if isinstance(node, logical.SortedMapPartitions):
             return self._execute_sorted_map(node)
+        if isinstance(node, logical.Limit):
+            return self._execute_limit(node)
+        if isinstance(node, logical.SplitByKey):
+            groups, num_partitions = self._split_groups(node.child, node.key)
+            parts = groups.get(node.group)
+            if parts is None:
+                return [[] for _unused in range(num_partitions)]
+            return [list(p) for p in parts]
         raise PlanError("unknown plan node {!r}".format(type(node).__name__))
 
     def _execute_join(self, node):
@@ -428,6 +463,102 @@ class Executor:
             key_indices = tuple(schema.index_of(k) for k in node.keys)
             return hash_partition(rows, key_indices, node.num_partitions)
         return split_evenly(rows, node.num_partitions)
+
+    def _execute_limit(self, node):
+        child_parts = self.execute(node.child)
+        remaining = node.n
+        out = []
+        for part in child_parts:
+            if remaining <= 0:
+                out.append([])
+            elif len(part) <= remaining:
+                out.append(list(part))
+                remaining -= len(part)
+            else:
+                out.append(list(part[:remaining]))
+                remaining = 0
+        return out
+
+    # -- single-pass split (SplitByKey) ----------------------------------
+    def execute_split(self, node, key, keys=None):
+        """Split *node*'s rows by the *key* column in one routed pass.
+
+        Returns ``(groups, num_partitions)`` where *groups* maps each
+        key value to its list of partitions, co-partitioned with the
+        input (group partition ``i`` holds the rows of input partition
+        ``i`` with that key value, in order). When *keys* is given the
+        result holds exactly those keys in that order, with absent keys
+        mapped to empty partition lists; otherwise keys are discovered
+        from the data. Partition lists may be shared with the split
+        cache -- treat them as read-only.
+        """
+        groups, num_partitions = self._split_groups(node, key)
+        if keys is None:
+            return dict(groups), num_partitions
+        out = {}
+        for value in keys:
+            parts = groups.get(value)
+            if parts is None:
+                parts = [[] for _unused in range(num_partitions)]
+            out[value] = parts
+        return out, num_partitions
+
+    def _split_groups(self, child, key):
+        """Route *child*'s rows by *key* into per-value groups, cached.
+
+        The routing is one task per child partition (stage kind
+        ``split``, subject to fault injection and the normal retry
+        budget) followed by a driver-side regroup. Results are cached
+        per ``(child plan, key)`` so sibling ``SplitByKey`` nodes -- and
+        repeated filter fan-outs rewritten by the optimizer -- reuse one
+        shuffle stage instead of rescanning the child per group.
+        """
+        cache_key = self._split_cache_key(child, key)
+        if cache_key is not None:
+            cached = self._split_cache.get(cache_key)
+            if cached is not None:
+                self.obs.inc("executor.split_cache_hits")
+                return cached
+        child_parts = self.execute(child)
+        key_index = child.schema.index_of(key)
+        routed = self._run(SplitRouteTask(key_index), child_parts, "split")
+        num_partitions = len(child_parts)
+        groups = {}
+        total_rows = 0
+        for part_index, pairs in enumerate(routed):
+            total_rows += len(pairs)
+            for group, row in pairs:
+                parts = groups.get(group)
+                if parts is None:
+                    parts = groups[group] = [
+                        [] for _unused in range(num_partitions)
+                    ]
+                parts[part_index].append(row)
+        self.obs.inc("executor.shuffles")
+        self.obs.inc("executor.rows_shuffled", total_rows)
+        self.obs.inc("executor.splits")
+        self.obs.inc("executor.split_groups", len(groups))
+        self.obs.inc("executor.split_rows", total_rows)
+        result = (groups, num_partitions)
+        if cache_key is not None:
+            if len(self._split_cache) >= _SPLIT_CACHE_MAX:
+                self._split_cache.pop(next(iter(self._split_cache)))
+            self._split_cache[cache_key] = result
+        return result
+
+    @staticmethod
+    def _split_cache_key(child, key):
+        """Cache key for a split routing, or None when uncacheable.
+
+        Plan nodes are frozen dataclasses over immutable data, so
+        structural equality identifies reusable routings; a child
+        holding an unhashable payload simply bypasses the cache.
+        """
+        try:
+            hash(child)
+        except TypeError:
+            return None
+        return (child, key)
 
     def _execute_sorted_map(self, node):
         child_parts = self.execute(node.child)

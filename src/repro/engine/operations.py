@@ -174,6 +174,25 @@ class SortPartitionTask:
 
 
 @dataclass(frozen=True)
+class SplitRouteTask:
+    """Route one partition's rows into named split groups.
+
+    Emits a list of ``(group, row)`` pairs where the group is the row's
+    value in the key column; the driver regroups the pairs into
+    per-group partitions, preserving partition index and row order. The
+    output is a flat list (not a per-group dict) so fault-injection
+    poisoning -- silently dropping the last element -- corrupts the
+    routing in a way the differential oracle detects.
+    """
+
+    key_index: int
+
+    def __call__(self, rows):
+        i = self.key_index
+        return [(row[i], row) for row in rows]
+
+
+@dataclass(frozen=True)
 class CarryMapTask:
     """Run a windowed partition function with carry rows from predecessor."""
 

@@ -233,6 +233,59 @@ class Repartition(PlanNode):
 
 
 @dataclass(frozen=True)
+class Limit(PlanNode):
+    """Keep the first ``n`` rows, in current partition order.
+
+    Evaluated lazily by the executors (not at plan-build time): the
+    child's partitions are truncated left to right once the running row
+    count reaches ``n``, preserving the partition structure -- trailing
+    partitions survive as empty partitions instead of collapsing the
+    result into a single one.
+    """
+
+    child: PlanNode
+    n: int
+
+    @property
+    def schema(self):
+        return self.child.schema
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class SplitByKey(PlanNode):
+    """One named output group of a single-pass split of ``child``.
+
+    The executor routes every child row by its value in the ``key``
+    column into per-value groups in *one* pass -- one shuffle stage for
+    all groups -- and serves this node's ``group`` from that routing.
+    Sibling ``SplitByKey`` nodes over the same child and key share the
+    pass through the executor's split cache, which is what turns the
+    filter-fan-out pattern (one full scan per key value) into a single
+    shuffle.
+
+    Routing preserves partition structure: a group's partition ``i`` is
+    the subsequence of child partition ``i`` with that key value, so
+    every group is co-partitioned with its siblings and the node is
+    exactly (order- and partition-) equivalent to
+    ``Filter(child, key == group)``.
+    """
+
+    child: PlanNode
+    key: str
+    group: object
+
+    @property
+    def schema(self):
+        return self.child.schema
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
 class SortedMapPartitions(PlanNode):
     """Partition-wise map that runs *after* a global sort with carry rows.
 

@@ -10,7 +10,10 @@ intact.
 from __future__ import annotations
 
 import json
+import math
+import os
 import pickle
+import shutil
 from pathlib import Path
 
 from repro.engine.errors import ExecutionError
@@ -33,21 +36,29 @@ class TableStore:
         return (self.table_dir(name) / _MANIFEST).is_file()
 
     def list_tables(self):
-        """Names of all stored tables, sorted."""
+        """Names of all stored tables, sorted (staging dirs excluded)."""
         return sorted(
             p.name for p in self.root.iterdir()
-            if (p / _MANIFEST).is_file()
+            if not p.name.startswith(".") and (p / _MANIFEST).is_file()
         )
 
     def write(self, name, table):
-        """Materialize *table* and persist it under *name* (overwrites)."""
+        """Materialize *table* and persist it under *name* (overwrites).
+
+        Crash-safe: partitions and manifest are staged in a hidden
+        sibling directory that is renamed over the old table only once
+        complete, so a crash mid-write leaves either the previous table
+        or the new one fully readable -- never a manifest pointing at
+        already-deleted partition files.
+        """
         partitions = table.collect_partitions()
         directory = self.table_dir(name)
-        directory.mkdir(parents=True, exist_ok=True)
-        for stale in directory.glob("part-*.pkl"):
-            stale.unlink()
+        staging = self.root / ".staging-{}-{}".format(name, os.getpid())
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
         for i, part in enumerate(partitions):
-            path = directory / "part-{:05d}.pkl".format(i)
+            path = staging / "part-{:05d}.pkl".format(i)
             with open(path, "wb") as fh:
                 pickle.dump(list(part), fh, protocol=pickle.HIGHEST_PROTOCOL)
         manifest = {
@@ -56,8 +67,17 @@ class TableStore:
             "num_partitions": len(partitions),
             "num_rows": sum(len(p) for p in partitions),
         }
-        with open(directory / _MANIFEST, "w") as fh:
+        with open(staging / _MANIFEST, "w") as fh:
             json.dump(manifest, fh, indent=2)
+        if directory.exists():
+            retired = self.root / ".retired-{}-{}".format(name, os.getpid())
+            if retired.exists():
+                shutil.rmtree(retired)
+            os.rename(directory, retired)
+            os.rename(staging, directory)
+            shutil.rmtree(retired)
+        else:
+            os.rename(staging, directory)
         return manifest
 
     def read(self, context, name):
@@ -71,8 +91,17 @@ class TableStore:
         partitions = []
         for i in range(manifest["num_partitions"]):
             path = directory / "part-{:05d}.pkl".format(i)
-            with open(path, "rb") as fh:
-                partitions.append(pickle.load(fh))
+            try:
+                with open(path, "rb") as fh:
+                    partitions.append(pickle.load(fh))
+            except FileNotFoundError as exc:
+                raise ExecutionError(
+                    "stored table {!r} is missing partition file {!r} "
+                    "(manifest expects {} partitions)".format(
+                        name, path.name, manifest["num_partitions"]
+                    ),
+                    exc,
+                )
         return context.table_from_partitions(
             manifest["columns"], partitions, dtypes=manifest["dtypes"]
         )
@@ -127,20 +156,32 @@ def write_csv(table, path):
 def read_csv(context, path, num_partitions=None):
     """Load a CSV written by :func:`write_csv` back into a table.
 
-    Values parse back as int, then float, else string; empty cells
-    become None. (CSV is untyped; use :class:`TableStore` when exact
-    types must round-trip.)
+    Values parse back as bool (``"True"``/``"False"``), then int, then
+    float, else string; empty cells become None. Cells parsing to
+    non-finite floats (``"nan"``, ``"inf"``) stay strings -- those
+    cells come from string values, and a non-finite float cannot be
+    distinguished from one after ``str`` rendering. (CSV is untyped;
+    use :class:`TableStore` when exact types must round-trip.)
     """
     import csv
 
     def parse(cell):
         if cell == "":
             return None
+        # Bool before int/float: int("True") fails, but without this
+        # branch booleans written as "True"/"False" reload as strings.
+        if cell == "True":
+            return True
+        if cell == "False":
+            return False
         for cast in (int, float):
             try:
-                return cast(cell)
+                value = cast(cell)
             except ValueError:
                 continue
+            if isinstance(value, float) and not math.isfinite(value):
+                return cell
+            return value
         return cell
 
     with open(Path(path), newline="") as fh:

@@ -229,17 +229,55 @@ class Table:
         return repartitioned.map_partitions(_distinct_partition)
 
     def limit(self, n):
-        """Keep at most *n* rows (in current partition order)."""
+        """Keep at most *n* rows (in current partition order).
+
+        Lazy: builds a ``Limit`` plan node evaluated by the executors.
+        Partitions are truncated left to right once *n* rows are
+        reached; the partition structure is preserved (trailing
+        partitions come back empty rather than the whole result being
+        collapsed into a single partition).
+        """
         if n < 0:
             raise PlanError("limit must be non-negative")
-        partitions = self.collect_partitions()
-        out = []
-        for part in partitions:
-            if len(out) >= n:
-                break
-            out.extend(part[: n - len(out)])
-        node = logical.Source(self.schema, (tuple(out),))
-        return self._derive(node)
+        return self._derive(logical.Limit(self._plan, int(n)))
+
+    def split_by_key(self, key, keys=None):
+        """Split into one table per distinct value of column *key*.
+
+        A single routed pass over the data (one shuffle stage) replaces
+        the one-filter-scan-per-key fan-out: every row is routed by its
+        *key* value into a named group and each group is returned as a
+        materialized :class:`Table` backed by co-partitioned sources.
+        Group partitions mirror the input partitioning -- group
+        partition ``i`` holds input partition ``i``'s rows with that
+        key value, in order -- so each group equals the corresponding
+        ``filter(col(key) == value)`` exactly (same rows, same order,
+        same partition count), and sibling groups are co-partitioned
+        with each other.
+
+        When *keys* is given the result maps exactly those keys in that
+        order (absent keys map to empty tables of the same schema);
+        otherwise keys are discovered from the data and ordered
+        deterministically.
+
+        Returns a ``{key value: Table}`` dict.
+        """
+        self.schema.index_of(key)  # validate eagerly
+        groups, _num_partitions = self._context.executor.execute_split(
+            self._plan, key, keys=keys
+        )
+        if keys is None:
+            ordered = sorted(groups, key=_split_group_order)
+        else:
+            ordered = list(groups)
+        names = list(self.schema.names)
+        dtypes = [f.dtype for f in self.schema]
+        return {
+            value: self._context.table_from_partitions(
+                names, groups[value], dtypes=dtypes
+            )
+            for value in ordered
+        }
 
     def describe(self, *names):
         """Summary statistics per column: count, nulls, distinct, and for
@@ -314,6 +352,11 @@ class Table:
         return Table(self._context, node)
 
 
+def _split_group_order(value):
+    """Deterministic ordering for heterogeneous split-group keys."""
+    return (type(value).__name__, value)
+
+
 def _distinct_partition(rows):
     seen = set()
     out = []
@@ -344,6 +387,10 @@ def _explain_node(node, depth, lines):
         details = " n={} keys={}".format(node.num_partitions, list(node.keys))
     elif isinstance(node, logical.Project):
         details = " columns={}".format(list(node.out_schema.names))
+    elif isinstance(node, logical.Limit):
+        details = " n={}".format(node.n)
+    elif isinstance(node, logical.SplitByKey):
+        details = " key={!r} group={!r}".format(node.key, node.group)
     lines.append("{}{}{}".format(indent, name, details))
     for child in node.children():
         _explain_node(child, depth + 1, lines)

@@ -124,6 +124,8 @@ def generate_spec(rng, case, max_ops=8):
             choices.append("with_column_scale")
         if "m_id" in info and not joined:
             choices.append("join")
+        if any(n in info for n in ("m_id", "bus", "flag")):
+            choices.append("split_pick")
         orderable = [n for n, i in info.items() if i.orderable]
         if orderable:
             choices += ["lag", "gap", "dropdup", "ffill"]
@@ -152,6 +154,20 @@ def _draw_op(rng, kind, info, joined):
     if kind == "filter_null":
         name = rng.choice(names)
         return ("filter_null", name, rng.random() < 0.3)
+    if kind == "split_pick":
+        # Shuffle every row by a key column, keep one group's table.
+        # Keys sometimes miss the data entirely (empty result table).
+        candidates = [n for n in ("m_id", "bus", "flag") if n in info]
+        if not candidates:
+            return None
+        name = rng.choice(candidates)
+        if name == "m_id":
+            value = rng.randint(0, len(_MESSAGE_IDS) - 1)
+        elif name == "bus":
+            value = rng.choice(_BUSES + ("GHOST",))
+        else:
+            value = rng.choice(("rise", "fall", "hold", "none"))
+        return ("split_pick", name, value)
     if kind == "filter_in":
         name = rng.choice(names)
         if info[name].numeric:
@@ -372,6 +388,8 @@ def _apply_op(ctx, case, table, op):
         )
     if kind == "filter_in":
         return table.filter(col(op[1]).is_in(op[2]))
+    if kind == "split_pick":
+        return table.split_by_key(op[1], keys=[op[2]])[op[2]]
     if kind == "select":
         return table.select(*op[1])
     if kind == "with_column_scale":

@@ -126,6 +126,13 @@ class TestRunReport:
         # wvel collapses to one row, so reduction strictly compresses.
         assert 0.0 < gauges["pipeline.reduce.reduction_ratio"] < 1.0
 
+    def test_split_stage_uses_single_routed_pass(self, result):
+        # Per-signal splitting is one SplitByKey pass (plus one per-
+        # channel pass per deduped signal), never one scan per signal:
+        # 1 for the s_id split + 4 for the four signals' b_id splits.
+        gauges = result.report.metrics.gauges()
+        assert gauges["pipeline.split.shuffle_stages"] == 5
+
     def test_executor_counters_merged_in(self, result):
         counters = result.report.metrics.counters()
         assert counters["executor.tasks_run"] > 0

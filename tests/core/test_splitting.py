@@ -34,6 +34,20 @@ class TestSplitSignalTypes:
         per_signal = split_signal_types(k_s, ["wpos"])
         assert all(r[2] == "wpos" for r in per_signal["wpos"].collect())
 
+    def test_single_shuffle_pass(self, ctx, k_s):
+        # The tentpole property: splitting S signal types costs exactly
+        # one routed shuffle stage, not S filter scans.
+        metrics = ctx.executor.metrics
+        shuffles_before = metrics.shuffles
+        per_signal = split_signal_types(k_s)
+        assert len(per_signal) == 3
+        assert metrics.splits == 1
+        assert metrics.shuffles == shuffles_before + 1
+
+    def test_absent_requested_id_yields_empty_table(self, k_s):
+        per_signal = split_signal_types(k_s, ["wpos", "ghost"])
+        assert per_signal["ghost"].count() == 0
+
 
 class TestEqualitySplit:
     def test_identical_copies_deduplicated(self, k_s):

@@ -47,6 +47,32 @@ class TestLimit:
         with pytest.raises(PlanError):
             t.limit(-1)
 
+    def test_limit_is_lazy(self, ctx):
+        # Regression: limit used to collect() eagerly at plan-build
+        # time. Now it only adds a Limit plan node; nothing runs until
+        # an action is called.
+        from repro.engine import plan as logical
+
+        t = ctx.table_from_rows(["x"], [(i,) for i in range(9)])
+        limited = t.limit(3)
+        assert isinstance(limited._plan, logical.Limit)
+        assert ctx.executor.metrics.tasks_run == 0
+
+    def test_limit_preserves_partition_structure(self, ctx):
+        # Regression: the eager limit collapsed everything into a single
+        # partition; the lazy node truncates partitions left to right
+        # and keeps the partition count.
+        t = ctx.table_from_rows(["x"], [(i,) for i in range(9)])
+        assert t.limit(4).collect_partitions() == [
+            [(0,), (1,), (2,)], [(3,)], [],
+        ]
+
+    def test_limit_composes_lazily_with_filter(self, ctx):
+        t = ctx.table_from_rows(["x"], [(i,) for i in range(20)])
+        assert t.limit(10).filter(col("x") >= 5).collect() == [
+            (5,), (6,), (7,), (8,), (9,),
+        ]
+
 
 class TestDescribe:
     def test_numeric_column_stats(self, ctx):

@@ -1,0 +1,284 @@
+"""SplitByKey: single-pass shuffle splitting and the filter-to-split rule."""
+
+from collections import Counter
+
+import pytest
+
+from repro.engine import (
+    EngineContext,
+    FaultPolicy,
+    SchemaError,
+    SerialExecutor,
+    col,
+)
+from repro.engine import plan as logical
+from repro.engine.optimizer import optimize
+from repro.testing.generator import build_table, generate_case
+from repro.testing.oracle import DEFAULT_COMBOS, REFERENCE_COMBO
+
+
+@pytest.fixture
+def trace(ctx):
+    rows = [
+        (0.0, "wpos", "FC", 1),
+        (0.1, "wvel", "FC", 2),
+        (0.2, "wpos", "BC", 3),
+        (0.3, "heat", "K-LIN", 4),
+        (0.4, "wpos", "FC", 5),
+        (0.5, "wvel", "BC", 6),
+    ]
+    return ctx.table_from_rows(
+        ["t", "s_id", "b_id", "v"], rows, num_partitions=3
+    )
+
+
+class TestSplitByKeyBasics:
+    def test_groups_equal_filter_reference(self, trace):
+        groups = trace.split_by_key("s_id")
+        for value, table in groups.items():
+            expected = trace.filter(col("s_id") == value)
+            assert table.collect() == expected.collect()
+
+    def test_discovers_all_keys(self, trace):
+        groups = trace.split_by_key("s_id")
+        assert sorted(groups) == ["heat", "wpos", "wvel"]
+
+    def test_group_order_and_partitioning_match_filter(self, trace):
+        # Exact equivalence, not just multiset: same rows, same order,
+        # same partition boundaries as the corresponding filter.
+        groups = trace.split_by_key("s_id")
+        for value, table in groups.items():
+            expected = trace.filter(col("s_id") == value)
+            assert (
+                table.collect_partitions()
+                == expected.collect_partitions()
+            )
+
+    def test_sibling_groups_co_partitioned(self, trace):
+        groups = trace.split_by_key("s_id")
+        counts = {len(t.collect_partitions()) for t in groups.values()}
+        assert counts == {3}
+
+    def test_requested_keys_kept_in_order(self, trace):
+        groups = trace.split_by_key("s_id", keys=["wvel", "wpos"])
+        assert list(groups) == ["wvel", "wpos"]
+
+    def test_absent_requested_key_yields_empty_table(self, trace):
+        groups = trace.split_by_key("s_id", keys=["wpos", "ghost"])
+        assert groups["ghost"].count() == 0
+        assert groups["ghost"].columns == ["t", "s_id", "b_id", "v"]
+
+    def test_schema_preserved(self, trace):
+        groups = trace.split_by_key("b_id")
+        for table in groups.values():
+            assert table.columns == ["t", "s_id", "b_id", "v"]
+
+    def test_unknown_column_raises(self, trace):
+        with pytest.raises(SchemaError):
+            trace.split_by_key("nope")
+
+    def test_empty_table_has_no_groups(self, ctx):
+        t = ctx.empty_table(["a", "b"])
+        assert t.split_by_key("a") == {}
+
+    def test_none_key_value_forms_group(self, ctx):
+        t = ctx.table_from_rows(["k", "v"], [(None, 1), ("x", 2), (None, 3)])
+        groups = t.split_by_key("k")
+        assert sorted(groups["x"].collect()) == [("x", 2)]
+        assert sorted(groups[None].collect()) == [(None, 1), (None, 3)]
+
+    def test_mixed_key_types_ordered_deterministically(self, ctx):
+        t = ctx.table_from_rows(["k"], [(10,), ("a",), (2,), ("b",)])
+        assert list(t.split_by_key("k")) == [2, 10, "a", "b"]
+
+    def test_split_of_derived_plan(self, trace):
+        derived = trace.filter(col("v") > 1).select("s_id", "v")
+        groups = derived.split_by_key("s_id")
+        assert sorted(groups["wpos"].collect()) == [("wpos", 3), ("wpos", 5)]
+
+
+class TestSplitCounters:
+    def test_one_shuffle_per_split(self, trace):
+        metrics = trace.context.executor.metrics
+        before = metrics.shuffles
+        trace.split_by_key("s_id")
+        assert metrics.splits == 1
+        assert metrics.shuffles == before + 1
+        assert metrics.split_groups == 3
+        assert metrics.split_rows == 6
+
+    def test_rows_shuffled_accounted(self, trace):
+        metrics = trace.context.executor.metrics
+        before = metrics.rows_shuffled
+        trace.split_by_key("s_id")
+        assert metrics.rows_shuffled == before + 6
+
+    def test_repeated_split_hits_cache(self, trace):
+        cached = trace.cache()
+        metrics = trace.context.executor.metrics
+        cached.split_by_key("s_id")
+        cached.split_by_key("s_id")
+        assert metrics.splits == 1
+        assert metrics.split_cache_hits == 1
+
+    def test_filter_fan_out_costs_one_shuffle(self, trace):
+        # The optimizer rewrites each eq-filter over the cached source to
+        # a SplitByKey group; the executor's split cache then serves all
+        # of them from one routed pass.
+        cached = trace.cache()
+        metrics = trace.context.executor.metrics
+        for value in ("wpos", "wvel", "heat"):
+            cached.filter(col("s_id") == value).collect()
+        assert metrics.splits == 1
+        assert metrics.split_cache_hits == 2
+
+    def test_different_keys_are_separate_splits(self, trace):
+        cached = trace.cache()
+        metrics = trace.context.executor.metrics
+        cached.split_by_key("s_id")
+        cached.split_by_key("b_id")
+        assert metrics.splits == 2
+        assert metrics.split_cache_hits == 0
+
+
+class TestFilterToSplitRewrite:
+    def _source(self, ctx):
+        return ctx.table_from_rows(
+            ["k", "v"], [("a", 1), ("b", 2), ("a", 3)], num_partitions=2
+        )
+
+    def test_eq_filter_on_source_rewritten(self, ctx):
+        t = self._source(ctx)
+        plan = t.filter(col("k") == "a")._plan
+        trace = []
+        rewritten = optimize(plan, trace=trace)
+        assert isinstance(rewritten, logical.SplitByKey)
+        assert rewritten.key == "k"
+        assert rewritten.group == "a"
+        assert "filter_to_split" in trace
+
+    def test_literal_on_left_also_rewritten(self, ctx):
+        t = self._source(ctx)
+        plan = t.filter(col("k") == "a")._plan
+        assert isinstance(optimize(plan), logical.SplitByKey)
+
+    def test_non_eq_filter_untouched(self, ctx):
+        t = self._source(ctx)
+        plan = t.filter(col("v") > 1)._plan
+        assert isinstance(optimize(plan), logical.Filter)
+
+    def test_nan_literal_not_rewritten(self, ctx):
+        t = ctx.table_from_rows(["x"], [(1.0,), (float("nan"),)])
+        plan = t.filter(col("x") == float("nan"))._plan
+        rewritten = optimize(plan)
+        assert isinstance(rewritten, logical.Filter)
+        # And the filter semantics hold: NaN != NaN keeps nothing.
+        assert t.filter(col("x") == float("nan")).count() == 0
+
+    def test_rewrite_gated_to_source_children(self, ctx):
+        t = self._source(ctx)
+        plan = t.filter(col("v") > 0).filter(col("k") == "a")._plan
+        # The two filters fuse; the fused conjunction is not a pure
+        # equality, so no split rewrite fires.
+        rewritten = optimize(plan)
+        assert isinstance(rewritten, logical.Filter)
+
+    def test_rewrite_preserves_results_exactly(self, ctx):
+        t = self._source(ctx)
+        filtered = t.filter(col("k") == "a")
+        unopt = EngineContext(
+            SerialExecutor(default_parallelism=2, optimize_plans=False)
+        )
+        reference = unopt.table_from_rows(
+            ["k", "v"], [("a", 1), ("b", 2), ("a", 3)], num_partitions=2
+        ).filter(col("k") == "a")
+        assert filtered.collect_partitions() == reference.collect_partitions()
+
+    def test_equality_literal_rejects_unhashable(self):
+        from repro.engine.expressions import (
+            BoundBinary,
+            BoundColumn,
+            BoundLiteral,
+        )
+        from repro.engine.optimizer import _equality_literal
+
+        predicate = BoundBinary("eq", BoundColumn(0), BoundLiteral([1, 2]))
+        assert _equality_literal(predicate) is None
+
+    def test_bool_int_collapse_matches_filter(self, ctx):
+        # Python's 1 == True means an int-keyed filter also keeps bool
+        # rows; the split routes by dict key, which collapses the same
+        # way, so the rewrite stays equivalent.
+        t = ctx.table_from_rows(["k"], [(1,), (True,), (0,), (False,)])
+        assert Counter(t.filter(col("k") == 1).collect()) == Counter(
+            [(1,), (True,)]
+        )
+        groups = t.split_by_key("k")
+        assert Counter(groups[1].collect()) == Counter([(1,), (True,)])
+
+
+class TestSplitFaultInjection:
+    def _table(self, executor):
+        ctx = EngineContext(executor)
+        return ctx.table_from_rows(
+            ["k", "v"],
+            [("a", i) if i % 2 else ("b", i) for i in range(12)],
+            num_partitions=4,
+        )
+
+    def test_split_recovers_from_crashes(self):
+        clean = self._table(SerialExecutor(default_parallelism=4))
+        faulty_exec = SerialExecutor(
+            default_parallelism=4,
+            fault_policy=FaultPolicy(crash_rate=1.0, crashes_per_task=1),
+            retry_backoff=0.0,
+        )
+        faulty = self._table(faulty_exec)
+        expected = {
+            k: t.collect_partitions()
+            for k, t in clean.split_by_key("k").items()
+        }
+        actual = {
+            k: t.collect_partitions()
+            for k, t in faulty.split_by_key("k").items()
+        }
+        assert actual == expected
+        assert faulty_exec.metrics.retries >= 4  # one per routed partition
+
+    def test_poisoned_split_loses_rows(self):
+        poisoned_exec = SerialExecutor(
+            default_parallelism=4,
+            fault_policy=FaultPolicy(poison_rate=1.0),
+        )
+        poisoned = self._table(poisoned_exec)
+        groups = poisoned.split_by_key("k")
+        total = sum(t.count() for t in groups.values())
+        # Poison drops the last routed pair of each non-empty partition:
+        # the corruption is visible in the output, not silently healed.
+        assert total == 12 - 4
+
+
+class TestSplitAcrossCombos:
+    @pytest.mark.parametrize(
+        "combo",
+        DEFAULT_COMBOS + (REFERENCE_COMBO,),
+        ids=lambda c: c.name,
+    )
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_split_matches_filter_reference(self, combo, seed):
+        case, _spec = generate_case(seed)
+        executor = combo.build(4)
+        try:
+            ctx = EngineContext(executor)
+            table = build_table(ctx, case)
+            groups = table.split_by_key("m_id")
+            all_rows = [r for p in case.trace_partitions for r in p]
+            expected_keys = sorted({row[1] for row in all_rows})
+            assert sorted(groups) == expected_keys
+            for value, group_table in groups.items():
+                expected = Counter(
+                    row for row in all_rows if row[1] == value
+                )
+                assert Counter(group_table.collect()) == expected
+        finally:
+            executor.close()

@@ -50,6 +50,46 @@ class TestWriteRead:
         assert store.read(ctx, "raw").collect() == [(b"\x00\xff\x10",)]
 
 
+class TestAtomicWrite:
+    def test_crash_mid_overwrite_keeps_old_table(
+        self, store, table, ctx, monkeypatch
+    ):
+        # Regression: write used to delete the old part files before the
+        # new manifest landed, so a crash mid-write destroyed both the
+        # old and the new table. Staging + rename keeps the old table
+        # fully readable when the manifest write blows up.
+        import json as json_module
+
+        store.write("data", table)
+        boom = RuntimeError("disk full")
+
+        def failing_dump(*args, **kwargs):
+            raise boom
+
+        monkeypatch.setattr(json_module, "dump", failing_dump)
+        with pytest.raises(RuntimeError):
+            store.write("data", table.filter(col("v") < 4))
+        monkeypatch.undo()
+        loaded = store.read(ctx, "data")
+        assert loaded.count() == 20
+
+    def test_staging_dirs_hidden_from_listing(self, store, table):
+        store.write("ok", table)
+        (store.root / ".staging-ok-junk").mkdir()
+        assert store.list_tables() == ["ok"]
+        assert not store.exists(".staging-ok-junk")
+
+    def test_missing_part_file_raises_execution_error(
+        self, store, table, ctx
+    ):
+        # Regression: a manifest pointing at a deleted part file used to
+        # escape as a raw FileNotFoundError.
+        store.write("data", table)
+        (store.table_dir("data") / "part-00002.pkl").unlink()
+        with pytest.raises(ExecutionError, match="part-00002.pkl"):
+            store.read(ctx, "data")
+
+
 class TestCsv:
     def test_round_trip_typed_values(self, ctx, tmp_path):
         from repro.engine.storage import read_csv, write_csv
@@ -91,6 +131,62 @@ class TestCsv:
         path = tmp_path / "e.csv"
         write_csv(t, path)
         assert read_csv(ctx, path).count() == 0
+
+    def test_bools_round_trip_as_bools(self, ctx, tmp_path):
+        # Regression: "True"/"False" cells reloaded as strings because
+        # the parser tried int/float only.
+        from repro.engine.storage import read_csv, write_csv
+
+        t = ctx.table_from_rows(["ok", "n"], [(True, 1), (False, 2)])
+        path = tmp_path / "b.csv"
+        write_csv(t, path)
+        rows = sorted(read_csv(ctx, path).collect(), key=lambda r: r[1])
+        assert rows == [(True, 1), (False, 2)]
+        assert isinstance(rows[0][0], bool)
+
+    def test_nan_and_inf_strings_stay_strings(self, ctx, tmp_path):
+        # Regression: string cells "nan"/"inf" reparsed as non-finite
+        # floats, silently changing the column's type and values.
+        from repro.engine.storage import read_csv, write_csv
+
+        t = ctx.table_from_rows(
+            ["s"], [("nan",), ("inf",), ("-inf",), ("Infinity",)]
+        )
+        path = tmp_path / "nf.csv"
+        write_csv(t, path)
+        values = [r[0] for r in read_csv(ctx, path).collect()]
+        assert values == ["nan", "inf", "-inf", "Infinity"]
+
+    def test_round_trip_property(self, ctx, tmp_path):
+        # Property: any table of CSV-stable values (ints, finite
+        # floats, bools, None, non-numeric-looking strings) round-trips
+        # exactly through write_csv/read_csv.
+        import random
+
+        from repro.engine.storage import read_csv, write_csv
+
+        rng = random.Random(7)
+        pools = (
+            lambda: rng.randint(-1000, 1000),
+            lambda: round(rng.uniform(-50.0, 50.0), 6),
+            lambda: rng.choice((True, False)),
+            lambda: None,
+            lambda: rng.choice(("nan", "inf", "-inf", "x", "msg-3", "")),
+        )
+        for trial in range(10):
+            rows = [
+                tuple(rng.choice(pools)() for _col in range(3))
+                for _row in range(rng.randint(0, 25))
+            ]
+            # Empty strings render identically to None; normalize.
+            rows = [
+                tuple(None if v == "" else v for v in row) for row in rows
+            ]
+            t = ctx.table_from_rows(["a", "b", "c"], rows)
+            path = tmp_path / "prop-{}.csv".format(trial)
+            write_csv(t, path)
+            loaded = read_csv(ctx, path).collect()
+            assert loaded == rows, "trial {} diverged".format(trial)
 
 
 class TestStoreManagement:

@@ -37,6 +37,17 @@ class TestConstruction:
         with pytest.raises(PlanError):
             ctx.table_from_rows(["a", "b"], [(1,)])
 
+    def test_ragged_row_deep_in_input_raises(self, ctx):
+        # Regression: only rows[:1] used to be validated, so a ragged
+        # row past the first surfaced later as an opaque IndexError.
+        rows = [(i, i) for i in range(50)] + [(99,)]
+        with pytest.raises(PlanError):
+            ctx.table_from_rows(["a", "b"], rows)
+
+    def test_ragged_row_error_names_the_row(self, ctx):
+        with pytest.raises(PlanError, match="row 2"):
+            ctx.table_from_rows(["a", "b"], [(1, 2), (3, 4), (5, 6, 7)])
+
 
 class TestNarrowOps:
     def test_filter(self, table):
