@@ -1,0 +1,79 @@
+"""Fleet sweep throughput: traces/second against worker count.
+
+The paper's motivation is scale -- "500 cars produce 1.5 TB per day" --
+so the fleet orchestrator's job is to keep per-trace pipeline runs
+flowing through a bounded worker pool. This bench prepares one sweep of
+simulated journeys and executes it with a growing number of workers,
+printing the traces/second and rows/second gauges from each run's
+``repro.fleet/1`` report. Asserted shape: every sweep completes all
+jobs, throughput is positive, and the aggregated output is
+byte-identical regardless of worker count (parallelism must never
+change results).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro import fleet
+
+WORKER_COUNTS = (1, 2, 4)
+NUM_TRACES = 6
+DURATION = 3.0
+
+
+def _artifact_digest(run_dir):
+    """Digest of the deterministic resume surface (output + summary)."""
+    digest = hashlib.sha256()
+    output = run_dir / "output"
+    for path in sorted(output.rglob("*")):
+        if path.is_file():
+            digest.update(path.relative_to(output).as_posix().encode())
+            digest.update(path.read_bytes())
+    digest.update((run_dir / fleet.SUMMARY_FILE).read_bytes())
+    return digest.hexdigest()
+
+
+@pytest.mark.slow
+def test_fleet_throughput_by_worker_count(tmp_path):
+    template = tmp_path / "template"
+    fleet.prepare_run(
+        template, dataset="SYN", num_traces=NUM_TRACES, duration=DURATION
+    )
+
+    rows = []
+    digests = set()
+    for workers in WORKER_COUNTS:
+        run_dir = tmp_path / "run-w{}".format(workers)
+        shutil.copytree(template, run_dir)
+        result = fleet.run(run_dir, workers=workers)
+        assert not result.failed
+        assert len(result.executed) == NUM_TRACES
+        gauges = result.report.to_dict()["gauges"]
+        traces_per_s = gauges["fleet.traces_per_second"]
+        rows_per_s = gauges["fleet.rows_per_second"]
+        wall = gauges["fleet.wall_seconds"]
+        assert traces_per_s > 0
+        digests.add(_artifact_digest(run_dir))
+        rows.append(
+            (
+                workers,
+                NUM_TRACES,
+                "{:.2f}".format(wall),
+                "{:.2f}".format(traces_per_s),
+                "{:.0f}".format(rows_per_s),
+            )
+        )
+
+    assert len(digests) == 1, "worker count changed the aggregated output"
+    print_table(
+        "Fleet sweep throughput ({} traces, {:.0f}s journeys)".format(
+            NUM_TRACES, DURATION
+        ),
+        ("workers", "traces", "wall s", "traces/s", "rows/s"),
+        rows,
+    )

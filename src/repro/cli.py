@@ -11,6 +11,11 @@ Subcommands
 ``export-dbc`` write a data set's communication database as DBC files
 ``extract``   lines 3-6: signal extraction into a table store
 ``pipeline``  full Algorithm 1 run; prints summary + state representation
+``fleet``     checkpointed multi-trace sweeps: prepare / run / resume / status
+
+Operational errors (a missing or corrupt catalog, an unreadable trace
+file) exit with status 2 and a single structured ``error: <kind>: ...``
+line on stderr -- never a traceback.
 
 Examples
 --------
@@ -40,13 +45,38 @@ from repro.obs import stopwatch
 from repro.tracefile import asciilog, binlog
 
 
+class CliError(Exception):
+    """An operational error to report as one structured line, exit 2.
+
+    ``kind`` names the failing subsystem (``trace``, ``catalog``,
+    ``fleet``, ``params``) so scripts can dispatch on the prefix without
+    parsing prose.
+    """
+
+    def __init__(self, kind, message):
+        super().__init__(message)
+        self.kind = kind
+
+
 def _trace_module(path):
     """Pick the trace codec from the file suffix (.trc text, .btrc bin)."""
     return binlog if str(path).endswith(".btrc") else asciilog
 
 
 def _load_trace(ctx, path):
-    return _trace_module(path).load_table(ctx, path)
+    from repro.tracefile import BinaryTraceError, TraceFormatError
+
+    try:
+        return _trace_module(path).load_table(ctx, path)
+    except FileNotFoundError:
+        raise CliError("trace", "trace file {!r} does not exist".format(
+            str(path)))
+    except IsADirectoryError:
+        raise CliError("trace", "{!r} is a directory, not a trace "
+                       "file".format(str(path)))
+    except (TraceFormatError, BinaryTraceError) as exc:
+        raise CliError("trace", "trace file {!r} is corrupt: {}".format(
+            str(path), exc))
 
 
 def _bundle(args):
@@ -145,7 +175,14 @@ def cmd_pipeline(args, out=sys.stdout):
     ctx = _context(args)
     k_b = _load_trace(ctx, args.trace)
     if args.params:
-        config = load_config(args.params, bundle.database)
+        try:
+            config = load_config(args.params, bundle.database)
+        except FileNotFoundError:
+            raise CliError("params", "parameter file {!r} does not "
+                           "exist".format(str(args.params)))
+        except ValueError as exc:
+            raise CliError("params", "parameter file {!r} is invalid: "
+                           "{}".format(str(args.params), exc))
     else:
         document = {
             "signals": list(bundle.signal_ids),
@@ -264,6 +301,129 @@ def cmd_show_params(args, out=sys.stdout):
 
 
 # ---------------------------------------------------------------------------
+# Fleet subcommands
+# ---------------------------------------------------------------------------
+
+
+def _fleet_guard(fn, *fn_args, **fn_kwargs):
+    """Run a fleet entry point, mapping its errors to structured lines."""
+    from repro.fleet import CatalogError, FleetRunError
+
+    try:
+        return fn(*fn_args, **fn_kwargs)
+    except CatalogError as exc:
+        raise CliError("catalog", str(exc))
+    except FleetRunError as exc:
+        raise CliError("fleet", str(exc))
+
+
+def _print_fleet_result(result, out):
+    counts = {
+        status: sum(1 for s in result.statuses.values() if s == status)
+        for status in ("done", "cached", "failed", "skipped")
+    }
+    print(
+        "jobs   : {} total, {} executed, {} cached, {} failed, "
+        "{} skipped".format(
+            len(result.catalog), counts["done"], counts["cached"],
+            counts["failed"], counts["skipped"],
+        ),
+        file=out,
+    )
+    print(
+        "rows   : {} trace rows -> {} reduced rows".format(
+            result.summary.get("trace_rows", 0),
+            result.summary.get("rows_out", 0),
+        ),
+        file=out,
+    )
+    for job_id, row in sorted(result.failed.items()):
+        print(
+            "failed : {} trace={} stage={} attempts={}: {}".format(
+                job_id, row.get("trace"), row.get("stage"),
+                row.get("attempts"), row.get("error"),
+            ),
+            file=out,
+        )
+
+
+def cmd_fleet_prepare(args, out=sys.stdout):
+    from repro import fleet
+
+    params = None
+    if args.params:
+        try:
+            params = json.loads(Path(args.params).read_text())
+        except FileNotFoundError:
+            raise CliError("params", "parameter file {!r} does not "
+                           "exist".format(str(args.params)))
+        except ValueError as exc:
+            raise CliError("params", "parameter file {!r} is invalid: "
+                           "{}".format(str(args.params), exc))
+    catalog = _fleet_guard(
+        fleet.prepare_run, args.run_dir, args.dataset, args.traces,
+        duration=args.duration, params=params, trace_format=args.format,
+    )
+    print(
+        "catalogued {} jobs ({} traces of {:.1f} s) under {}".format(
+            len(catalog), args.traces, args.duration, args.run_dir
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_fleet_run(args, out=sys.stdout):
+    from repro import fleet
+
+    result = _fleet_guard(
+        fleet.run, args.run_dir, workers=args.workers,
+        max_inflight=args.max_inflight, max_retries=args.retries,
+    )
+    _print_fleet_result(result, out)
+    print("report : {}".format(Path(args.run_dir) / fleet.REPORT_FILE),
+          file=out)
+    return 1 if result.failed else 0
+
+
+def cmd_fleet_resume(args, out=sys.stdout):
+    from repro import fleet
+
+    result = _fleet_guard(
+        fleet.resume, args.run_dir, workers=args.workers,
+        max_inflight=args.max_inflight, max_retries=args.retries,
+    )
+    print("resumed: {} re-executed, {} reused from checkpoints".format(
+        len(result.executed), len(result.cached)), file=out)
+    _print_fleet_result(result, out)
+    return 1 if result.failed else 0
+
+
+def cmd_fleet_status(args, out=sys.stdout):
+    from repro import fleet
+
+    info = _fleet_guard(fleet.status, args.run_dir)
+    print(
+        "{}: {} jobs, {} completed, {} failed, {} pending, "
+        "aggregated={}".format(
+            info["run_dir"], info["jobs"], info["completed"],
+            info["failed"], info["pending"],
+            "yes" if info["aggregated"] else "no",
+        ),
+        file=out,
+    )
+    for row in info["failures"]:
+        print(
+            "failed : {} trace={} stage={}: {}".format(
+                row.get("job_id"), row.get("trace"), row.get("stage"),
+                row.get("error"),
+            ),
+            file=out,
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
 
@@ -342,12 +502,51 @@ def build_parser():
     add_dataset(p)
     p.set_defaults(func=cmd_show_params)
 
+    p = sub.add_parser("fleet", help="checkpointed multi-trace sweeps")
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    def add_run_args(fp):
+        fp.add_argument("--run-dir", required=True,
+                        help="sweep directory (catalog + checkpoints)")
+        fp.add_argument("--workers", type=int, default=1)
+        fp.add_argument("--max-inflight", type=int, default=4)
+        fp.add_argument("--retries", type=int, default=2)
+
+    fp = fleet_sub.add_parser(
+        "prepare", help="simulate journeys and write the job catalog")
+    fp.add_argument("--run-dir", required=True)
+    fp.add_argument("--dataset", choices=sorted(SPECS), required=True)
+    fp.add_argument("--traces", type=int, default=4,
+                    help="number of journeys to simulate")
+    fp.add_argument("--duration", type=float, default=6.0)
+    fp.add_argument("--params", help="JSON parameter file (see core.params)")
+    fp.add_argument("--format", choices=["trc", "btrc"], default="trc")
+    fp.set_defaults(func=cmd_fleet_prepare)
+
+    fp = fleet_sub.add_parser("run", help="execute the catalogued sweep")
+    add_run_args(fp)
+    fp.set_defaults(func=cmd_fleet_run)
+
+    fp = fleet_sub.add_parser(
+        "resume", help="continue a killed sweep from its checkpoints")
+    add_run_args(fp)
+    fp.set_defaults(func=cmd_fleet_resume)
+
+    fp = fleet_sub.add_parser(
+        "status", help="inspect a sweep without running anything")
+    fp.add_argument("--run-dir", required=True)
+    fp.set_defaults(func=cmd_fleet_status)
+
     return parser
 
 
 def main(argv=None, out=sys.stdout):
     args = build_parser().parse_args(argv)
-    return args.func(args, out=out)
+    try:
+        return args.func(args, out=out)
+    except CliError as exc:
+        print("error: {}: {}".format(exc.kind, exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

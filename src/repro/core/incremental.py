@@ -33,7 +33,11 @@ class _SignalState:
     """Accumulated per-(signal, channel) reduction state."""
 
     reduced_rows: list = field(default_factory=list)
-    last_raw: tuple = None  # carry element for the marker functions
+    last_raw: tuple = None  # last raw element seen (any marker's default)
+    #: Per-marker-function carry, keyed by position in the signal's
+    #: function tuple -- each marker defines its own carry semantics
+    #: (see :meth:`MarkerFunction.carry_after`).
+    carries: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -62,7 +66,11 @@ class IncrementalRunner:
             raise IncrementalError("runner already finalized")
         k_pre = preselect(k_b_window, self.config.catalog)
         k_s = interpret(k_pre, self.config.catalog)
-        rows = sorted(k_s.collect())
+        # Sort on (t, s_id, b_id) only: comparing whole rows would reach
+        # the value column, whose type varies across signals.
+        rows = sorted(
+            k_s.collect(), key=lambda r: (r[0], str(r[2]), str(r[3]))
+        )
         if rows:
             window_start = rows[0][0]
             window_end = rows[-1][0]
@@ -95,14 +103,13 @@ class IncrementalRunner:
             return list(sequence)
         times = [row[0] for row in sequence]
         values = [row[1] for row in sequence]
-        prev = None
-        if state.last_raw is not None:
-            prev = (state.last_raw[0], state.last_raw[1])
         redundant = [False] * len(sequence)
-        for func in functions:
+        for index, func in enumerate(functions):
+            prev = state.carries.get(index)
             for i, flag in enumerate(func.flags(times, values, prev)):
                 if flag:
                     redundant[i] = True
+            state.carries[index] = func.carry_after(times, values, prev)
         return [row for row, e in zip(sequence, redundant) if not e]
 
     def finalize(self, context):

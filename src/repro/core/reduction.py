@@ -38,8 +38,31 @@ class MarkerFunction:
     #: Set by aggregation markers; the reducer then provides statistics.
     needs_statistics = False
 
+    #: True when flags depend only on ``prev`` and the chunk itself, so a
+    #: one-row carry makes partitioned evaluation exact. Markers whose
+    #: decisions propagate from the start of the sequence (``MinimumGap``:
+    #: which element was last *kept* depends on every earlier decision)
+    #: set this False; ``reduce_signal`` then replays the full preceding
+    #: prefix per partition so the result matches a serial pass.
+    parallel_safe = True
+
     def flags(self, times, values, prev, statistics=None):
         raise NotImplementedError
+
+    def carry_after(self, times, values, prev):
+        """The ``prev`` a windowed run must pass to the *next* chunk.
+
+        The default -- the chunk's last raw element -- is correct for
+        markers that compare against the previous raw element
+        (``UnchangedValue``, ``UnchangedWithinCycle``). Markers whose
+        state is not the last raw element (``MinimumGap`` tracks the
+        last *kept* element) override this; incremental execution
+        threads each function's own carry so chunked reduction stays
+        element-for-element identical to a whole-trace run.
+        """
+        if not times:
+            return prev
+        return (times[-1], values[-1])
 
 
 @dataclass(frozen=True)
@@ -95,6 +118,8 @@ class MinimumGap(MarkerFunction):
 
     min_gap: float
 
+    parallel_safe = False
+
     def __post_init__(self):
         if self.min_gap <= 0:
             raise ReductionError("min_gap must be positive")
@@ -109,6 +134,18 @@ class MinimumGap(MarkerFunction):
                 out.append(False)
                 last_kept = t
         return out
+
+    def carry_after(self, times, values, prev):
+        """Carry the last element *this marker kept*, not the last raw
+        one -- seeding the next chunk with a later (discarded) element
+        would shrink gaps and over-reduce at window boundaries."""
+        last_kept = prev[0] if prev is not None else None
+        for t in times:
+            if last_kept is None or (t - last_kept) >= self.min_gap:
+                last_kept = t
+        if last_kept is None:
+            return prev
+        return (last_kept, None)
 
 
 @dataclass(frozen=True)
@@ -172,6 +209,10 @@ class OutsideQuantileRange(MarkerFunction):
 
 _SENTINEL = object()
 
+#: Carry depth that in practice hands a partition its entire preceding
+#: prefix (partitions hold far fewer rows than this).
+_FULL_CARRY = 2**31
+
 
 @dataclass(frozen=True)
 class Constraint:
@@ -222,21 +263,31 @@ class _ReducePartition:
     functions: tuple
     t_index: int
     v_index: int
+    #: Replay mode for serial-state markers: the carry then holds the
+    #: *entire* preceding prefix, flags are recomputed from the sequence
+    #: start and only the partition's suffix is emitted.
+    full_carry: bool = False
 
     def __call__(self, partition, carry):
         if not partition:
             return []
-        times = [row[self.t_index] for row in partition]
-        values = [row[self.v_index] for row in partition]
+        prefix = len(carry) if self.full_carry else 0
+        rows = list(carry) + list(partition) if prefix else partition
+        times = [row[self.t_index] for row in rows]
+        values = [row[self.v_index] for row in rows]
         prev = None
-        if carry:
+        if carry and not prefix:
             prev = (carry[-1][self.t_index], carry[-1][self.v_index])
-        redundant = [False] * len(partition)
+        redundant = [False] * len(rows)
         for func in self.functions:
             for i, flag in enumerate(func.flags(times, values, prev)):
                 if flag:
                     redundant[i] = True
-        return [row for row, e in zip(partition, redundant) if not e]
+        return [
+            row
+            for row, e in zip(partition, redundant[prefix:])
+            if not e
+        ]
 
 
 def reduce_signal(k_sep, constraints, order_by="t", value_column="v"):
@@ -254,10 +305,16 @@ def reduce_signal(k_sep, constraints, order_by="t", value_column="v"):
     if not functions:
         return ordered
     schema = ordered.schema
+    serial = any(not f.parallel_safe for f in functions)
     func = _ReducePartition(
-        functions, schema.index_of(order_by), schema.index_of(value_column)
+        functions,
+        schema.index_of(order_by),
+        schema.index_of(value_column),
+        full_carry=serial,
     )
-    return ordered.sorted_map_partitions(func, carry_rows=1)
+    return ordered.sorted_map_partitions(
+        func, carry_rows=_FULL_CARRY if serial else 1
+    )
 
 
 def reduction_ratio(before_count, after_count):

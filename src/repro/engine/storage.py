@@ -111,6 +111,25 @@ class TableStore:
         with open(self.table_dir(name) / _MANIFEST) as fh:
             return json.load(fh)
 
+    def gc(self):
+        """Remove orphaned staging/retired directories; returns their names.
+
+        :meth:`write` stages new partitions in a hidden ``.staging-*``
+        sibling and briefly parks the old table as ``.retired-*`` during
+        the swap. A crash between stage and rename leaves that debris
+        behind -- invisible to readers (:meth:`list_tables` skips hidden
+        directories) but consuming disk forever. Safe to call any time
+        no write is concurrently in flight on this store.
+        """
+        removed = []
+        for path in sorted(self.root.iterdir()):
+            if not path.is_dir():
+                continue
+            if path.name.startswith((".staging-", ".retired-")):
+                shutil.rmtree(path)
+                removed.append(path.name)
+        return removed
+
     def delete(self, name):
         """Remove a stored table if present."""
         directory = self.table_dir(name)

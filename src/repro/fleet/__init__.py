@@ -1,0 +1,97 @@
+"""repro.fleet -- checkpointed, resumable fleet-run orchestration.
+
+The paper's outer loop at operational scale: a durable catalog of
+traces, one isolated pipeline job per trace, atomic per-job
+checkpoints, a fan-in aggregation job, and a ``repro.fleet/1`` report.
+Kill the driver at any instant; :func:`resume` re-runs exactly the jobs
+whose checkpoints had not landed and produces byte-identical final
+output.
+"""
+
+from repro.fleet.catalog import (
+    CATALOG_FILE,
+    CATALOG_FORMAT,
+    JobCatalog,
+    JobSpec,
+    atomic_write_text,
+    build_catalog,
+    file_digest,
+    job_id_for,
+)
+from repro.fleet.checkpoint import CheckpointStore
+from repro.fleet.errors import CatalogError, FleetRunError, JobError
+from repro.fleet.orchestrator import (
+    AGGREGATE_JOB_ID,
+    COMMIT_STAGE,
+    OUTPUT_TABLE,
+    REPORT_FILE,
+    SUMMARY_FILE,
+    FleetRunResult,
+    default_params,
+    make_catalog,
+    prepare_run,
+    resume,
+    run,
+    status,
+)
+from repro.fleet.report import (
+    FLEET_REPORT_FORMAT,
+    FleetReport,
+    validate_fleet_report,
+)
+from repro.fleet.scheduler import (
+    DONE,
+    FAILED,
+    SKIPPED,
+    DagScheduler,
+    JobNode,
+    JobOutcome,
+)
+from repro.fleet.workers import (
+    JOB_STAGE,
+    ProcessPoolJobRunner,
+    SerialJobRunner,
+    execute_trace_job,
+    make_runner,
+)
+
+__all__ = [
+    "AGGREGATE_JOB_ID",
+    "CATALOG_FILE",
+    "CATALOG_FORMAT",
+    "COMMIT_STAGE",
+    "CatalogError",
+    "CheckpointStore",
+    "DONE",
+    "DagScheduler",
+    "FAILED",
+    "FLEET_REPORT_FORMAT",
+    "FleetReport",
+    "FleetRunError",
+    "FleetRunResult",
+    "JOB_STAGE",
+    "JobCatalog",
+    "JobError",
+    "JobNode",
+    "JobOutcome",
+    "JobSpec",
+    "OUTPUT_TABLE",
+    "ProcessPoolJobRunner",
+    "REPORT_FILE",
+    "SKIPPED",
+    "SUMMARY_FILE",
+    "SerialJobRunner",
+    "atomic_write_text",
+    "build_catalog",
+    "default_params",
+    "execute_trace_job",
+    "file_digest",
+    "job_id_for",
+    "make_catalog",
+    "make_runner",
+    "prepare_run",
+    "resume",
+    "run",
+    "status",
+    "validate_fleet_report",
+]

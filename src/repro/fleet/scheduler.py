@@ -1,0 +1,209 @@
+"""Topological dispatch of a sweep's job DAG with bounded in-flight jobs.
+
+A fleet sweep is a two-layer DAG: one independent pipeline job per trace
+plus a fan-in aggregation job depending on all of them. The scheduler is
+deliberately more general than that shape (any acyclic dependency set
+validates), because follow-on stages -- per-vehicle merges feeding a
+fleet merge, say -- are the obvious next layer.
+
+Dispatch is topological and *bounded*: at most ``max_inflight`` jobs are
+submitted to the runner at once, which is the backpressure that keeps a
+77k-trace catalog from materializing 77k pending futures (and their
+pickled payloads) in the driver. Failure semantics are per-node: a
+failed job fails its strict dependents (they are marked ``skipped``
+without running), while nodes created with ``allow_failed_deps`` --
+the aggregation fan-in -- still run over the surviving subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fleet.errors import FleetRunError
+
+#: Terminal node states.
+DONE = "done"
+FAILED = "failed"
+SKIPPED = "skipped"
+
+_TERMINAL = (DONE, FAILED, SKIPPED)
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Terminal result of one node: status plus value or structured error."""
+
+    job_id: str
+    status: str
+    value: object = None
+    error: object = None  # JobError (or its to_dict row) when failed
+
+
+@dataclass
+class JobNode:
+    """One schedulable unit.
+
+    ``payload`` is what the runner's job function receives (must be
+    picklable for the process-pool runner). ``driver_fn``, when set,
+    makes this a driver-side node: the scheduler calls it in-process
+    with the outcomes of its dependencies instead of submitting it to
+    the runner -- the aggregation fan-in runs this way because it needs
+    the checkpoint store, not a worker process.
+    """
+
+    job_id: str
+    payload: object = None
+    deps: tuple = ()
+    index: int = 0
+    allow_failed_deps: bool = False
+    driver_fn: object = None
+    attrs: dict = field(default_factory=dict)
+
+
+class DagScheduler:
+    """Validates a job DAG and drives it to completion through a runner."""
+
+    def __init__(self, nodes, max_inflight=4):
+        if max_inflight < 1:
+            raise FleetRunError("max_inflight must be >= 1")
+        self.nodes = list(nodes)
+        self.max_inflight = max_inflight
+        self._by_id = {}
+        for node in self.nodes:
+            if node.job_id in self._by_id:
+                raise FleetRunError(
+                    "duplicate job id {!r} in DAG".format(node.job_id)
+                )
+            self._by_id[node.job_id] = node
+        for node in self.nodes:
+            for dep in node.deps:
+                if dep not in self._by_id:
+                    raise FleetRunError(
+                        "job {!r} depends on unknown job {!r}".format(
+                            node.job_id, dep
+                        )
+                    )
+        self._check_acyclic()
+
+    def _check_acyclic(self):
+        """Kahn's algorithm; leftovers mean a cycle."""
+        remaining = {n.job_id: set(n.deps) for n in self.nodes}
+        ready = [j for j, deps in remaining.items() if not deps]
+        seen = 0
+        while ready:
+            job_id = ready.pop()
+            seen += 1
+            for other, deps in remaining.items():
+                if job_id in deps:
+                    deps.discard(job_id)
+                    if not deps:
+                        ready.append(other)
+        if seen != len(remaining):
+            cyclic = sorted(j for j, deps in remaining.items() if deps)
+            raise FleetRunError(
+                "job DAG has a cycle involving {}".format(", ".join(cyclic))
+            )
+
+    # -- execution -------------------------------------------------------
+    def run(self, runner, on_outcome=None):
+        """Drive the DAG; returns {job_id: JobOutcome}.
+
+        *runner* provides ``submit(node)`` and ``wait_any() ->
+        JobOutcome``. *on_outcome*, when given, is called with every
+        terminal outcome as it lands (the orchestrator's checkpoint
+        commit hook); an exception it raises aborts the sweep -- that is
+        the crash-injection point of the resume tests.
+        """
+        state = {node.job_id: "pending" for node in self.nodes}
+        outcomes = {}
+        inflight = set()
+
+        def settle(outcome):
+            state[outcome.job_id] = outcome.status
+            outcomes[outcome.job_id] = outcome
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        def dep_status(node):
+            """'ready', 'wait', or 'doomed' for *node*'s dependencies."""
+            doomed = False
+            for dep in node.deps:
+                dep_state = state[dep]
+                if dep_state not in _TERMINAL:
+                    return "wait"
+                if dep_state != DONE:
+                    doomed = True
+            if doomed and not node.allow_failed_deps:
+                return "doomed"
+            return "ready"
+
+        while True:
+            # Propagate failures: strict nodes with failed deps never run.
+            progressed = True
+            while progressed:
+                progressed = False
+                for node in self.nodes:
+                    if state[node.job_id] != "pending":
+                        continue
+                    if dep_status(node) == "doomed":
+                        failed_deps = sorted(
+                            d for d in node.deps if state[d] != DONE
+                        )
+                        settle(
+                            JobOutcome(
+                                node.job_id,
+                                SKIPPED,
+                                error="dependencies failed: {}".format(
+                                    ", ".join(failed_deps)
+                                ),
+                            )
+                        )
+                        progressed = True
+
+            # Dispatch ready nodes up to the in-flight bound.
+            for node in self.nodes:
+                if len(inflight) >= self.max_inflight:
+                    break
+                if state[node.job_id] != "pending":
+                    continue
+                if dep_status(node) != "ready":
+                    continue
+                if node.driver_fn is not None:
+                    state[node.job_id] = "running"
+                    settle(self._run_driver_node(node, outcomes))
+                else:
+                    state[node.job_id] = "running"
+                    runner.submit(node)
+                    inflight.add(node.job_id)
+
+            if inflight:
+                outcome = runner.wait_any()
+                inflight.discard(outcome.job_id)
+                settle(outcome)
+                continue
+            if all(s in _TERMINAL for s in state.values()):
+                return outcomes
+            if not any(
+                state[n.job_id] == "pending" and dep_status(n) == "ready"
+                for n in self.nodes
+            ):
+                # Acyclicity was checked up front, so this is unreachable
+                # unless a runner lost a job; fail loudly either way.
+                raise FleetRunError(
+                    "scheduler stalled with pending jobs: {}".format(
+                        sorted(
+                            j for j, s in state.items() if s == "pending"
+                        )
+                    )
+                )
+
+    @staticmethod
+    def _run_driver_node(node, outcomes):
+        from repro.fleet.errors import JobError
+
+        dep_outcomes = {dep: outcomes[dep] for dep in node.deps}
+        try:
+            value = node.driver_fn(dep_outcomes)
+        except JobError as exc:
+            return JobOutcome(node.job_id, FAILED, error=exc)
+        return JobOutcome(node.job_id, DONE, value=value)

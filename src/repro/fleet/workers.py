@@ -1,0 +1,278 @@
+"""Job runners: where per-trace pipeline jobs actually execute.
+
+Two runners share one contract (``submit(node)`` / ``wait_any()``):
+
+* :class:`SerialJobRunner` executes jobs in the driver, one at a time --
+  the reference implementation and the deterministic baseline;
+* :class:`ProcessPoolJobRunner` ships jobs to a pool of forked worker
+  processes, the fleet-level analogue of the engine's
+  :class:`~repro.engine.executor.MultiprocessingExecutor`.
+
+Failure isolation is the point of this layer: one trace's crash or
+poisoned input is *contained to its job*. Injected faults (a
+:class:`~repro.engine.executor.FaultPolicy` at fleet coordinates
+``("fleet.job", index)``) model transient worker loss and are retried
+with the executor's exponential-backoff discipline; genuine exceptions
+fail the job immediately -- a deterministic bug does not become less
+buggy by retrying. Either way the runner returns a ``failed``
+:class:`~repro.fleet.scheduler.JobOutcome` carrying a structured
+:class:`~repro.fleet.errors.JobError` naming the trace and stage, and
+the sweep continues.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+
+from repro.engine.errors import ExecutionError, InjectedFaultError, TaskError
+from repro.engine.executor import _FaultingTask
+from repro.fleet.errors import JobError
+from repro.fleet.scheduler import DONE, FAILED, JobOutcome
+from repro.obs import MetricsRegistry, stopwatch
+
+#: Stage name fault policies roll against for fleet jobs; the partition
+#: coordinate is the job's catalog index, so tests can target one trace.
+JOB_STAGE = "fleet.job"
+
+
+def execute_trace_job(payload):
+    """Run Algorithm 1 over one trace file; returns a checkpoint payload.
+
+    Module-level (picklable) so the process-pool runner can ship it to
+    workers. The payload dict carries everything needed to run
+    self-contained in a fresh process: the absolute trace path, the
+    dataset name and the declarative parameter document. The returned
+    dict is plain data (rows, counts, the report's dict form) -- exactly
+    what gets checkpointed and what the aggregation job consumes.
+    """
+    from repro.core.params import config_from_dict
+    from repro.core.pipeline import PreprocessingPipeline
+    from repro.datasets import SPECS, build_dataset
+    from repro.engine import EngineContext
+    from repro.tracefile import codec_for
+
+    bundle = build_dataset(SPECS[payload["dataset"]])
+    config = config_from_dict(payload["params"], bundle.database)
+    context = EngineContext.serial()
+    k_b = codec_for(payload["trace_path"]).load_table(
+        context, payload["trace_path"]
+    )
+    result = PreprocessingPipeline(config).run(k_b)
+    return {
+        "job_id": payload["job_id"],
+        "index": payload["index"],
+        "trace": payload["trace"],
+        "trace_rows": k_b.count(),
+        "rows_out": result.counts["r_out"],
+        "r_columns": list(result.r_out.columns),
+        "r_rows": result.r_out.collect(),
+        "counts": dict(result.counts),
+        "classification": {
+            s_id: list(pair)
+            for s_id, pair in result.classification_summary().items()
+        },
+        "stage_seconds": dict(result.timings),
+        "report": result.report.to_dict(),
+    }
+
+
+class _BaseJobRunner:
+    """Shared retry/backoff/metrics machinery of both runners."""
+
+    def __init__(self, fn=execute_trace_job, fault_policy=None,
+                 max_retries=2, retry_backoff=0.01, registry=None):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.fn = fn
+        self.fault_policy = fault_policy
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.obs = registry if registry is not None else MetricsRegistry()
+        for name in ("fleet.jobs_run", "fleet.jobs_failed",
+                     "fleet.job_retries", "fleet.faults_injected"):
+            self.obs.counter(name)
+
+    def _call(self, node, attempt):
+        if self.fault_policy is None:
+            return self.fn(node.payload)
+        return _FaultingTask(
+            self.fn, self.fault_policy, JOB_STAGE, node.index, attempt
+        )(node.payload)
+
+    def _job_error(self, node, exc, attempts):
+        trace = None
+        if isinstance(node.payload, dict):
+            trace = node.payload.get("trace")
+        stage = getattr(exc, "stage", None) or JOB_STAGE
+        return JobError(
+            "job {!r} (trace {!r}) failed after {} attempt(s) in stage "
+            "{!r}: {}".format(node.job_id, trace, attempts, stage, exc),
+            job_id=node.job_id,
+            trace=trace,
+            stage=stage,
+            attempts=attempts,
+            cause=exc,
+        )
+
+    def _outcome(self, node, value=None, error=None):
+        if error is None:
+            self.obs.inc("fleet.jobs_run")
+            return JobOutcome(node.job_id, DONE, value=value)
+        self.obs.inc("fleet.jobs_failed")
+        return JobOutcome(node.job_id, FAILED, error=error)
+
+    def close(self):
+        """Release worker resources (no-op for serial execution)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+class SerialJobRunner(_BaseJobRunner):
+    """Run submitted jobs in the driver process, FIFO, one at a time."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._queue = []
+
+    def submit(self, node):
+        self._queue.append(node)
+
+    def wait_any(self):
+        node = self._queue.pop(0)
+        attempts = self.max_retries + 1
+        value = None
+        error = None
+        last = None
+        with stopwatch() as watch:
+            for attempt in range(attempts):
+                try:
+                    value = self._call(node, attempt)
+                    break
+                except InjectedFaultError as exc:
+                    last = exc
+                    self.obs.inc("fleet.faults_injected")
+                    if attempt < attempts - 1:
+                        self.obs.inc("fleet.job_retries")
+                        if self.retry_backoff:
+                            time.sleep(self.retry_backoff * (2 ** attempt))
+                except Exception as exc:
+                    error = self._job_error(node, exc, attempt + 1)
+                    break
+            else:
+                error = self._job_error(node, last, attempts)
+        self.obs.observe("fleet.job_seconds", watch.seconds)
+        return self._outcome(node, value=value, error=error)
+
+
+class ProcessPoolJobRunner(_BaseJobRunner):
+    """Run submitted jobs on a pool of forked worker processes.
+
+    One apply_async handle per in-flight job; :meth:`wait_any` polls the
+    handles and resubmits injected-fault failures (transient worker
+    loss) until the retry budget is exhausted. The scheduler's
+    ``max_inflight`` bound means only that many handles ever exist.
+    """
+
+    _POLL_SECONDS = 0.002
+
+    def __init__(self, num_workers=2, **kwargs):
+        super().__init__(**kwargs)
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self._pool = None
+        self._inflight = {}  # job_id -> (node, attempt, handle, stopwatch)
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            ctx = multiprocessing.get_context("fork")
+            self._pool = ctx.Pool(processes=self.num_workers)
+        return self._pool
+
+    def submit(self, node):
+        try:
+            pickle.dumps(node.payload)
+        except Exception as exc:
+            raise ExecutionError(
+                "fleet job {!r} payload is not picklable: {}".format(
+                    node.job_id, exc
+                ),
+                exc,
+            )
+        self._start(node, attempt=0, watch=stopwatch())
+
+    def _start(self, node, attempt, watch):
+        pool = self._ensure_pool()
+        call = self.fn
+        if self.fault_policy is not None:
+            call = _FaultingTask(
+                self.fn, self.fault_policy, JOB_STAGE, node.index, attempt
+            )
+        watch.__enter__()
+        handle = pool.apply_async(call, (node.payload,))
+        self._inflight[node.job_id] = (node, attempt, handle, watch)
+
+    def wait_any(self):
+        if not self._inflight:
+            raise ExecutionError("wait_any() with no jobs in flight")
+        while True:
+            for job_id, (node, attempt, handle, watch) in list(
+                self._inflight.items()
+            ):
+                if not handle.ready():
+                    continue
+                del self._inflight[job_id]
+                watch.__exit__(None, None, None)
+                try:
+                    value = handle.get()
+                except InjectedFaultError as exc:
+                    self.obs.inc("fleet.faults_injected")
+                    if attempt < self.max_retries:
+                        self.obs.inc("fleet.job_retries")
+                        if self.retry_backoff:
+                            time.sleep(self.retry_backoff * (2 ** attempt))
+                        self._start(node, attempt + 1, watch)
+                        continue
+                    self.obs.observe("fleet.job_seconds", watch.seconds)
+                    return self._outcome(
+                        node, error=self._job_error(node, exc, attempt + 1)
+                    )
+                except Exception as exc:
+                    self.obs.observe("fleet.job_seconds", watch.seconds)
+                    return self._outcome(
+                        node, error=self._job_error(node, exc, attempt + 1)
+                    )
+                self.obs.observe("fleet.job_seconds", watch.seconds)
+                return self._outcome(node, value=value)
+            time.sleep(self._POLL_SECONDS)
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def make_runner(workers=1, **kwargs):
+    """Serial runner for ``workers <= 1``, process pool otherwise."""
+    if workers <= 1:
+        return SerialJobRunner(**kwargs)
+    return ProcessPoolJobRunner(num_workers=workers, **kwargs)
+
+
+__all__ = [
+    "JOB_STAGE",
+    "JobOutcome",
+    "ProcessPoolJobRunner",
+    "SerialJobRunner",
+    "TaskError",
+    "execute_trace_job",
+    "make_runner",
+]

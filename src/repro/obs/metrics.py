@@ -215,6 +215,18 @@ class MetricsRegistry:
                 target.observe(value)
         return other
 
+    def merge(self, other, prefix=""):
+        """Fold *other*'s metrics into this registry; returns self.
+
+        The inverse orientation of :meth:`merge_into`, for aggregators
+        that accumulate many component registries into one (the fleet
+        layer merges per-trace pipeline registries this way): counters
+        add, gauges take *other*'s value (last write wins), histograms
+        extend with *other*'s observations.
+        """
+        other.merge_into(self, prefix=prefix)
+        return self
+
 
 class RuleFireCounter:
     """List-like trace sink turning optimizer rule fires into counters.

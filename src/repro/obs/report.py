@@ -52,6 +52,22 @@ class RunReport:
         registry.merge_into(self.metrics, prefix=prefix)
         return self
 
+    def merge(self, other, prefix=""):
+        """Fold another :class:`RunReport` into this one; returns self.
+
+        Aggregation semantics (what the fleet layer applies per-trace
+        reports with): counters add, gauges take *other*'s value,
+        histograms extend with *other*'s observations, spans merge by
+        name with seconds accumulating, and *other*'s meta entries fill
+        in only keys this report does not set yet. *prefix* is applied
+        to metric names only (span names stay comparable across runs).
+        """
+        self.metrics.merge(other.metrics, prefix=prefix)
+        self.spans.merge(other.spans)
+        for key, value in other.meta.items():
+            self.meta.setdefault(key, value)
+        return self
+
     # -- serialization ---------------------------------------------------
     def to_dict(self):
         payload = {

@@ -62,6 +62,28 @@ class Span:
                 return span
         return None
 
+    def copy(self):
+        """Deep copy (merging must never alias the source report)."""
+        return Span(
+            self.name,
+            self.seconds,
+            dict(self.attrs),
+            [c.copy() for c in self.children],
+        )
+
+    def merge(self, other):
+        """Fold *other* (a same-named span) into this one.
+
+        Seconds accumulate, attributes take *other*'s values, children
+        merge recursively by name -- the same accumulate-by-name rule
+        :meth:`SpanRecorder.span` applies within one recording.
+        """
+        self.seconds += other.seconds
+        self.attrs.update(other.attrs)
+        for child in other.children:
+            _merge_span_into(self.children, child)
+        return self
+
     def to_dict(self):
         out = {"name": self.name, "seconds": self.seconds}
         if self.attrs:
@@ -109,6 +131,17 @@ class SpanRecorder:
             span.seconds += time.perf_counter() - start
             self._stack.pop()
 
+    def merge(self, other):
+        """Fold another recorder's span forest into this one.
+
+        Spans merge by name at each level (seconds add, attrs
+        overwrite); unseen spans are deep-copied in, so the merged
+        recorder never aliases *other*'s mutable state. Returns self.
+        """
+        for span in other.spans:
+            _merge_span_into(self.spans, span)
+        return self
+
     def find(self, name):
         """Top-level span by name (None when absent)."""
         for span in self.spans:
@@ -125,3 +158,13 @@ class SpanRecorder:
 
     def to_list(self):
         return [span.to_dict() for span in self.spans]
+
+
+def _merge_span_into(level, span):
+    """Merge *span* into the sibling list *level* (by name), copying."""
+    for existing in level:
+        if existing.name == span.name:
+            return existing.merge(span)
+    copy = span.copy()
+    level.append(copy)
+    return copy

@@ -4,4 +4,16 @@ from repro.tracefile import asciilog, binlog
 from repro.tracefile.asciilog import TraceFormatError
 from repro.tracefile.binlog import BinaryTraceError
 
-__all__ = ["asciilog", "binlog", "TraceFormatError", "BinaryTraceError"]
+
+def codec_for(path):
+    """Pick the trace codec from the file suffix (.btrc binary, else text)."""
+    return binlog if str(path).endswith(".btrc") else asciilog
+
+
+__all__ = [
+    "asciilog",
+    "binlog",
+    "codec_for",
+    "TraceFormatError",
+    "BinaryTraceError",
+]

@@ -143,6 +143,26 @@ class TestReduceSignal:
         out = reduce_signal(table, [Constraint("s", True, (UnchangedValue(),))])
         assert out.count() == 1
 
+    def test_minimum_gap_is_partition_invariant(self, ctx):
+        """Serial-state markers must not depend on partitioning.
+
+        MinimumGap's kept/dropped phase propagates from the start of the
+        sequence; with a one-row carry each partition restarted the
+        phase, so the output used to change with ``num_partitions``.
+        """
+        rows = [(round(i * 0.1, 6), i, "s", "FC") for i in range(60)]
+        constraints = [Constraint("s", True, (MinimumGap(0.25),))]
+        expected = None
+        for parts in (1, 3, 8):
+            table = ctx.table_from_rows(
+                ["t", "v", "s_id", "b_id"], rows, num_partitions=parts
+            )
+            got = reduce_signal(table, constraints).collect()
+            if expected is None:
+                expected = got
+                assert 1 < len(got) < len(rows)
+            assert got == expected
+
     def test_result_sorted_by_time(self, ctx):
         rows = [(2.0, 1, "s", "FC"), (1.0, 2, "s", "FC"), (3.0, 3, "s", "FC")]
         table = ctx.table_from_rows(["t", "v", "s_id", "b_id"], rows)

@@ -90,6 +90,51 @@ class TestAtomicWrite:
             store.read(ctx, "data")
 
 
+class TestGc:
+    def test_removes_crash_debris(self, store, table, ctx):
+        # Regression: atomic writes (PR 3) never cleaned up the hidden
+        # staging/retired directories a crash between stage and rename
+        # leaves behind; they accumulated invisibly forever.
+        store.write("keep", table)
+        staging = store.root / ".staging-keep-1234"
+        staging.mkdir()
+        (staging / "part-00000.pkl").write_bytes(b"partial")
+        retired = store.root / ".retired-keep-1234"
+        retired.mkdir()
+        removed = store.gc()
+        assert removed == [".retired-keep-1234", ".staging-keep-1234"]
+        assert not staging.exists() and not retired.exists()
+        # The live table is untouched and still readable.
+        assert store.read(ctx, "keep").count() == 20
+
+    def test_debris_from_failed_overwrite_is_collected(
+        self, store, table, ctx, monkeypatch
+    ):
+        import json as json_module
+
+        store.write("data", table)
+        monkeypatch.setattr(
+            json_module, "dump",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("disk full")),
+        )
+        with pytest.raises(RuntimeError):
+            store.write("data", table)
+        monkeypatch.undo()
+        assert len(store.gc()) == 1
+        assert store.gc() == []  # idempotent
+        assert store.read(ctx, "data").count() == 20
+
+    def test_noop_on_clean_store(self, store, table):
+        store.write("data", table)
+        assert store.gc() == []
+        assert store.list_tables() == ["data"]
+
+    def test_ignores_regular_files(self, store):
+        (store.root / "notes.txt").write_text("not a table")
+        assert store.gc() == []
+        assert (store.root / "notes.txt").exists()
+
+
 class TestCsv:
     def test_round_trip_typed_values(self, ctx, tmp_path):
         from repro.engine.storage import read_csv, write_csv

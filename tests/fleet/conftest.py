@@ -1,0 +1,35 @@
+"""Shared fleet fixtures.
+
+Simulating journeys and building a catalog is the expensive part, so one
+template run directory is prepared per session and copied per test --
+content-addressed job ids make every copy's catalog byte-identical to
+the template's.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro import fleet
+
+#: Template sweep shape shared by the orchestrator tests.
+NUM_TRACES = 4
+DURATION = 2.5
+DATASET = "SYN"
+
+
+@pytest.fixture(scope="session")
+def fleet_template(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("fleet-template") / "run"
+    fleet.prepare_run(run_dir, DATASET, NUM_TRACES, duration=DURATION)
+    return run_dir
+
+
+@pytest.fixture
+def run_dir(fleet_template, tmp_path):
+    """A fresh, unexecuted copy of the template sweep."""
+    target = tmp_path / "run"
+    shutil.copytree(fleet_template, target)
+    return target

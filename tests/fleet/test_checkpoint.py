@@ -1,0 +1,67 @@
+"""Checkpoint store: atomic commits, failure rows, staging gc."""
+
+from __future__ import annotations
+
+from repro.fleet import CheckpointStore
+
+
+class TestCheckpoints:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        payload = {"job_id": "a" * 16, "rows_out": 3, "r_rows": [(1, 2)]}
+        store.save("a" * 16, payload)
+        assert store.has("a" * 16)
+        assert store.load("a" * 16) == payload
+
+    def test_completed_ids_sorted_and_staging_excluded(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("b" * 16, {})
+        store.save("a" * 16, {})
+        (tmp_path / "checkpoints" / ".staging-x-1").write_bytes(b"junk")
+        assert store.completed_ids() == ["a" * 16, "b" * 16]
+
+    def test_save_leaves_no_staging_debris(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a" * 16, {"k": 1})
+        assert not list((tmp_path / "checkpoints").glob(".staging-*"))
+
+    def test_save_overwrites(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a" * 16, {"v": 1})
+        store.save("a" * 16, {"v": 2})
+        assert store.load("a" * 16) == {"v": 2}
+        assert store.completed_ids() == ["a" * 16]
+
+
+class TestFailures:
+    def test_record_and_list(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        row = {"job_id": "a" * 16, "trace": "t.trc", "stage": "fleet.job",
+               "attempts": 3, "error": "boom", "cause": "ValueError"}
+        store.record_failure("a" * 16, row)
+        assert store.failures() == {"a" * 16: row}
+
+    def test_success_clears_failure(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.record_failure("a" * 16, {"error": "boom"})
+        store.save("a" * 16, {"ok": True})
+        assert store.failures() == {}
+
+    def test_unreadable_failure_row_degrades(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        (tmp_path / "failures" / ("a" * 16 + ".json")).write_text("{oops")
+        assert store.failures() == {
+            "a" * 16: {"error": "unreadable failure record"}
+        }
+
+
+class TestGc:
+    def test_gc_removes_staging_files(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a" * 16, {})
+        (tmp_path / "checkpoints" / ".staging-dead-99").write_bytes(b"x")
+        (tmp_path / "failures" / ".staging-dead-99").write_bytes(b"x")
+        removed = store.gc()
+        assert sorted(removed) == [".staging-dead-99", ".staging-dead-99"]
+        assert store.completed_ids() == ["a" * 16]
+        assert store.gc() == []

@@ -1,0 +1,99 @@
+"""CLI smoke tests: repro fleet run / resume / status + structured errors."""
+
+from __future__ import annotations
+
+import io
+import shutil
+
+from repro import cli, fleet
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = cli.main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestFleetCommands:
+    def test_run_then_status(self, run_dir):
+        code, text = _run(["fleet", "run", "--run-dir", str(run_dir)])
+        assert code == 0
+        assert "4 total, 4 executed" in text
+        code, text = _run(["fleet", "status", "--run-dir", str(run_dir)])
+        assert code == 0
+        assert "4 jobs, 4 completed, 0 failed, 0 pending" in text
+        assert "aggregated=yes" in text
+
+    def test_resume_reports_reuse(self, run_dir):
+        _run(["fleet", "run", "--run-dir", str(run_dir)])
+        code, text = _run(["fleet", "resume", "--run-dir", str(run_dir)])
+        assert code == 0
+        assert "0 re-executed, 4 reused from checkpoints" in text
+
+    def test_prepare_writes_catalog(self, tmp_path):
+        target = tmp_path / "sweep"
+        code, text = _run([
+            "fleet", "prepare", "--run-dir", str(target),
+            "--dataset", "SYN", "--traces", "2", "--duration", "2",
+        ])
+        assert code == 0
+        assert "catalogued 2 jobs" in text
+        assert fleet.JobCatalog.load(target).dataset == "SYN"
+
+    def test_failed_job_sets_exit_code(self, run_dir):
+        victim = fleet.JobCatalog.load(run_dir).jobs[0]
+        (run_dir / victim.trace).write_text("garbage\n")
+        code, text = _run(["fleet", "run", "--run-dir", str(run_dir)])
+        assert code == 1
+        assert "1 failed" in text
+        assert victim.trace in text
+
+
+class TestStructuredErrors:
+    """Operational errors are one ``error: <kind>: ...`` line, exit 2."""
+
+    def test_status_on_missing_catalog(self, tmp_path, capsys):
+        code, _ = _run(["fleet", "status", "--run-dir", str(tmp_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: catalog: no catalog")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_run_on_corrupt_catalog(self, tmp_path, capsys):
+        (tmp_path / fleet.CATALOG_FILE).write_text("{broken")
+        code, _ = _run(["fleet", "run", "--run-dir", str(tmp_path)])
+        assert code == 2
+        assert "error: catalog:" in capsys.readouterr().err
+
+    def test_pipeline_on_missing_trace(self, capsys):
+        code, _ = _run([
+            "pipeline", "--dataset", "SYN", "--trace", "no-such.trc",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err == "error: trace: trace file 'no-such.trc' does not " \
+            "exist\n"
+
+    def test_pipeline_on_corrupt_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trc"
+        bad.write_text("not a trace line\n")
+        code, _ = _run([
+            "pipeline", "--dataset", "SYN", "--trace", str(bad),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: trace:")
+        assert "corrupt" in err
+
+    def test_pipeline_on_missing_params_file(self, fleet_template, tmp_path,
+                                             capsys):
+        trace = sorted((fleet_template / "traces").iterdir())[0]
+        local = tmp_path / trace.name
+        shutil.copyfile(trace, local)
+        code, _ = _run([
+            "pipeline", "--dataset", "SYN", "--trace", str(local),
+            "--params", str(tmp_path / "none.json"),
+        ])
+        assert code == 2
+        assert "error: params:" in capsys.readouterr().err

@@ -1,0 +1,167 @@
+"""DAG scheduler: validation, dispatch order, backpressure, failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import (
+    DONE,
+    FAILED,
+    SKIPPED,
+    DagScheduler,
+    FleetRunError,
+    JobError,
+    JobNode,
+    JobOutcome,
+)
+
+
+class FakeRunner:
+    """Synchronous runner recording submit order and peak concurrency."""
+
+    def __init__(self, fail=()):
+        self.fail = set(fail)
+        self.submitted = []
+        self.pending = []
+        self.max_inflight_seen = 0
+
+    def submit(self, node):
+        self.submitted.append(node.job_id)
+        self.pending.append(node)
+        self.max_inflight_seen = max(self.max_inflight_seen, len(self.pending))
+
+    def wait_any(self):
+        node = self.pending.pop(0)
+        if node.job_id in self.fail:
+            return JobOutcome(
+                node.job_id, FAILED,
+                error=JobError("boom", job_id=node.job_id),
+            )
+        return JobOutcome(node.job_id, DONE, value=node.job_id.upper())
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(FleetRunError, match="duplicate job id"):
+            DagScheduler([JobNode("a"), JobNode("a")])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(FleetRunError, match="unknown job"):
+            DagScheduler([JobNode("a", deps=("ghost",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(FleetRunError, match="cycle"):
+            DagScheduler([
+                JobNode("a", deps=("b",)),
+                JobNode("b", deps=("a",)),
+            ])
+
+    def test_max_inflight_must_be_positive(self):
+        with pytest.raises(FleetRunError, match="max_inflight"):
+            DagScheduler([JobNode("a")], max_inflight=0)
+
+
+class TestDispatch:
+    def test_all_independent_jobs_complete(self):
+        runner = FakeRunner()
+        outcomes = DagScheduler(
+            [JobNode(chr(97 + i)) for i in range(5)]
+        ).run(runner)
+        assert all(o.status == DONE for o in outcomes.values())
+        assert sorted(runner.submitted) == ["a", "b", "c", "d", "e"]
+
+    def test_dependencies_run_before_dependents(self):
+        runner = FakeRunner()
+        DagScheduler([
+            JobNode("sink", deps=("a", "b")),
+            JobNode("a"),
+            JobNode("b"),
+        ]).run(runner)
+        assert runner.submitted.index("sink") > runner.submitted.index("a")
+        assert runner.submitted.index("sink") > runner.submitted.index("b")
+
+    def test_inflight_bounded(self):
+        runner = FakeRunner()
+        DagScheduler(
+            [JobNode(str(i)) for i in range(10)], max_inflight=2
+        ).run(runner)
+        assert runner.max_inflight_seen <= 2
+
+    def test_outcome_values_preserved(self):
+        outcomes = DagScheduler([JobNode("a")]).run(FakeRunner())
+        assert outcomes["a"].value == "A"
+
+
+class TestFailurePropagation:
+    def test_strict_dependent_is_skipped(self):
+        runner = FakeRunner(fail={"a"})
+        outcomes = DagScheduler([
+            JobNode("a"),
+            JobNode("child", deps=("a",)),
+            JobNode("grandchild", deps=("child",)),
+        ]).run(runner)
+        assert outcomes["a"].status == FAILED
+        assert outcomes["child"].status == SKIPPED
+        assert "dependencies failed: a" in outcomes["child"].error
+        assert outcomes["grandchild"].status == SKIPPED
+        assert runner.submitted == ["a"]
+
+    def test_allow_failed_deps_still_runs(self):
+        runner = FakeRunner(fail={"a"})
+        outcomes = DagScheduler([
+            JobNode("a"),
+            JobNode("b"),
+            JobNode("agg", deps=("a", "b"), allow_failed_deps=True),
+        ]).run(runner)
+        assert outcomes["agg"].status == DONE
+        assert "agg" in runner.submitted
+
+    def test_unrelated_jobs_survive_a_failure(self):
+        runner = FakeRunner(fail={"a"})
+        outcomes = DagScheduler(
+            [JobNode("a"), JobNode("b"), JobNode("c")]
+        ).run(runner)
+        assert outcomes["b"].status == DONE
+        assert outcomes["c"].status == DONE
+
+
+class TestDriverNodes:
+    def test_driver_fn_sees_dep_outcomes(self):
+        seen = {}
+
+        def agg(dep_outcomes):
+            seen.update(dep_outcomes)
+            return sorted(dep_outcomes)
+
+        outcomes = DagScheduler([
+            JobNode("a"),
+            JobNode("agg", deps=("a",), driver_fn=agg),
+        ]).run(FakeRunner())
+        assert outcomes["agg"].value == ["a"]
+        assert seen["a"].status == DONE
+
+    def test_driver_job_error_becomes_failed_outcome(self):
+        def agg(dep_outcomes):
+            raise JobError("aggregate exploded", job_id="agg")
+
+        outcomes = DagScheduler([
+            JobNode("agg", driver_fn=agg),
+        ]).run(FakeRunner())
+        assert outcomes["agg"].status == FAILED
+        assert "aggregate exploded" in str(outcomes["agg"].error)
+
+
+class TestOnOutcome:
+    def test_hook_sees_every_terminal_outcome(self):
+        landed = []
+        DagScheduler([JobNode("a"), JobNode("b")]).run(
+            FakeRunner(), on_outcome=lambda o: landed.append(o.job_id)
+        )
+        assert sorted(landed) == ["a", "b"]
+
+    def test_hook_exception_aborts_the_sweep(self):
+        def crash(outcome):
+            raise RuntimeError("driver died")
+
+        with pytest.raises(RuntimeError, match="driver died"):
+            DagScheduler([JobNode("a")]).run(FakeRunner(), on_outcome=crash)

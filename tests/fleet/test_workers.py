@@ -1,0 +1,161 @@
+"""Job runners: retries, failure isolation, pool execution, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.errors import ExecutionError, InjectedFaultError
+from repro.engine.executor import FaultPolicy
+from repro.fleet import (
+    DONE,
+    FAILED,
+    JobError,
+    JobNode,
+    ProcessPoolJobRunner,
+    SerialJobRunner,
+    make_runner,
+)
+from repro.obs import MetricsRegistry
+
+
+def double_index(payload):
+    """Module-level so the process pool can pickle it."""
+    return payload["index"] * 2
+
+
+def explode(payload):
+    raise ValueError("poisoned trace {}".format(payload["trace"]))
+
+
+def _node(index=0, fn_payload=None):
+    payload = {"index": index, "trace": "traces/j{}.trc".format(index)}
+    if fn_payload:
+        payload.update(fn_payload)
+    return JobNode("job{:02d}".format(index), payload=payload, index=index)
+
+
+def _always_crashing_policy():
+    """A policy injecting ``crashes_per_task`` crashes into every job."""
+    return FaultPolicy(crash_rate=1.0, seed=7, crashes_per_task=1)
+
+
+class TestSerialRunner:
+    def test_runs_and_reports_done(self):
+        runner = SerialJobRunner(fn=double_index)
+        runner.submit(_node(3))
+        outcome = runner.wait_any()
+        assert outcome.status == DONE
+        assert outcome.value == 6
+
+    def test_injected_fault_retried_to_success(self):
+        runner = SerialJobRunner(
+            fn=double_index, fault_policy=_always_crashing_policy(),
+            max_retries=2, retry_backoff=0.0,
+        )
+        runner.submit(_node(1))
+        outcome = runner.wait_any()
+        assert outcome.status == DONE
+        snap = runner.obs.snapshot()
+        assert snap["counters"]["fleet.faults_injected"] == 1
+        assert snap["counters"]["fleet.job_retries"] == 1
+
+    def test_retry_budget_exhaustion_fails_with_structured_error(self):
+        policy = FaultPolicy(crash_rate=1.0, seed=7, crashes_per_task=5)
+        runner = SerialJobRunner(
+            fn=double_index, fault_policy=policy,
+            max_retries=1, retry_backoff=0.0,
+        )
+        runner.submit(_node(2))
+        outcome = runner.wait_any()
+        assert outcome.status == FAILED
+        error = outcome.error
+        assert isinstance(error, JobError)
+        assert error.job_id == "job02"
+        assert error.trace == "traces/j2.trc"
+        assert error.attempts == 2
+        assert isinstance(error.cause, InjectedFaultError)
+
+    def test_genuine_exception_fails_without_retry(self):
+        runner = SerialJobRunner(fn=explode, max_retries=3)
+        runner.submit(_node(0))
+        outcome = runner.wait_any()
+        assert outcome.status == FAILED
+        assert outcome.error.attempts == 1
+        assert "poisoned trace traces/j0.trc" in str(outcome.error)
+        snap = runner.obs.snapshot()
+        assert snap["counters"]["fleet.job_retries"] == 0
+
+    def test_one_failure_never_poisons_the_next_job(self):
+        runner = SerialJobRunner(fn=explode)
+        ok = SerialJobRunner(fn=double_index)
+        runner.submit(_node(0))
+        assert runner.wait_any().status == FAILED
+        ok.submit(_node(1))
+        assert ok.wait_any().status == DONE
+
+    def test_counters_and_durations_recorded(self):
+        registry = MetricsRegistry()
+        runner = SerialJobRunner(fn=double_index, registry=registry)
+        runner.submit(_node(0))
+        runner.wait_any()
+        snap = registry.snapshot()
+        assert snap["counters"]["fleet.jobs_run"] == 1
+        assert snap["histograms"]["fleet.job_seconds"]["count"] == 1
+
+    def test_negative_retry_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            SerialJobRunner(max_retries=-1)
+
+
+class TestProcessPoolRunner:
+    def test_runs_jobs_on_workers(self):
+        with ProcessPoolJobRunner(num_workers=2, fn=double_index) as runner:
+            for i in range(4):
+                runner.submit(_node(i))
+            results = sorted(runner.wait_any().value for _ in range(4))
+        assert results == [0, 2, 4, 6]
+
+    def test_worker_crash_isolated_to_its_job(self):
+        with ProcessPoolJobRunner(num_workers=2, fn=explode) as runner:
+            runner.submit(_node(0))
+            outcome = runner.wait_any()
+        assert outcome.status == FAILED
+        assert isinstance(outcome.error, JobError)
+        assert outcome.error.trace == "traces/j0.trc"
+
+    def test_injected_fault_retried_on_pool(self):
+        with ProcessPoolJobRunner(
+            num_workers=2, fn=double_index,
+            fault_policy=_always_crashing_policy(), retry_backoff=0.0,
+        ) as runner:
+            runner.submit(_node(1))
+            outcome = runner.wait_any()
+        assert outcome.status == DONE
+        assert outcome.value == 2
+
+    def test_unpicklable_payload_rejected_at_submit(self):
+        node = JobNode("bad", payload={"fh": open(__file__)}, index=0)
+        with ProcessPoolJobRunner(num_workers=1, fn=double_index) as runner:
+            with pytest.raises(ExecutionError, match="not picklable"):
+                runner.submit(node)
+        node.payload["fh"].close()
+
+    def test_wait_with_nothing_inflight_rejected(self):
+        with ProcessPoolJobRunner(num_workers=1, fn=double_index) as runner:
+            with pytest.raises(ExecutionError, match="no jobs in flight"):
+                runner.wait_any()
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            ProcessPoolJobRunner(num_workers=0)
+
+
+class TestMakeRunner:
+    def test_serial_for_one_worker(self):
+        assert isinstance(make_runner(workers=1), SerialJobRunner)
+
+    def test_pool_for_many_workers(self):
+        runner = make_runner(workers=3)
+        assert isinstance(runner, ProcessPoolJobRunner)
+        assert runner.num_workers == 3
+        runner.close()

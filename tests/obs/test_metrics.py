@@ -172,3 +172,58 @@ class TestPerfCounterContainment:
             and "perf_counter" in path.read_text(encoding="utf-8")
         ]
         assert offenders == []
+
+
+class TestRegistryMerge:
+    """merge(other): the aggregation orientation of merge_into."""
+
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("jobs", 3)
+        b.inc("jobs", 2)
+        b.inc("only_b")
+        assert a.merge(b) is a
+        assert a.counter("jobs").value == 5
+        assert a.counter("only_b").value == 1
+
+    def test_gauges_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("throughput", 1.0)
+        b.set_gauge("throughput", 4.0)
+        a.merge(b)
+        assert a.gauge("throughput").value == 4.0
+
+    def test_histograms_extend(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("seconds", 1.0)
+        b.observe("seconds", 3.0)
+        b.observe("seconds", 5.0)
+        a.merge(b)
+        assert a.histogram("seconds").count == 3
+        assert a.histogram("seconds").values() == (1.0, 3.0, 5.0)
+
+    def test_prefix_applies_to_merged_names(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.inc("jobs")
+        a.merge(b, prefix="fleet.")
+        assert a.counter("fleet.jobs").value == 1
+        assert "jobs" not in a.counters()
+
+    def test_source_registry_unchanged(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("jobs", 1)
+        b.inc("jobs", 2)
+        a.merge(b)
+        assert b.counter("jobs").value == 2
+
+    def test_merge_is_associative_for_counters(self):
+        parts = []
+        for amount in (1, 2, 3):
+            r = MetricsRegistry()
+            r.inc("jobs", amount)
+            parts.append(r)
+        left = MetricsRegistry().merge(parts[0]).merge(parts[1]).merge(parts[2])
+        right = MetricsRegistry()
+        pair = MetricsRegistry().merge(parts[1]).merge(parts[2])
+        right.merge(parts[0]).merge(pair)
+        assert left.counters() == right.counters()

@@ -106,3 +106,33 @@ class TestValidateReport:
         payload["spans"][0]["children"] = [{"name": "", "seconds": 0.0}]
         with pytest.raises(ReportSchemaError):
             validate_report(payload)
+
+
+class TestReportMerge:
+    def test_merge_combines_metrics_and_spans(self):
+        a = make_report()
+        b = make_report()
+        before_seconds = a.spans.seconds("stage")
+        assert a.merge(b) is a
+        assert a.metrics.counter("executor.retries").value == 4
+        assert a.metrics.histogram("task_seconds").count == 2
+        assert a.spans.seconds("stage") >= before_seconds
+        assert len(a.spans.spans) == 1
+
+    def test_merge_keeps_existing_meta(self):
+        a = RunReport("fleet").set_meta(dataset="SYN")
+        b = RunReport("job").set_meta(dataset="LIG", trace="t1.trc")
+        a.merge(b)
+        assert a.meta == {"dataset": "SYN", "trace": "t1.trc"}
+
+    def test_merge_prefix_scopes_metric_names(self):
+        a = RunReport("fleet")
+        b = RunReport("job")
+        b.metrics.inc("rows_out", 5)
+        a.merge(b, prefix="job.")
+        assert a.metrics.counter("job.rows_out").value == 5
+
+    def test_merged_report_still_validates(self):
+        a = make_report()
+        a.merge(make_report())
+        assert validate_report(a.to_dict())

@@ -92,3 +92,53 @@ class TestSerialization:
         assert recorder.seconds("a") == recorder.find("a").seconds
         assert recorder.seconds("missing") == 0.0
         assert recorder.total_seconds() == recorder.seconds("a")
+
+
+class TestSpanMerge:
+    def test_same_name_spans_accumulate(self):
+        a, b = SpanRecorder(), SpanRecorder()
+        with a.span("reduce"):
+            pass
+        with b.span("reduce"):
+            pass
+        expected = a.seconds("reduce") + b.seconds("reduce")
+        assert a.merge(b) is a
+        assert a.seconds("reduce") == pytest.approx(expected)
+        assert len(a.spans) == 1
+
+    def test_unseen_spans_are_deep_copied(self):
+        a, b = SpanRecorder(), SpanRecorder()
+        with b.span("outer"):
+            with b.span("inner", rows_in=3):
+                pass
+        a.merge(b)
+        merged = a.find("outer")
+        assert merged is not b.find("outer")
+        assert merged.child("inner").attrs == {"rows_in": 3}
+        # Mutating the merged copy must not leak back into the source.
+        merged.child("inner").set(rows_in=99)
+        assert b.find("outer").child("inner").attrs["rows_in"] == 3
+
+    def test_children_merge_recursively(self):
+        a, b = SpanRecorder(), SpanRecorder()
+        with a.span("stage"):
+            with a.span("sub"):
+                pass
+        with b.span("stage"):
+            with b.span("sub"):
+                pass
+            with b.span("other"):
+                pass
+        a.merge(b)
+        stage = a.find("stage")
+        assert {c.name for c in stage.children} == {"sub", "other"}
+        assert len(stage.children) == 2
+
+    def test_attrs_take_merged_value(self):
+        a, b = SpanRecorder(), SpanRecorder()
+        with a.span("stage", rows_in=1):
+            pass
+        with b.span("stage", rows_in=7, rows_out=2):
+            pass
+        a.merge(b)
+        assert a.find("stage").attrs == {"rows_in": 7, "rows_out": 2}
