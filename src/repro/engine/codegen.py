@@ -1,0 +1,397 @@
+"""Compiled partition kernels: codegen for fused narrow-step chains.
+
+The interpreted execution path runs every narrow stage as a tree of
+bound closures dispatched per row per step: ``FilterStep`` and
+``ProjectStep`` each re-materialize the partition list, and every
+``BoundBinary`` costs a Python call frame per row. For the paper's hot
+loops -- preselection filters, the u1/u2 interpretation maps, reduction
+projections -- that dispatch overhead dominates the actual work.
+
+This module lowers a fused chain of narrow steps (Filter -> Project ->
+FlatMap, in any order) to a single generated per-partition Python loop:
+
+* bound expressions become inline Python expressions over the row tuple
+  (``r[1] == _c0 and r[2] in _c1``) with literals, frozensets and
+  user callables hoisted into the kernel's globals as ``_c<n>``
+  constants;
+* a whole step chain becomes one ``for`` loop with ``continue`` guards
+  for filters, tuple displays for projections and nested loops for
+  flat-maps, so a partition is traversed once with zero intermediate
+  lists;
+* ``MapPartitionStep`` (an opaque partition-level callable) splits the
+  chain into separately-fused segments.
+
+Generated source is *structural*: constant values never appear in it,
+so two plans that differ only in literals share one compiled code
+object. The process-local code cache is keyed by the source string --
+equivalently by (structural hash, schema), since column indices are
+part of the source. Workers receive the picklable
+:class:`CompiledPartitionTask` spec (the original steps) and compile
+lazily on first use; code objects are never pickled.
+
+Semantics match the interpreted path exactly (the differential fuzz
+oracle compares the two on every case), with one documented relaxation:
+a compiled flat-map streams each produced row through the downstream
+steps immediately instead of materializing the whole step output first,
+which can reorder *exceptions* (never rows) relative to the
+interpreter.
+
+Fallback: set ``REPRO_KERNELS=interpret`` in the environment (or pass
+``compile_kernels=False`` to any executor) to restore the interpreted
+path; lowering failures fall back per task and are counted as
+``executor.kernel_fallbacks``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+from repro.engine.expressions import (
+    BoundAnd,
+    BoundApply,
+    BoundBinary,
+    BoundColumn,
+    BoundInSet,
+    BoundLiteral,
+    BoundOr,
+    BoundRowApply,
+    BoundUnary,
+)
+from repro.engine.operations import (
+    FilterStep,
+    FlatMapStep,
+    MapPartitionStep,
+    ProjectStep,
+)
+from repro.engine.optimizer import ComposedApply, ComposedRowApply
+from repro.obs import stopwatch
+
+#: Environment variable selecting the default execution path.
+#: ``compiled`` (default) generates kernels; ``interpret`` restores the
+#: closure interpreter everywhere.
+KERNELS_ENV = "REPRO_KERNELS"
+
+#: Python operator symbols for :data:`repro.engine.expressions._BINARY_OPS`.
+_BINARY_SYMBOLS = {
+    "eq": "==",
+    "ne": "!=",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+}
+
+#: Expression trees nested deeper than this are not inlined (CPython's
+#: parser has a finite stack for nested parentheses); the task falls
+#: back to the interpreter instead.
+_MAX_EXPR_DEPTH = 60
+
+
+class CodegenError(Exception):
+    """A step chain (or expression) that cannot be lowered to source."""
+
+
+def kernels_enabled(value=None):
+    """Resolve the compiled-kernels default from the environment.
+
+    *value* overrides the environment when given (the executors pass
+    their constructor argument through here).
+    """
+    if value is None:
+        value = os.environ.get(KERNELS_ENV, "compiled")
+    off = ("interpret", "interpreted", "off", "0", "false", "no")
+    return str(value).strip().lower() not in off
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering
+# ---------------------------------------------------------------------------
+
+
+class _Lowering:
+    """Accumulates hoisted constants while an expression tree is lowered."""
+
+    def __init__(self):
+        self.constants = []
+
+    def const(self, value):
+        name = "_c{}".format(len(self.constants))
+        self.constants.append(value)
+        return name
+
+
+def lower_expression(expr, row, ctx, depth=0):
+    """Lower one bound expression to a Python source expression.
+
+    *row* is the source name of the row tuple; constant values are
+    hoisted into *ctx*. Unknown bound-expression types are lowered as an
+    opaque call of the object itself (``_c3(_r0)``), which is exactly
+    the interpreter's semantics -- lowering is therefore total over
+    every callable bound expression, present or future.
+    """
+    if depth > _MAX_EXPR_DEPTH:
+        raise CodegenError("expression nests too deeply to inline")
+    d = depth + 1
+    if isinstance(expr, BoundColumn):
+        return "{}[{}]".format(row, expr.index)
+    if isinstance(expr, BoundLiteral):
+        return ctx.const(expr.value)
+    if isinstance(expr, BoundAnd):
+        return "(bool({}) and bool({}))".format(
+            lower_expression(expr.left, row, ctx, d),
+            lower_expression(expr.right, row, ctx, d),
+        )
+    if isinstance(expr, BoundOr):
+        return "(bool({}) or bool({}))".format(
+            lower_expression(expr.left, row, ctx, d),
+            lower_expression(expr.right, row, ctx, d),
+        )
+    if isinstance(expr, BoundBinary):
+        symbol = _BINARY_SYMBOLS.get(expr.op)
+        if symbol is None:
+            raise CodegenError("unknown binary op {!r}".format(expr.op))
+        return "({} {} {})".format(
+            lower_expression(expr.left, row, ctx, d),
+            symbol,
+            lower_expression(expr.right, row, ctx, d),
+        )
+    if isinstance(expr, BoundUnary):
+        inner = lower_expression(expr.operand, row, ctx, d)
+        if expr.op == "not":
+            return "(not {})".format(inner)
+        if expr.op == "is_null":
+            return "({} is None)".format(inner)
+        if expr.op == "is_not_null":
+            return "({} is not None)".format(inner)
+        raise CodegenError("unknown unary op {!r}".format(expr.op))
+    if isinstance(expr, BoundInSet):
+        return "({} in {})".format(
+            lower_expression(expr.operand, row, ctx, d),
+            ctx.const(expr.values),
+        )
+    if isinstance(expr, BoundApply):
+        args = ", ".join("{}[{}]".format(row, i) for i in expr.indices)
+        return "{}({})".format(ctx.const(expr.func), args)
+    if isinstance(expr, ComposedApply):
+        args = ", ".join(
+            lower_expression(p, row, ctx, d) for p in expr.producers
+        )
+        return "{}({})".format(ctx.const(expr.func), args)
+    if isinstance(expr, BoundRowApply):
+        return "{}(dict(zip({}, {})))".format(
+            ctx.const(expr.func), ctx.const(expr.names), row
+        )
+    if isinstance(expr, ComposedRowApply):
+        if expr.producers:
+            values = "({},)".format(
+                ", ".join(
+                    lower_expression(p, row, ctx, d) for p in expr.producers
+                )
+            )
+        else:
+            values = "()"
+        return "{}(dict(zip({}, {})))".format(
+            ctx.const(expr.func), ctx.const(expr.names), values
+        )
+    # Unknown bound expression: call the object itself, which is the
+    # interpreter's contract for any bound expression.
+    return "{}({})".format(ctx.const(expr), row)
+
+
+# ---------------------------------------------------------------------------
+# Step-chain lowering
+# ---------------------------------------------------------------------------
+
+
+def lower_segment(steps):
+    """Lower one fuseable run of steps to ``(source, constants)``.
+
+    The generated function is named ``_kernel`` and maps a list of row
+    tuples to a list of row tuples in one pass.
+    """
+    ctx = _Lowering()
+    lines = [
+        "def _kernel(_rows):",
+        "    _out = []",
+        "    _append = _out.append",
+        "    for _r0 in _rows:",
+    ]
+    var = "_r0"
+    seq = 0
+    indent = 2
+    for step in steps:
+        pad = "    " * indent
+        if isinstance(step, FilterStep):
+            predicate = lower_expression(step.predicate, var, ctx)
+            lines.append(pad + "if not ({}):".format(predicate))
+            lines.append(pad + "    continue")
+        elif isinstance(step, ProjectStep):
+            seq += 1
+            new = "_r{}".format(seq)
+            if step.exprs:
+                items = ", ".join(
+                    lower_expression(e, var, ctx) for e in step.exprs
+                )
+                lines.append(pad + "{} = ({},)".format(new, items))
+            else:
+                lines.append(pad + "{} = ()".format(new))
+            var = new
+        elif isinstance(step, FlatMapStep):
+            seq += 1
+            new = "_r{}".format(seq)
+            lines.append(
+                pad + "for {} in {}({}):".format(new, ctx.const(step.func), var)
+            )
+            indent += 1
+            var = new
+        else:
+            raise CodegenError(
+                "step {!r} is not fuseable".format(type(step).__name__)
+            )
+    lines.append("    " * indent + "_append({})".format(var))
+    lines.append("    return _out")
+    return "\n".join(lines) + "\n", ctx.constants
+
+
+def _segment_chain(steps):
+    """Split *steps* into fuseable runs and partition-level barriers.
+
+    Returns a list of ``("fused", (steps...))`` / ``("step", step)``
+    entries; ``MapPartitionStep`` (and any unknown step type) is a
+    barrier run as-is between generated kernels.
+    """
+    chain = []
+    run = []
+    for step in steps:
+        if isinstance(step, (FilterStep, ProjectStep, FlatMapStep)):
+            run.append(step)
+            continue
+        if run:
+            chain.append(("fused", tuple(run)))
+            run = []
+        chain.append(("step", step))
+    if run:
+        chain.append(("fused", tuple(run)))
+    return chain
+
+
+# ---------------------------------------------------------------------------
+# Process-local compile cache
+# ---------------------------------------------------------------------------
+
+_CODE_CACHE = {}  # source string -> code object
+
+
+def clear_kernel_cache():
+    """Drop every cached code object (test isolation helper)."""
+    _CODE_CACHE.clear()
+
+
+def kernel_cache_size():
+    """Number of distinct kernel code objects compiled in this process."""
+    return len(_CODE_CACHE)
+
+
+def _compile_source(source, registry=None):
+    """Compile *source* through the process-local structural cache.
+
+    With a *registry* (the owning executor's ``obs``), cache misses
+    count as ``executor.kernels_compiled`` (plus a
+    ``executor.kernel_compile_seconds`` observation) and hits as
+    ``executor.kernel_cache_hits``. Workers compile without a registry;
+    their compiles are invisible to driver metrics by design.
+    """
+    code = _CODE_CACHE.get(source)
+    if code is not None:
+        if registry is not None:
+            registry.inc("executor.kernel_cache_hits")
+        return code
+    with stopwatch() as watch:
+        code = compile(source, "<repro-kernel>", "exec")
+    _CODE_CACHE[source] = code
+    if registry is not None:
+        registry.inc("executor.kernels_compiled")
+        registry.observe("executor.kernel_compile_seconds", watch.seconds)
+    return code
+
+
+def _bind_kernel(code, constants):
+    """Materialize the kernel function with its hoisted constants."""
+    namespace = {"_c{}".format(i): v for i, v in enumerate(constants)}
+    exec(code, namespace)  # noqa: S102 -- source is generated, not user input
+    return namespace["_kernel"]
+
+
+def _build_phases(steps, registry=None):
+    """Compile the per-partition callables for a step chain.
+
+    Returns ``(phases, kernel_id)`` where *phases* is a list of
+    ``rows -> rows`` callables and *kernel_id* digests the generated
+    sources (empty when nothing was generated).
+    """
+    phases = []
+    digest = hashlib.sha1()
+    for kind, payload in _segment_chain(steps):
+        if kind == "step":
+            phases.append(payload.run)
+            continue
+        source, constants = lower_segment(payload)
+        digest.update(source.encode("utf-8"))
+        code = _compile_source(source, registry=registry)
+        phases.append(_bind_kernel(code, constants))
+    return phases, "k" + digest.hexdigest()[:10]
+
+
+@dataclass(frozen=True)
+class CompiledPartitionTask:
+    """Drop-in for :class:`~repro.engine.operations.PartitionTask`.
+
+    Only the picklable spec (*steps*, the original narrow steps) and
+    the *kernel_id* travel to worker processes; the bound kernel chain
+    is rebuilt lazily per process from the structural code cache and
+    memoized on the instance.
+    """
+
+    steps: tuple
+    kernel_id: str = ""
+
+    def __call__(self, rows):
+        phases = getattr(self, "_phases", None)
+        if phases is None:
+            phases, _kernel_id = _build_phases(self.steps)
+            object.__setattr__(self, "_phases", phases)
+        for phase in phases:
+            rows = phase(rows)
+        return rows
+
+    def __getstate__(self):
+        return (self.steps, self.kernel_id)
+
+    def __setstate__(self, state):
+        steps, kernel_id = state
+        object.__setattr__(self, "steps", steps)
+        object.__setattr__(self, "kernel_id", kernel_id)
+
+
+def compile_partition_task(steps, registry=None):
+    """Compile a narrow-step chain into a :class:`CompiledPartitionTask`.
+
+    Returns None when there is nothing to gain (no Filter or Project in
+    the chain -- a bare flat-map or partition map runs just as fast
+    interpreted). Raises :class:`CodegenError` when the chain contains
+    an expression that cannot be lowered; callers fall back to the
+    interpreted :class:`~repro.engine.operations.PartitionTask`.
+    """
+    steps = tuple(steps)
+    if not any(isinstance(s, (FilterStep, ProjectStep)) for s in steps):
+        return None
+    phases, kernel_id = _build_phases(steps, registry=registry)
+    task = CompiledPartitionTask(steps, kernel_id)
+    object.__setattr__(task, "_phases", phases)
+    return task

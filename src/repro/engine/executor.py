@@ -22,6 +22,7 @@ import time
 import zlib
 from dataclasses import dataclass, field
 
+from repro.engine import codegen
 from repro.engine import plan as logical
 from repro.engine.errors import (
     ExecutionError,
@@ -66,6 +67,9 @@ _EXECUTOR_COUNTERS = (
     "split_groups",
     "split_rows",
     "split_cache_hits",
+    "kernels_compiled",
+    "kernel_cache_hits",
+    "kernel_fallbacks",
 )
 
 #: Entries kept in the per-executor split cache (materialized routings
@@ -130,6 +134,18 @@ class ExecutorMetrics:
     @property
     def split_cache_hits(self):
         return self._value("split_cache_hits")
+
+    @property
+    def kernels_compiled(self):
+        return self._value("kernels_compiled")
+
+    @property
+    def kernel_cache_hits(self):
+        return self._value("kernel_cache_hits")
+
+    @property
+    def kernel_fallbacks(self):
+        return self._value("kernel_fallbacks")
 
     def reset(self):
         for name in _EXECUTOR_COUNTERS:
@@ -235,10 +251,18 @@ class Executor:
         stage fails with a structured :class:`TaskError`.
     retry_backoff:
         Base sleep (seconds) between retries; doubles per attempt.
+    compile_kernels:
+        When True (the default, overridable through the
+        ``REPRO_KERNELS`` environment variable -- see
+        :mod:`repro.engine.codegen`), fused narrow chains run as
+        generated per-partition kernels; False restores the
+        interpreted :class:`~repro.engine.operations.PartitionTask`
+        path. None resolves from the environment.
     """
 
     def __init__(self, default_parallelism=4, optimize_plans=True,
-                 fault_policy=None, max_task_retries=2, retry_backoff=0.01):
+                 fault_policy=None, max_task_retries=2, retry_backoff=0.01,
+                 compile_kernels=None):
         if default_parallelism < 1:
             raise ValueError("default_parallelism must be >= 1")
         if max_task_retries < 0:
@@ -248,6 +272,7 @@ class Executor:
         self.fault_policy = fault_policy
         self.max_task_retries = max_task_retries
         self.retry_backoff = retry_backoff
+        self.compile_kernels = codegen.kernels_enabled(compile_kernels)
         self.obs = MetricsRegistry()
         self.metrics = ExecutorMetrics(self.obs)
         self._stage_seq = 0
@@ -303,13 +328,32 @@ class Executor:
         """
         with stopwatch() as watch:
             result = self._run_partition_with_retries(task, x, stage, index)
-        self._observe_task(stage, watch.seconds)
+        self._observe_task(stage, watch.seconds, task=task)
         return result, watch.seconds
 
-    def _observe_task(self, stage, seconds):
+    def _observe_task(self, stage, seconds, task=None):
         kind = stage.split("[", 1)[0]
         self.obs.observe("executor.task_seconds", seconds)
         self.obs.observe("executor.task_seconds.{}".format(kind), seconds)
+        kernel_id = getattr(task, "kernel_id", "")
+        if kernel_id:
+            self.obs.observe("executor.kernel_run_seconds", seconds)
+            self.obs.observe(
+                "executor.kernel_run_seconds.{}".format(kernel_id), seconds
+            )
+
+    def reset_stage_clock(self):
+        """Restart stage numbering at zero.
+
+        Stage labels embed a monotonic sequence number, and
+        :class:`FaultPolicy` decisions key on the full label -- so on a
+        long-lived executor the fault pattern of a plan depends on how
+        many stages ran before it. Harnesses that replay cases on cached
+        executors (the differential oracle, the shrinker) reset the
+        clock per case to make fault injection a pure function of the
+        case.
+        """
+        self._stage_seq = 0
 
     def close(self):
         """Release worker resources (no-op for serial execution)."""
@@ -331,9 +375,31 @@ class Executor:
         base, steps = self._linearize(node)
         partitions = self._execute_wide(base)
         if steps:
-            task = PartitionTask(tuple(steps))
+            task = self._narrow_task(steps)
             partitions = self._run(task, partitions, "narrow")
         return partitions
+
+    def _narrow_task(self, steps):
+        """Build the fused per-partition task for a narrow chain.
+
+        Compiled kernels are the default path; the interpreted
+        :class:`PartitionTask` serves as the explicit fallback
+        (``compile_kernels=False`` / ``REPRO_KERNELS=interpret``), for
+        chains with nothing to compile, and -- counted as
+        ``executor.kernel_fallbacks`` -- when lowering fails.
+        """
+        steps = tuple(steps)
+        if self.compile_kernels:
+            try:
+                task = codegen.compile_partition_task(
+                    steps, registry=self.obs
+                )
+            except codegen.CodegenError:
+                self.obs.inc("executor.kernel_fallbacks")
+                task = None
+            if task is not None:
+                return task
+        return PartitionTask(steps)
 
     def _run(self, task, inputs, stage="stage"):
         label = "{}[{}]".format(stage, self._stage_seq)

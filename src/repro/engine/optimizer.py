@@ -48,20 +48,34 @@ def optimize(node, trace=None):
     ``"project_fusion"``, ``"identity_project_elimination"``) -- the
     per-rule equivalence tests use this to assert a plan actually
     exercised the rewrite under test.
+
+    Shared subtrees (plans are DAGs: ``table.union(table)`` references
+    one child node twice) are optimized once and reused -- without the
+    memo a subtree shared by k self-unions would be rewritten 2^k
+    times, and its rule fires double-counted in *trace*.
     """
-    node = _rewrite_children(node, trace)
+    return _optimize(node, trace, {})
+
+
+def _optimize(node, trace, memo):
+    done = memo.get(id(node))
+    if done is not None:
+        return done
+    out = _rewrite_children(node, trace, memo)
     while True:
-        rewritten = _apply_rules(node, trace)
-        if rewritten is node:
-            return node
-        node = rewritten
+        rewritten = _apply_rules(out, trace)
+        if rewritten is out:
+            break
+        out = rewritten
+    memo[id(node)] = out
+    return out
 
 
-def _rewrite_children(node, trace):
+def _rewrite_children(node, trace, memo):
     children = node.children()
     if not children:
         return node
-    new_children = tuple(optimize(c, trace) for c in children)
+    new_children = tuple(_optimize(c, trace, memo) for c in children)
     if new_children == children:
         return node
     if len(children) == 1:

@@ -1,5 +1,10 @@
 """Fuzz-harness CLI for the differential oracle.
 
+The reference combo runs interpreted while the default matrix runs
+compiled kernels, so every fuzz case doubles as a
+compiled-vs-interpreted equivalence check (see
+:mod:`repro.testing.oracle` and :mod:`repro.engine.codegen`).
+
 Fast, deterministic budget (tier-1 CI runs a fixed one through
 ``tests/engine/test_differential.py``)::
 

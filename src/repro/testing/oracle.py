@@ -1,11 +1,17 @@
 """The differential oracle: one plan, many executors, equal rows.
 
 Every generated (dataset, spec) pair is executed under a matrix of
-executor/optimizer combinations and compared -- as row *multisets*,
-because only partition boundaries and intra-partition order are
-execution details -- against an unoptimized serial reference. Any
-mismatch, or any combo erroring where the reference succeeds, is a
+executor/optimizer/kernel combinations and compared -- as row
+*multisets*, because only partition boundaries and intra-partition
+order are execution details -- against an unoptimized serial reference.
+Any mismatch, or any combo erroring where the reference succeeds, is a
 :class:`Divergence`.
+
+The reference runs *interpreted* (``compile_kernels=False``) while the
+default combos run with compiled kernels, so compiled-vs-interpreted
+equivalence is an axis of every fuzz case; two dedicated serial combos
+additionally isolate the pure codegen axis (unoptimized + compiled)
+and the pure optimizer axis (optimized + interpreted).
 
 Executors are cached per combo so one process pool serves the whole
 fuzz run; call :meth:`DifferentialOracle.close` (or use it as a context
@@ -33,12 +39,15 @@ class ComboSpec:
 
     ``factory``, when given, overrides ``kind`` and must be a callable
     ``factory(parallelism) -> Executor``; tests use it to inject mutant
-    or fault-injecting executors.
+    or fault-injecting executors. ``compile`` selects the kernel axis:
+    generated per-partition kernels (True) or the closure interpreter
+    (False).
     """
 
     name: str
     kind: str = "serial"  # "serial" | "multiprocessing" | "simulated"
     optimize: bool = True
+    compile: bool = True
     factory: object = None
 
     def build(self, parallelism):
@@ -46,28 +55,42 @@ class ComboSpec:
             return self.factory(parallelism)
         if self.kind == "serial":
             return SerialExecutor(
-                default_parallelism=parallelism, optimize_plans=self.optimize
+                default_parallelism=parallelism,
+                optimize_plans=self.optimize,
+                compile_kernels=self.compile,
             )
         if self.kind == "simulated":
             return SimulatedClusterExecutor(
                 num_workers=parallelism,
                 default_parallelism=parallelism,
                 optimize_plans=self.optimize,
+                compile_kernels=self.compile,
             )
         if self.kind == "multiprocessing":
             return MultiprocessingExecutor(
                 num_workers=2,
                 default_parallelism=parallelism,
                 optimize_plans=self.optimize,
+                compile_kernels=self.compile,
                 retry_backoff=0.0,
             )
         raise ValueError("unknown executor kind {!r}".format(self.kind))
 
 
-REFERENCE_COMBO = ComboSpec("serial-unoptimized", "serial", optimize=False)
+#: The reference is the purest path: serial, unoptimized, interpreted.
+#: Every compiled combo therefore checks compiled-vs-interpreted
+#: equivalence on every case.
+REFERENCE_COMBO = ComboSpec(
+    "serial-unoptimized-interpreted", "serial", optimize=False, compile=False
+)
 
 DEFAULT_COMBOS = (
     ComboSpec("serial-optimized", "serial", optimize=True),
+    # Pure codegen axis: identical to the reference except for kernels.
+    ComboSpec("serial-unoptimized-compiled", "serial", optimize=False),
+    # Pure optimizer axis: identical to the reference except for rules.
+    ComboSpec("serial-optimized-interpreted", "serial", optimize=True,
+              compile=False),
     ComboSpec("simulated-optimized", "simulated", optimize=True),
     ComboSpec("simulated-unoptimized", "simulated", optimize=False),
     ComboSpec("multiprocessing-optimized", "multiprocessing", optimize=True),
@@ -145,7 +168,13 @@ class DifferentialOracle:
 
     # -- execution -------------------------------------------------------
     def _collect(self, combo, case, spec):
-        ctx = EngineContext(self._executor_for(combo))
+        executor = self._executor_for(combo)
+        # Fault-injection rolls key on stage labels, which embed the
+        # executor's stage sequence number; resetting it per case makes
+        # divergence a pure function of (case, spec, combo), so the
+        # shrinker's accepted reproducers stay divergent on recheck.
+        executor.reset_stage_clock()
+        ctx = EngineContext(executor)
         return apply_spec(ctx, case, spec).collect()
 
     def check_case(self, case, spec, seed=None):

@@ -1,0 +1,348 @@
+"""Compiled-kernel tests: codegen vs interpreter equivalence.
+
+The differential fuzz oracle covers compiled-vs-interpreted equivalence
+on generated plans; these tests pin down the edge semantics the
+generator rarely hits (NaN, nulls on mixed-type columns, unhashable
+membership probes, division by zero, short-circuit evaluation), the
+process-local structural cache, the pickle contract for worker
+processes, and the fallback flag plumbing.
+"""
+
+import math
+import pickle
+
+import pytest
+
+from repro.engine import EngineContext, ExecutionError, apply, col, lit
+from repro.engine.codegen import (
+    CodegenError,
+    CompiledPartitionTask,
+    clear_kernel_cache,
+    compile_partition_task,
+    kernel_cache_size,
+    kernels_enabled,
+    lower_segment,
+)
+from repro.engine.executor import MultiprocessingExecutor, SerialExecutor
+from repro.engine.operations import (
+    FilterStep,
+    FlatMapStep,
+    MapPartitionStep,
+    PartitionTask,
+    ProjectStep,
+)
+from repro.engine.schema import Schema
+from repro.obs import MetricsRegistry
+
+NAN = float("nan")
+
+
+def _both(steps, rows):
+    """Run *rows* through the interpreted and the compiled task."""
+    steps = tuple(steps)
+    interpreted = PartitionTask(steps)(list(rows))
+    compiled_task = compile_partition_task(steps)
+    assert compiled_task is not None, "chain unexpectedly not compilable"
+    compiled = compiled_task(list(rows))
+    return interpreted, compiled
+
+
+def _assert_equivalent(steps, rows):
+    interpreted, compiled = _both(steps, rows)
+    assert compiled == interpreted
+    return compiled
+
+
+def _bind(expr, *names):
+    return expr.bind(Schema.of(*names))
+
+
+def _boom(*_args):
+    raise AssertionError("short-circuit violated: operand was evaluated")
+
+
+def _double_row(row):
+    return [row, row]
+
+
+def _halve(x):
+    return x / 2.0
+
+
+class TestEdgeExpressionEquivalence:
+    def test_nan_comparisons(self):
+        rows = [(NAN,), (1.0,), (-1.0,), (0.0,), (NAN,)]
+        for expr in (
+            col("x") < lit(0.5),
+            col("x") >= lit(0.5),
+            col("x") == col("x"),
+            col("x") != col("x"),
+        ):
+            steps = [FilterStep(_bind(expr, "x"))]
+            _assert_equivalent(steps, rows)
+        # NaN survives projection untouched in both paths.
+        steps = [ProjectStep((_bind(col("x") * lit(1.0), "x"),))]
+        interpreted, compiled = _both(steps, rows)
+        assert len(compiled) == len(interpreted)
+        assert math.isnan(compiled[0][0]) and math.isnan(interpreted[0][0])
+
+    def test_is_null_on_mixed_type_column(self):
+        rows = [(None,), (0,), ("",), (NAN,), ("x",), (False,)]
+        kept = _assert_equivalent(
+            [FilterStep(_bind(col("x").is_null(), "x"))], rows
+        )
+        assert kept == [(None,)]
+        kept = _assert_equivalent(
+            [FilterStep(_bind(col("x").is_not_null(), "x"))], rows
+        )
+        assert len(kept) == 5
+
+    def test_in_set_membership_and_numeric_coercion(self):
+        # 1 == 1.0 == True: set membership follows Python equality in
+        # both paths, including the bool/int crossover.
+        rows = [(1,), (1.0,), (True,), (2,), ("1",), (None,)]
+        kept = _assert_equivalent(
+            [FilterStep(_bind(col("x").is_in([1]), "x"))], rows
+        )
+        assert kept == [(1,), (1.0,), (True,)]
+
+    def test_in_set_unhashable_probe_raises_in_both_paths(self):
+        rows = [([1, 2],)]
+        steps = (FilterStep(_bind(col("x").is_in([1]), "x")),)
+        with pytest.raises(TypeError):
+            PartitionTask(steps)(list(rows))
+        with pytest.raises(TypeError):
+            compile_partition_task(steps)(list(rows))
+
+    def test_division_by_zero_raises_in_both_paths(self):
+        rows = [(1.0, 0.0)]
+        steps = (ProjectStep((_bind(col("a") / col("b"), "a", "b"),)),)
+        with pytest.raises(ZeroDivisionError):
+            PartitionTask(steps)(list(rows))
+        with pytest.raises(ZeroDivisionError):
+            compile_partition_task(steps)(list(rows))
+
+    def test_short_circuit_and_skips_right_operand(self):
+        # Left side is false for every row, so the raising right side
+        # must never be evaluated -- in either path.
+        rows = [(1,), (2,)]
+        expr = (col("x") > lit(100)) & apply(_boom, "x")
+        kept = _assert_equivalent([FilterStep(_bind(expr, "x"))], rows)
+        assert kept == []
+
+    def test_short_circuit_or_skips_right_operand(self):
+        rows = [(1,), (2,)]
+        expr = (col("x") < lit(100)) | apply(_boom, "x")
+        kept = _assert_equivalent([FilterStep(_bind(expr, "x"))], rows)
+        assert kept == rows
+
+    def test_and_or_return_plain_bools(self):
+        # The interpreter coerces via bool(); truthy non-bool operands
+        # must not leak through the compiled path either.
+        rows = [("a", "b"), ("", "b"), ("a", ""), ("", "")]
+        expr = col("x").is_not_null() & (col("y") != lit(""))
+        steps = [ProjectStep((_bind(expr, "x", "y"),))]
+        interpreted, compiled = _both(steps, rows)
+        assert compiled == interpreted
+        assert all(isinstance(v, bool) for (v,) in compiled)
+
+    def test_fused_chain_with_flatmap_matches_interpreter(self):
+        rows = [(i, i * 0.5) for i in range(50)]
+        steps = [
+            FilterStep(_bind(col("a") > lit(4), "a", "b")),
+            FlatMapStep(_double_row),
+            ProjectStep((
+                _bind(col("a") + col("b"), "a", "b"),
+                _bind(apply(_halve, "b"), "a", "b"),
+            )),
+            FilterStep(_bind(col("a") < lit(60.0), "a", "h")),
+        ]
+        _assert_equivalent(steps, rows)
+
+    def test_map_partition_barrier_splits_segments(self):
+        rows = [(i,) for i in range(10)]
+        steps = [
+            FilterStep(_bind(col("a") >= lit(2), "a")),
+            MapPartitionStep(sorted),
+            ProjectStep((_bind(col("a") * lit(10), "a"),)),
+        ]
+        _assert_equivalent(steps, rows)
+
+
+class TestKernelCache:
+    def test_structural_cache_shared_across_literals(self):
+        clear_kernel_cache()
+        registry = MetricsRegistry()
+        schema = Schema.of("a")
+        steps_a = (FilterStep((col("a") > lit(1)).bind(schema)),)
+        steps_b = (FilterStep((col("a") > lit(99)).bind(schema)),)
+        compile_partition_task(steps_a, registry=registry)
+        compile_partition_task(steps_b, registry=registry)
+        # Same structure, different literal: one code object, one miss,
+        # one hit.
+        assert kernel_cache_size() == 1
+        assert registry.counter("executor.kernels_compiled").value == 1
+        assert registry.counter("executor.kernel_cache_hits").value == 1
+
+    def test_distinct_structures_compile_separately(self):
+        clear_kernel_cache()
+        schema = Schema.of("a")
+        compile_partition_task((FilterStep((col("a") > lit(1)).bind(schema)),))
+        compile_partition_task((FilterStep((col("a") < lit(1)).bind(schema)),))
+        assert kernel_cache_size() == 2
+
+    def test_nothing_to_compile_returns_none(self):
+        assert compile_partition_task((FlatMapStep(_double_row),)) is None
+        assert compile_partition_task((MapPartitionStep(sorted),)) is None
+        assert compile_partition_task(()) is None
+
+    def test_deeply_nested_expression_falls_back(self):
+        schema = Schema.of("a")
+        expr = col("a")
+        for _ in range(80):
+            expr = expr + lit(1)
+        with pytest.raises(CodegenError):
+            compile_partition_task((ProjectStep((expr.bind(schema),)),))
+
+    def test_generated_source_is_structural(self):
+        # Literal values are hoisted to constants; none may appear in
+        # the source (the cache key).
+        schema = Schema.of("a", "b")
+        expr = (col("a") == lit(123456789)) & col("b").is_in(["secret"])
+        source, constants = lower_segment((FilterStep(expr.bind(schema)),))
+        assert "123456789" not in source
+        assert "secret" not in source
+        assert 123456789 in constants
+        assert frozenset(["secret"]) in constants
+
+
+class TestPickleContract:
+    def test_round_trip_recompiles_lazily(self):
+        schema = Schema.of("a")
+        steps = (
+            FilterStep((col("a") > lit(2)).bind(schema)),
+            ProjectStep(((col("a") * lit(3)).bind(schema),)),
+        )
+        task = compile_partition_task(steps)
+        rows = [(i,) for i in range(8)]
+        expected = task(list(rows))
+        blob = pickle.dumps(task)
+        clear_kernel_cache()
+        loaded = pickle.loads(blob)
+        # The spec travels; the bound kernel chain does not.
+        assert getattr(loaded, "_phases", None) is None
+        assert loaded(list(rows)) == expected
+        assert loaded.kernel_id == task.kernel_id
+        assert kernel_cache_size() == 1
+
+    def test_spec_only_state(self):
+        schema = Schema.of("a")
+        steps = (FilterStep((col("a") > lit(2)).bind(schema)),)
+        task = compile_partition_task(steps)
+        assert task.__getstate__() == (steps, task.kernel_id)
+
+
+class TestFlagPlumbing:
+    def test_kernels_enabled_values(self):
+        assert kernels_enabled(True) is True
+        assert kernels_enabled(False) is False
+        assert kernels_enabled("compiled") is True
+        for off in ("interpret", "interpreted", "off", "0", "false", "no"):
+            assert kernels_enabled(off) is False
+
+    def test_env_var_disables_compilation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "interpret")
+        executor = SerialExecutor()
+        assert executor.compile_kernels is False
+        task = executor._narrow_task(
+            (FilterStep((col("a") > lit(1)).bind(Schema.of("a"))),)
+        )
+        assert isinstance(task, PartitionTask)
+
+    def test_constructor_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "interpret")
+        executor = SerialExecutor(compile_kernels=True)
+        assert executor.compile_kernels is True
+
+    def test_compiled_is_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        executor = SerialExecutor()
+        assert executor.compile_kernels is True
+        task = executor._narrow_task(
+            (FilterStep((col("a") > lit(1)).bind(Schema.of("a"))),)
+        )
+        assert isinstance(task, CompiledPartitionTask)
+
+    def test_lowering_failure_falls_back_and_counts(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        executor = SerialExecutor()
+        expr = col("a")
+        for _ in range(80):
+            expr = expr + lit(1)
+        task = executor._narrow_task(
+            (ProjectStep((expr.bind(Schema.of("a")),)),)
+        )
+        assert isinstance(task, PartitionTask)
+        assert executor.metrics.kernel_fallbacks == 1
+
+
+class TestExecutorSmoke:
+    """Tier-1 smoke: compiled by default, identical to interpreted."""
+
+    def _pipeline(self, ctx):
+        rows = [
+            (float(i), i % 7, "id%d" % (i % 5), i % 3 == 0)
+            for i in range(200)
+        ]
+        t = ctx.table_from_rows(["t", "m", "name", "flag"], rows)
+        return (
+            t.filter((col("m") > 1) & col("name").is_in(["id1", "id2", "id3"]))
+            .with_column("scaled", col("t") * lit(0.25) + col("m"))
+            .filter(~col("flag"))
+            .select("name", "scaled", "m")
+        )
+
+    def test_compiled_default_matches_interpreted(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        with SerialExecutor() as compiled_ex, \
+                SerialExecutor(compile_kernels=False) as interp_ex:
+            compiled_rows = self._pipeline(EngineContext(compiled_ex)).collect()
+            interpreted_rows = self._pipeline(
+                EngineContext(interp_ex)
+            ).collect()
+            assert compiled_rows == interpreted_rows
+            assert compiled_rows  # the pipeline keeps some rows
+            assert compiled_ex.metrics.kernels_compiled > 0 or \
+                compiled_ex.metrics.kernel_cache_hits > 0
+            assert interp_ex.metrics.kernels_compiled == 0
+            assert interp_ex.metrics.kernel_cache_hits == 0
+
+    def test_kernel_run_histograms_recorded(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        with SerialExecutor() as executor:
+            self._pipeline(EngineContext(executor)).collect()
+            histograms = executor.obs.histograms()
+            assert histograms["executor.kernel_run_seconds"]["count"] > 0
+            per_kernel = [
+                name for name in histograms
+                if name.startswith("executor.kernel_run_seconds.k")
+            ]
+            assert per_kernel
+
+    def test_multiprocessing_equivalence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        with SerialExecutor(compile_kernels=False) as reference, \
+                MultiprocessingExecutor(
+                    num_workers=2, default_parallelism=4
+                ) as mp:
+            expected = self._pipeline(EngineContext(reference)).collect()
+            table = self._pipeline(EngineContext(mp)).repartition(4)
+            actual = table.collect()
+            assert sorted(actual) == sorted(expected)
+
+    def test_execution_error_from_compiled_kernel(self):
+        with SerialExecutor() as executor:
+            ctx = EngineContext(executor)
+            t = ctx.table_from_rows(["a", "b"], [(1.0, 0.0)])
+            with pytest.raises(ExecutionError):
+                t.with_column("q", col("a") / col("b")).collect()
