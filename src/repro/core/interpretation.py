@@ -24,10 +24,30 @@ from repro.engine.expressions import apply, col
 
 @dataclass(frozen=True)
 class _U1:
-    """``u_1``: extract the relevant payload bytes per row."""
+    """``u_1``: extract the relevant payload bytes per row.
+
+    ``batch_call`` is the columnar batch form the engine's columnar
+    kernels invoke once per partition: element-for-element identical to
+    calling the row form, but the per-rule setup (byte spans, mux
+    geometry) is compiled once per distinct rule instead of re-derived
+    per row. Rules repeat massively (one per catalog entry across
+    thousands of trace rows), so the cache is tiny and hot.
+    """
 
     def __call__(self, payload, rule):
         return rule.extract_relevant(payload)
+
+    def batch_call(self, payloads, rules):
+        compiled = {}
+        out = []
+        append = out.append
+        for payload, rule in zip(payloads, rules):
+            extract = compiled.get(id(rule))
+            if extract is None:
+                extract = rule.compile_extractor()
+                compiled[id(rule)] = extract
+            append(extract(payload))
+        return out
 
 
 @dataclass(frozen=True)
@@ -36,11 +56,24 @@ class _U2:
 
     ``m_info`` is accepted for protocol-specific evaluation; the bundled
     rules are self-contained, but data-dependent rules (e.g. scaling
-    switched by a header field) can inspect it.
+    switched by a header field) can inspect it. ``batch_call`` mirrors
+    :meth:`_U1.batch_call` with per-rule compiled evaluators.
     """
 
     def __call__(self, l_rel, m_info, rule):
         return rule.evaluate(l_rel, m_info)
+
+    def batch_call(self, l_rels, m_infos, rules):
+        compiled = {}
+        out = []
+        append = out.append
+        for l_rel, m_info, rule in zip(l_rels, m_infos, rules):
+            evaluate = compiled.get(id(rule))
+            if evaluate is None:
+                evaluate = rule.compile_evaluator()
+                compiled[id(rule)] = evaluate
+            append(evaluate(l_rel, m_info))
+        return out
 
 
 def join_rules(k_pre, catalog_table):

@@ -143,6 +143,70 @@ class InterpretationRule:
             return self.encoding
         return replace(self.encoding, start_bit=self.encoding.start_bit - 8 * first)
 
+    # -- compiled fast paths ---------------------------------------------
+    def compile_extractor(self):
+        """Build a closure equivalent to :meth:`extract_relevant`.
+
+        The byte span, mux-selector raw extractor and section layout
+        are resolved once; the engine's columnar batch kernels run the
+        returned closure over whole payload columns.
+        """
+        first, last = self.encoding.byte_span()
+        end = last + 1
+        mux_raw = (
+            self.mux_selector.compile_raw_extractor()
+            if self.mux_selector is not None
+            else None
+        )
+        mux_value = self.mux_value
+        layout = self.layout
+        section_bit = self.section_bit
+
+        def extract(payload):
+            if mux_raw is not None and mux_raw(payload) != mux_value:
+                return ABSENT
+            if section_bit is not None:
+                section = layout.extract_section(payload, section_bit)
+                if section is None:
+                    return ABSENT
+                payload = section
+            if last >= len(payload):
+                raise RuleError(
+                    "payload of {} bytes too short for relevant bytes "
+                    "{}..{}".format(len(payload), first, last)
+                )
+            return bytes(payload[first:end])
+
+        return extract
+
+    def compile_evaluator(self):
+        """Build a closure equivalent to :meth:`evaluate`.
+
+        The relative encoding's decoder and the ``required_info``
+        preconditions are hoisted out of the per-row path.
+        """
+        decode = self._relative_encoding().compile_decoder()
+        required = self.required_info
+        if not required:
+
+            def evaluate(l_rel, m_info=None):
+                if l_rel is ABSENT:
+                    return ABSENT
+                return decode(l_rel)
+
+            return evaluate
+
+        def evaluate(l_rel, m_info=None):
+            if l_rel is ABSENT:
+                return ABSENT
+            fields = dict(m_info) if m_info else {}
+            for key, value in required:
+                if fields.get(key) != value:
+                    return ABSENT
+            return decode(l_rel)
+
+        return evaluate
+
     def describe(self):
         """Human-readable summary in the style of Table 1."""
         enc = self.encoding

@@ -7,6 +7,11 @@ windowed partition maps, executed either serially or on a process pool.
 """
 
 from repro.engine import aggregates
+from repro.engine.columnar import (
+    BytesColumn,
+    ColumnarPartition,
+    as_row_partition,
+)
 from repro.engine.context import EngineContext
 from repro.engine.errors import (
     EngineError,
@@ -47,6 +52,9 @@ __all__ = [
     "SimulatedClusterExecutor",
     "Table",
     "TableStore",
+    "BytesColumn",
+    "ColumnarPartition",
+    "as_row_partition",
     "Schema",
     "Field",
     "aggregates",

@@ -36,10 +36,34 @@ steps immediately instead of materializing the whole step output first,
 which can reorder *exceptions* (never rows) relative to the
 interpreter.
 
+Columnar batch kernels
+----------------------
+
+On top of the row kernels, a pure Filter/Project chain can lower to a
+*columnar* kernel that runs over the column buffers of a
+:class:`~repro.engine.columnar.ColumnarPartition` instead of row
+tuples: filters become selection masks applied to every column with
+``itertools.compress``, pass-through projection columns are zero-copy
+buffer references, and computed columns are single list comprehensions
+zipping exactly the columns the expression reads. Row tuples are never
+materialized between steps; the task transposes back to rows only at
+its output boundary (wide stages, fault poisoning and the differential
+oracle all keep seeing row lists).
+
+Semantics again match the interpreted path row-for-row -- masks and
+comprehensions evaluate the same expression on the same surviving rows
+with the same short-circuiting -- with the analogous documented
+relaxation: a columnar project evaluates expression-major (whole column
+at a time) instead of row-major, which can reorder *exceptions* (never
+rows) between two output expressions of one projection.
+
 Fallback: set ``REPRO_KERNELS=interpret`` in the environment (or pass
 ``compile_kernels=False`` to any executor) to restore the interpreted
 path; lowering failures fall back per task and are counted as
-``executor.kernel_fallbacks``.
+``executor.kernel_fallbacks``. ``REPRO_COLUMNAR=off`` (or
+``columnar_kernels=False``) disables only the columnar layer; chains it
+cannot lower (flat-maps, partition maps) fall back to the row kernels
+per task, counted as ``executor.columnar_fallbacks``.
 """
 
 from __future__ import annotations
@@ -47,6 +71,9 @@ from __future__ import annotations
 import hashlib
 import os
 from dataclasses import dataclass
+from itertools import compress
+
+from repro.engine.columnar import ColumnarPartition, columns_to_rows
 
 from repro.engine.expressions import (
     BoundAnd,
@@ -72,6 +99,11 @@ from repro.obs import stopwatch
 #: ``compiled`` (default) generates kernels; ``interpret`` restores the
 #: closure interpreter everywhere.
 KERNELS_ENV = "REPRO_KERNELS"
+
+#: Environment variable selecting the columnar batch-kernel layer.
+#: ``columnar`` (default) lowers pure Filter/Project chains to column
+#: kernels; ``off`` restores row kernels everywhere.
+COLUMNAR_ENV = "REPRO_COLUMNAR"
 
 #: Python operator symbols for :data:`repro.engine.expressions._BINARY_OPS`.
 _BINARY_SYMBOLS = {
@@ -109,6 +141,18 @@ def kernels_enabled(value=None):
     return str(value).strip().lower() not in off
 
 
+def columnar_enabled(value=None):
+    """Resolve the columnar-kernels default from the environment.
+
+    *value* overrides the environment when given (the executors pass
+    their constructor argument through here).
+    """
+    if value is None:
+        value = os.environ.get(COLUMNAR_ENV, "columnar")
+    off = ("row", "rows", "off", "0", "false", "no")
+    return str(value).strip().lower() not in off
+
+
 # ---------------------------------------------------------------------------
 # Expression lowering
 # ---------------------------------------------------------------------------
@@ -126,7 +170,34 @@ class _Lowering:
         return name
 
 
-def lower_expression(expr, row, ctx, depth=0):
+class _ElementScope:
+    """Column-element naming for the columnar lowering.
+
+    In element mode a column reference renders as a per-element loop
+    variable ``_v<i>`` instead of a row subscript; the scope records
+    which columns an expression actually reads so its comprehension
+    zips exactly those buffers. Expressions that need the whole row
+    (``BoundRowApply``, opaque callables) read every column.
+    """
+
+    def __init__(self, width):
+        self.width = width
+        self.used = set()
+
+    def col_ref(self, index):
+        self.used.add(index)
+        return "_v{}".format(index)
+
+    def row_ref(self):
+        if self.width == 0:
+            return "()"
+        self.used.update(range(self.width))
+        return "({},)".format(
+            ", ".join("_v{}".format(i) for i in range(self.width))
+        )
+
+
+def lower_expression(expr, row, ctx, depth=0, scope=None):
     """Lower one bound expression to a Python source expression.
 
     *row* is the source name of the row tuple; constant values are
@@ -134,35 +205,50 @@ def lower_expression(expr, row, ctx, depth=0):
     opaque call of the object itself (``_c3(_r0)``), which is exactly
     the interpreter's semantics -- lowering is therefore total over
     every callable bound expression, present or future.
+
+    With a *scope* (columnar element mode) column references render as
+    per-element variables (``_v2``) and whole-row consumers as a tuple
+    display over every column; *row* is unused then.
     """
     if depth > _MAX_EXPR_DEPTH:
         raise CodegenError("expression nests too deeply to inline")
     d = depth + 1
+
+    def col_ref(index):
+        if scope is None:
+            return "{}[{}]".format(row, index)
+        return scope.col_ref(index)
+
+    def row_ref():
+        if scope is None:
+            return row
+        return scope.row_ref()
+
     if isinstance(expr, BoundColumn):
-        return "{}[{}]".format(row, expr.index)
+        return col_ref(expr.index)
     if isinstance(expr, BoundLiteral):
         return ctx.const(expr.value)
     if isinstance(expr, BoundAnd):
         return "(bool({}) and bool({}))".format(
-            lower_expression(expr.left, row, ctx, d),
-            lower_expression(expr.right, row, ctx, d),
+            lower_expression(expr.left, row, ctx, d, scope),
+            lower_expression(expr.right, row, ctx, d, scope),
         )
     if isinstance(expr, BoundOr):
         return "(bool({}) or bool({}))".format(
-            lower_expression(expr.left, row, ctx, d),
-            lower_expression(expr.right, row, ctx, d),
+            lower_expression(expr.left, row, ctx, d, scope),
+            lower_expression(expr.right, row, ctx, d, scope),
         )
     if isinstance(expr, BoundBinary):
         symbol = _BINARY_SYMBOLS.get(expr.op)
         if symbol is None:
             raise CodegenError("unknown binary op {!r}".format(expr.op))
         return "({} {} {})".format(
-            lower_expression(expr.left, row, ctx, d),
+            lower_expression(expr.left, row, ctx, d, scope),
             symbol,
-            lower_expression(expr.right, row, ctx, d),
+            lower_expression(expr.right, row, ctx, d, scope),
         )
     if isinstance(expr, BoundUnary):
-        inner = lower_expression(expr.operand, row, ctx, d)
+        inner = lower_expression(expr.operand, row, ctx, d, scope)
         if expr.op == "not":
             return "(not {})".format(inner)
         if expr.op == "is_null":
@@ -172,26 +258,27 @@ def lower_expression(expr, row, ctx, depth=0):
         raise CodegenError("unknown unary op {!r}".format(expr.op))
     if isinstance(expr, BoundInSet):
         return "({} in {})".format(
-            lower_expression(expr.operand, row, ctx, d),
+            lower_expression(expr.operand, row, ctx, d, scope),
             ctx.const(expr.values),
         )
     if isinstance(expr, BoundApply):
-        args = ", ".join("{}[{}]".format(row, i) for i in expr.indices)
+        args = ", ".join(col_ref(i) for i in expr.indices)
         return "{}({})".format(ctx.const(expr.func), args)
     if isinstance(expr, ComposedApply):
         args = ", ".join(
-            lower_expression(p, row, ctx, d) for p in expr.producers
+            lower_expression(p, row, ctx, d, scope) for p in expr.producers
         )
         return "{}({})".format(ctx.const(expr.func), args)
     if isinstance(expr, BoundRowApply):
         return "{}(dict(zip({}, {})))".format(
-            ctx.const(expr.func), ctx.const(expr.names), row
+            ctx.const(expr.func), ctx.const(expr.names), row_ref()
         )
     if isinstance(expr, ComposedRowApply):
         if expr.producers:
             values = "({},)".format(
                 ", ".join(
-                    lower_expression(p, row, ctx, d) for p in expr.producers
+                    lower_expression(p, row, ctx, d, scope)
+                    for p in expr.producers
                 )
             )
         else:
@@ -201,7 +288,7 @@ def lower_expression(expr, row, ctx, depth=0):
         )
     # Unknown bound expression: call the object itself, which is the
     # interpreter's contract for any bound expression.
-    return "{}({})".format(ctx.const(expr), row)
+    return "{}({})".format(ctx.const(expr), row_ref())
 
 
 # ---------------------------------------------------------------------------
@@ -256,6 +343,115 @@ def lower_segment(steps):
             )
     lines.append("    " * indent + "_append({})".format(var))
     lines.append("    return _out")
+    return "\n".join(lines) + "\n", ctx.constants
+
+
+def _column_source(expr, ctx, width):
+    """Source expression producing one whole output column for *expr*.
+
+    Pass-through columns are zero-copy buffer references and literals
+    replicate without a loop. Applies whose callable publishes a
+    ``batch_call`` method are lowered as ONE whole-column call --
+    ``batch_call`` receives the argument columns and must return the
+    list ``[func(*cells) for cells in zip(*columns)]``; domain layers
+    use it to hoist per-row setup out of the loop (see
+    ``repro.core.interpretation``). Everything else evaluates as an
+    element comprehension over exactly the columns it reads.
+    """
+    if isinstance(expr, BoundColumn):
+        return "_cols[{}]".format(expr.index)
+    if isinstance(expr, BoundLiteral):
+        return "[{}] * _n".format(ctx.const(expr.value))
+    batch = getattr(getattr(expr, "func", None), "batch_call", None)
+    if callable(batch):
+        if isinstance(expr, BoundApply):
+            args = ", ".join("_cols[{}]".format(i) for i in expr.indices)
+            return "{}({})".format(ctx.const(batch), args)
+        if isinstance(expr, ComposedApply):
+            args = ", ".join(
+                _column_source(p, ctx, width) for p in expr.producers
+            )
+            return "{}({})".format(ctx.const(batch), args)
+    scope = _ElementScope(width)
+    source = lower_expression(expr, None, ctx, scope=scope)
+    return _element_comprehension(source, sorted(scope.used))
+
+
+def _element_comprehension(source, used):
+    """One list comprehension evaluating *source* per element.
+
+    *used* is the sorted set of column indices the expression reads:
+    zero columns iterate ``range(_n)`` (the expression is still
+    evaluated once per row, matching the interpreter), one column skips
+    the ``zip``.
+    """
+    if not used:
+        return "[{} for _i in range(_n)]".format(source)
+    if len(used) == 1:
+        index = used[0]
+        return "[{} for _v{} in _cols[{}]]".format(source, index, index)
+    variables = ", ".join("_v{}".format(i) for i in used)
+    columns = ", ".join("_cols[{}]".format(i) for i in used)
+    return "[{} for {} in zip({})]".format(source, variables, columns)
+
+
+def lower_columnar_segment(steps, width):
+    """Lower a pure Filter/Project chain to a columnar batch kernel.
+
+    The generated ``_ckernel(_cols, _n)`` maps (column buffers, row
+    count) to (column buffers, row count) without ever materializing a
+    row tuple: filters build a selection mask and compress every live
+    column (skipped entirely when the mask is all-true); projections
+    reuse input buffers for pass-through columns, replicate literals
+    and compute everything else as one comprehension over exactly the
+    columns it reads. *width* is the input column count.
+
+    Raises :class:`CodegenError` for chains containing anything but
+    Filter/Project steps (flat-maps expand rows, partition maps are
+    opaque barriers -- both stay on the row path).
+    """
+    ctx = _Lowering()
+    lines = ["def _ckernel(_cols, _n):"]
+    current_width = width
+    for step in steps:
+        if isinstance(step, FilterStep):
+            scope = _ElementScope(current_width)
+            predicate = lower_expression(
+                step.predicate, None, ctx, scope=scope
+            )
+            mask = _element_comprehension(predicate, sorted(scope.used))
+            lines.append("    if _n:")
+            lines.append("        _mask = {}".format(mask))
+            lines.append("        if not all(_mask):")
+            lines.append(
+                "            _cols = "
+                "[list(_compress(_c, _mask)) for _c in _cols]"
+            )
+            if current_width:
+                # Compressed columns are lists; their C-level length is
+                # the surviving row count.
+                lines.append("            _n = len(_cols[0])")
+            else:
+                lines.append("            _n = sum(1 for _m in _mask if _m)")
+        elif isinstance(step, ProjectStep):
+            items = [
+                _column_source(expr, ctx, current_width)
+                for expr in step.exprs
+            ]
+            # The list display evaluates against the *old* _cols before
+            # the rebinding, so pass-through refs stay valid.
+            lines.append("    _cols = [")
+            for item in items:
+                lines.append("        {},".format(item))
+            lines.append("    ]")
+            current_width = len(step.exprs)
+        else:
+            raise CodegenError(
+                "step {!r} is not columnar-fuseable".format(
+                    type(step).__name__
+                )
+            )
+    lines.append("    return _cols, _n")
     return "\n".join(lines) + "\n", ctx.constants
 
 
@@ -321,11 +517,12 @@ def _compile_source(source, registry=None):
     return code
 
 
-def _bind_kernel(code, constants):
+def _bind_kernel(code, constants, name="_kernel"):
     """Materialize the kernel function with its hoisted constants."""
     namespace = {"_c{}".format(i): v for i, v in enumerate(constants)}
+    namespace["_compress"] = compress
     exec(code, namespace)  # noqa: S102 -- source is generated, not user input
-    return namespace["_kernel"]
+    return namespace[name]
 
 
 def _build_phases(steps, registry=None):
@@ -362,6 +559,8 @@ class CompiledPartitionTask:
     kernel_id: str = ""
 
     def __call__(self, rows):
+        if isinstance(rows, ColumnarPartition):
+            rows = rows.to_rows()
         phases = getattr(self, "_phases", None)
         if phases is None:
             phases, _kernel_id = _build_phases(self.steps)
@@ -394,4 +593,98 @@ def compile_partition_task(steps, registry=None):
     phases, kernel_id = _build_phases(steps, registry=registry)
     task = CompiledPartitionTask(steps, kernel_id)
     object.__setattr__(task, "_phases", phases)
+    return task
+
+
+# ---------------------------------------------------------------------------
+# Columnar batch kernels
+# ---------------------------------------------------------------------------
+
+
+def _build_columnar_kernel(steps, width, registry=None):
+    """Compile the columnar kernel for a Filter/Project chain.
+
+    Returns ``(kernel, kernel_id)``. Shares the structural code cache
+    (and its compile counters) with the row kernels.
+    """
+    source, constants = lower_columnar_segment(steps, width)
+    code = _compile_source(source, registry=registry)
+    digest = hashlib.sha1(source.encode("utf-8"))
+    return (
+        _bind_kernel(code, constants, name="_ckernel"),
+        "c" + digest.hexdigest()[:10],
+    )
+
+
+@dataclass(frozen=True)
+class ColumnarPartitionTask:
+    """A fused Filter/Project chain running column-wise.
+
+    Accepts either a :class:`~repro.engine.columnar.ColumnarPartition`
+    (columnar sources pass their buffers straight through) or a row
+    list (transposed on entry), and always returns a row list so wide
+    stages, fault poisoning and result collection are layout-agnostic.
+    Pickles as (steps, width, kernel_id) like
+    :class:`CompiledPartitionTask`; workers recompile lazily through
+    the structural cache.
+    """
+
+    steps: tuple
+    width: int
+    kernel_id: str = ""
+
+    def __call__(self, partition):
+        kernel = getattr(self, "_ckernel", None)
+        if kernel is None:
+            kernel, _kernel_id = _build_columnar_kernel(
+                self.steps, self.width
+            )
+            object.__setattr__(self, "_ckernel", kernel)
+        if isinstance(partition, ColumnarPartition):
+            columns, length = list(partition.columns), len(partition)
+        else:
+            # Transient row lists skip the typed-buffer build entirely:
+            # a bare zip(*) transpose is one C pass and tuple columns
+            # work everywhere the kernel touches them (compress, zip,
+            # element comprehensions). Empty inputs still need *width*
+            # placeholder columns so pass-through refs stay indexable.
+            rows = partition if isinstance(partition, list) else list(partition)
+            length = len(rows)
+            if length:
+                columns = list(zip(*rows))
+            else:
+                columns = [()] * self.width
+        columns, length = kernel(columns, length)
+        return columns_to_rows(columns, length)
+
+    def __getstate__(self):
+        return (self.steps, self.width, self.kernel_id)
+
+    def __setstate__(self, state):
+        steps, width, kernel_id = state
+        object.__setattr__(self, "steps", steps)
+        object.__setattr__(self, "width", width)
+        object.__setattr__(self, "kernel_id", kernel_id)
+
+
+def compile_columnar_task(steps, width, registry=None):
+    """Compile a narrow-step chain into a :class:`ColumnarPartitionTask`.
+
+    Returns None when the chain has no Filter or Project (mirroring
+    :func:`compile_partition_task` -- nothing to gain). Raises
+    :class:`CodegenError` when the chain contains steps or expressions
+    the columnar layout cannot run (flat-maps, partition maps, exotic
+    expressions); callers fall back to the row kernels and count
+    ``executor.columnar_fallbacks``.
+    """
+    steps = tuple(steps)
+    if width is None:
+        raise CodegenError("columnar lowering needs the input width")
+    if not any(isinstance(s, (FilterStep, ProjectStep)) for s in steps):
+        return None
+    kernel, kernel_id = _build_columnar_kernel(
+        steps, width, registry=registry
+    )
+    task = ColumnarPartitionTask(steps, width, kernel_id)
+    object.__setattr__(task, "_ckernel", kernel)
     return task

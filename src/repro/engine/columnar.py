@@ -1,0 +1,223 @@
+"""Columnar partitions: typed column buffers behind one abstraction.
+
+A partition is normally a ``list`` of row tuples. For the hot numeric
+paths of the paper -- preselection scans over ``(t, b_id, m_id)``,
+interpretation projections, reduction filters -- that layout pays a
+Python object per cell and a tuple per row. A
+:class:`ColumnarPartition` stores the same rows column-major instead:
+
+* an ``array.array('q')`` buffer for all-``int`` columns;
+* an ``array.array('d')`` buffer for all-``float`` columns (bit-exact,
+  including NaN and signed zeros);
+* a :class:`BytesColumn` plane -- one contiguous blob plus an offsets
+  array -- for all-``bytes`` columns (frame payloads);
+* a plain object list for everything else (str, bool, None, mixed).
+
+Layout selection is *exact-type* driven, so ``rows -> columns -> rows``
+is an identity: ``True`` never comes back as ``1``, ``1`` never as
+``1.0``, big ints that overflow 64 bits stay objects. The property
+tests in ``tests/engine/test_columnar.py`` pin this.
+
+Executors keep exchanging row lists between wide stages; columnar
+partitions appear in two places only: inside :class:`~repro.engine.plan.Source`
+nodes (built by :meth:`EngineContext.table_from_columnar` or the
+columnar tracefile reader) and inside the generated columnar batch
+kernels of :mod:`repro.engine.codegen`, which consume them natively and
+emit row lists. Everything else converts through
+:func:`as_row_partition`.
+
+Instances are treated as read-only once built; kernels always allocate
+fresh column lists instead of mutating buffers, so a partition can be
+shared between a plan node, the split cache and several tasks.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+__all__ = [
+    "BytesColumn",
+    "ColumnarPartition",
+    "as_row_partition",
+    "columns_to_rows",
+]
+
+
+class BytesColumn:
+    """An all-``bytes`` column: one contiguous blob plus offsets.
+
+    ``offsets`` has ``len(column) + 1`` entries; cell *i* is
+    ``blob[offsets[i]:offsets[i + 1]]``. This is the payload plane of
+    the columnar trace format: payload cells stay densely packed and a
+    cell is materialized (as ``bytes``) only when accessed.
+    """
+
+    __slots__ = ("offsets", "blob")
+
+    def __init__(self, offsets, blob):
+        if len(offsets) == 0:
+            raise ValueError("offsets must have at least one entry")
+        self.offsets = offsets
+        self.blob = blob
+
+    @classmethod
+    def from_values(cls, values):
+        offsets = array("Q", [0])
+        chunks = []
+        total = 0
+        for value in values:
+            total += len(value)
+            offsets.append(total)
+            chunks.append(value)
+        return cls(offsets, b"".join(chunks))
+
+    def __len__(self):
+        return len(self.offsets) - 1
+
+    def __getitem__(self, index):
+        offsets = self.offsets
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("BytesColumn index out of range")
+        # bytes() is an identity on bytes slices and materializes
+        # memoryview slices (mmap-backed blobs), so cells always come
+        # back with the exact type the rows went in with.
+        return bytes(self.blob[offsets[index] : offsets[index + 1]])
+
+    def __iter__(self):
+        blob = self.blob
+        offsets = self.offsets
+        start = offsets[0]
+        for end in offsets[1:]:
+            yield bytes(blob[start:end])
+            start = end
+
+    def __reduce__(self):
+        offsets = self.offsets
+        if isinstance(offsets, memoryview):
+            offsets = array(offsets.format, offsets)
+        return (BytesColumn, (offsets, bytes(self.blob)))
+
+    def nbytes(self):
+        return len(self.blob) + len(self.offsets) * self.offsets.itemsize
+
+
+def _build_column(values):
+    """Pick the densest exact-type-preserving layout for one column."""
+    kinds = set(map(type, values))
+    if kinds == {int}:
+        try:
+            return array("q", values)
+        except OverflowError:
+            return list(values)
+    if kinds == {float}:
+        return array("d", values)
+    if kinds == {bytes}:
+        return BytesColumn.from_values(values)
+    # bool/str/None/mixed columns stay object lists: bools must come
+    # back as bools (array('b') would launder them into ints), and a
+    # mixed column has no single buffer type.
+    return list(values)
+
+
+def columns_to_rows(columns, length):
+    """Transpose column sequences back into a list of row tuples.
+
+    *length* matters for zero-column tables, where there is no column
+    left to count rows from.
+    """
+    if not columns:
+        return [()] * length
+    return list(zip(*columns))
+
+
+class ColumnarPartition:
+    """One partition stored column-major.
+
+    ``columns`` is a list of per-column sequences (``array.array``,
+    :class:`BytesColumn` or object list), all of the same length.
+    Identity semantics (default ``__eq__``/``__hash__``) keep the
+    object usable inside frozen plan nodes; compare :meth:`to_rows`
+    when value equality is meant.
+    """
+
+    __slots__ = ("columns", "_length")
+
+    def __init__(self, columns, length):
+        columns = list(columns)
+        for column in columns:
+            if len(column) != length:
+                raise ValueError(
+                    "column length {} does not match partition length "
+                    "{}".format(len(column), length)
+                )
+        self.columns = columns
+        self._length = length
+
+    @classmethod
+    def from_rows(cls, rows, width):
+        """Transpose row tuples into typed column buffers."""
+        if not rows:
+            return cls([[] for _unused in range(width)], 0)
+        transposed = list(zip(*rows))
+        if len(transposed) != width:
+            raise ValueError(
+                "rows have width {}, expected {}".format(
+                    len(transposed), width
+                )
+            )
+        return cls([_build_column(c) for c in transposed], len(rows))
+
+    def to_rows(self):
+        """The exact row tuples this partition was built from."""
+        return columns_to_rows(self.columns, self._length)
+
+    def __len__(self):
+        return self._length
+
+    @property
+    def width(self):
+        return len(self.columns)
+
+    def column(self, index):
+        return self.columns[index]
+
+    def nbytes(self):
+        """Approximate buffer footprint (feeds the partition_bytes gauge).
+
+        Typed buffers report their true byte size; object columns are
+        charged one pointer per cell (the objects themselves are shared
+        with whoever built the partition).
+        """
+        total = 0
+        for column in self.columns:
+            if isinstance(column, array):
+                total += len(column) * column.itemsize
+            elif isinstance(column, memoryview):
+                total += column.nbytes
+            elif isinstance(column, BytesColumn):
+                total += column.nbytes()
+            else:
+                total += len(column) * 8
+        return total
+
+    def __reduce__(self):
+        # array.array and BytesColumn pickle natively; memoryview-backed
+        # columns (mmap'ed trace sections) must be materialized first.
+        columns = [
+            array(c.format, c) if isinstance(c, memoryview) else c
+            for c in self.columns
+        ]
+        return (_rebuild_partition, (columns, self._length))
+
+
+def _rebuild_partition(columns, length):
+    return ColumnarPartition(columns, length)
+
+
+def as_row_partition(partition):
+    """Normalize a partition to a list of row tuples."""
+    if isinstance(partition, ColumnarPartition):
+        return partition.to_rows()
+    return partition

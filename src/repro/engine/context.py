@@ -7,6 +7,7 @@ helpers, playing the role of a SparkSession in the paper's deployment.
 from __future__ import annotations
 
 from repro.engine import plan as logical
+from repro.engine.columnar import ColumnarPartition
 from repro.engine.errors import PlanError
 from repro.engine.executor import (
     MultiprocessingExecutor,
@@ -109,6 +110,33 @@ class EngineContext:
         node = logical.Source(
             schema, tuple(tuple(tuple(r) for r in p) for p in partitions)
         )
+        return Table(self, node)
+
+    def table_from_columnar(self, columns, partitions, dtypes=None):
+        """Create a table from pre-built columnar partitions.
+
+        *partitions* is a sequence of :class:`ColumnarPartition` objects
+        (or row lists, which are transposed into one). The partitions
+        are held in the Source node as-is -- no row materialization
+        happens until a task that needs rows runs -- which is how the
+        columnar tracefile reader exposes mmap'ed column sections to the
+        engine without decoding payloads up front.
+        """
+        schema = Schema.of(*columns, dtypes=dtypes)
+        width = len(schema)
+        built = []
+        for index, part in enumerate(partitions):
+            if not isinstance(part, ColumnarPartition):
+                part = ColumnarPartition.from_rows(
+                    [tuple(r) for r in part], width
+                )
+            if part.width != width:
+                raise PlanError(
+                    "columnar partition {} has width {}, which does not "
+                    "match schema width {}".format(index, part.width, width)
+                )
+            built.append(part)
+        node = logical.Source(schema, tuple(built))
         return Table(self, node)
 
     def empty_table(self, columns, dtypes=None):

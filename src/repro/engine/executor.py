@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.engine import codegen
 from repro.engine import plan as logical
+from repro.engine.columnar import ColumnarPartition, as_row_partition
 from repro.engine.errors import (
     ExecutionError,
     InjectedFaultError,
@@ -70,6 +71,8 @@ _EXECUTOR_COUNTERS = (
     "kernels_compiled",
     "kernel_cache_hits",
     "kernel_fallbacks",
+    "columnar_tasks",
+    "columnar_fallbacks",
 )
 
 #: Entries kept in the per-executor split cache (materialized routings
@@ -146,6 +149,14 @@ class ExecutorMetrics:
     @property
     def kernel_fallbacks(self):
         return self._value("kernel_fallbacks")
+
+    @property
+    def columnar_tasks(self):
+        return self._value("columnar_tasks")
+
+    @property
+    def columnar_fallbacks(self):
+        return self._value("columnar_fallbacks")
 
     def reset(self):
         for name in _EXECUTOR_COUNTERS:
@@ -258,11 +269,17 @@ class Executor:
         generated per-partition kernels; False restores the
         interpreted :class:`~repro.engine.operations.PartitionTask`
         path. None resolves from the environment.
+    columnar_kernels:
+        When True (the default, overridable through ``REPRO_COLUMNAR``),
+        pure Filter/Project chains compile to columnar batch kernels
+        that loop over column buffers; chains that do not lower fall
+        back to the row path (counted as ``executor.columnar_fallbacks``).
+        Requires ``compile_kernels``; None resolves from the environment.
     """
 
     def __init__(self, default_parallelism=4, optimize_plans=True,
                  fault_policy=None, max_task_retries=2, retry_backoff=0.01,
-                 compile_kernels=None):
+                 compile_kernels=None, columnar_kernels=None):
         if default_parallelism < 1:
             raise ValueError("default_parallelism must be >= 1")
         if max_task_retries < 0:
@@ -273,6 +290,7 @@ class Executor:
         self.max_task_retries = max_task_retries
         self.retry_backoff = retry_backoff
         self.compile_kernels = codegen.kernels_enabled(compile_kernels)
+        self.columnar_kernels = codegen.columnar_enabled(columnar_kernels)
         self.obs = MetricsRegistry()
         self.metrics = ExecutorMetrics(self.obs)
         self._stage_seq = 0
@@ -374,21 +392,46 @@ class Executor:
             node = optimize(node, trace=RuleFireCounter(self.obs))
         base, steps = self._linearize(node)
         partitions = self._execute_wide(base)
+        columnar_bytes = sum(
+            p.nbytes() for p in partitions
+            if isinstance(p, ColumnarPartition)
+        )
+        if columnar_bytes:
+            self.obs.set_gauge("executor.partition_bytes", columnar_bytes)
         if steps:
-            task = self._narrow_task(steps)
+            task = self._narrow_task(steps, input_width=len(base.schema))
             partitions = self._run(task, partitions, "narrow")
-        return partitions
+        # Row lists are the engine's output (and inter-stage) currency;
+        # columnar partitions surface unconverted only when a bare
+        # columnar Source reaches this point.
+        return [as_row_partition(p) for p in partitions]
 
-    def _narrow_task(self, steps):
+    def _narrow_task(self, steps, input_width=None):
         """Build the fused per-partition task for a narrow chain.
 
-        Compiled kernels are the default path; the interpreted
+        Columnar batch kernels are tried first (pure Filter/Project
+        chains; ``columnar_kernels``), then row kernels; the interpreted
         :class:`PartitionTask` serves as the explicit fallback
         (``compile_kernels=False`` / ``REPRO_KERNELS=interpret``), for
         chains with nothing to compile, and -- counted as
         ``executor.kernel_fallbacks`` -- when lowering fails.
         """
         steps = tuple(steps)
+        if (
+            self.compile_kernels
+            and self.columnar_kernels
+            and input_width is not None
+        ):
+            try:
+                task = codegen.compile_columnar_task(
+                    steps, input_width, registry=self.obs
+                )
+            except codegen.CodegenError:
+                self.obs.inc("executor.columnar_fallbacks")
+                task = None
+            if task is not None:
+                self.obs.inc("executor.columnar_tasks")
+                return task
         if self.compile_kernels:
             try:
                 task = codegen.compile_partition_task(
@@ -428,7 +471,13 @@ class Executor:
 
     def _execute_wide(self, node):
         if isinstance(node, logical.Source):
-            return [list(p) for p in node.partitions]
+            # Columnar source partitions pass through untouched (they
+            # are read-only by contract); row partitions are copied so
+            # tasks can never alias a caller's list.
+            return [
+                p if isinstance(p, ColumnarPartition) else list(p)
+                for p in node.partitions
+            ]
         if isinstance(node, logical.Join):
             return self._execute_join(node)
         if isinstance(node, logical.Union):

@@ -13,6 +13,8 @@ import zlib
 from dataclasses import dataclass
 from operator import itemgetter
 
+from repro.engine.columnar import as_row_partition
+
 
 @dataclass(frozen=True)
 class FilterStep:
@@ -54,11 +56,17 @@ class MapPartitionStep:
 
 @dataclass(frozen=True)
 class PartitionTask:
-    """A fused chain of narrow steps applied to one partition."""
+    """A fused chain of narrow steps applied to one partition.
+
+    Accepts row lists or columnar partitions (normalized to rows on
+    entry), so the interpreted path runs unchanged over columnar
+    sources.
+    """
 
     steps: tuple
 
     def __call__(self, rows):
+        rows = as_row_partition(rows)
         for step in self.steps:
             rows = step.run(rows)
         return rows

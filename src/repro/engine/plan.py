@@ -50,10 +50,18 @@ def plan_size(node):
 
 @dataclass(frozen=True)
 class Source(PlanNode):
-    """Materialized in-memory partitions."""
+    """Materialized in-memory partitions.
+
+    Each partition is either a tuple of row tuples or a
+    :class:`~repro.engine.columnar.ColumnarPartition` (column-major
+    buffers, possibly mmap-backed). Columnar partitions use identity
+    equality, so two Sources over separately built columnar data never
+    compare equal -- structural plan caching simply misses instead of
+    misfiring.
+    """
 
     source_schema: Schema
-    partitions: tuple  # tuple of tuples of row tuples
+    partitions: tuple  # row-tuple tuples or ColumnarPartition objects
 
     @property
     def schema(self):

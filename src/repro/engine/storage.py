@@ -16,6 +16,7 @@ import pickle
 import shutil
 from pathlib import Path
 
+from repro.engine.columnar import as_row_partition
 from repro.engine.errors import ExecutionError
 from repro.engine.schema import Schema
 
@@ -59,8 +60,15 @@ class TableStore:
         staging.mkdir(parents=True)
         for i, part in enumerate(partitions):
             path = staging / "part-{:05d}.pkl".format(i)
+            # Stored partitions are always row lists, even if a bare
+            # columnar Source flows straight into a write: one on-disk
+            # layout keeps every manifest reloadable by older readers.
             with open(path, "wb") as fh:
-                pickle.dump(list(part), fh, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(
+                    list(as_row_partition(part)),
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
         manifest = {
             "columns": list(table.schema.names),
             "dtypes": [f.dtype for f in table.schema],

@@ -2,8 +2,10 @@
 
 The reference combo runs interpreted while the default matrix runs
 compiled kernels, so every fuzz case doubles as a
-compiled-vs-interpreted equivalence check (see
-:mod:`repro.testing.oracle` and :mod:`repro.engine.codegen`).
+compiled-vs-interpreted equivalence check; dedicated serial combos add
+the partition-layout axis, pinning row-interpreted == row-compiled ==
+columnar-batch on every case (see :mod:`repro.testing.oracle` and
+:mod:`repro.engine.codegen`).
 
 Fast, deterministic budget (tier-1 CI runs a fixed one through
 ``tests/engine/test_differential.py``)::

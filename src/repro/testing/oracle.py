@@ -9,9 +9,12 @@ Any mismatch, or any combo erroring where the reference succeeds, is a
 
 The reference runs *interpreted* (``compile_kernels=False``) while the
 default combos run with compiled kernels, so compiled-vs-interpreted
-equivalence is an axis of every fuzz case; two dedicated serial combos
-additionally isolate the pure codegen axis (unoptimized + compiled)
-and the pure optimizer axis (optimized + interpreted).
+equivalence is an axis of every fuzz case; dedicated serial combos
+additionally isolate the pure columnar-batch axis (unoptimized +
+columnar kernels), the pure row-codegen axis (unoptimized + row
+kernels only) and the pure optimizer axis (optimized + interpreted).
+Together they pin the layout-differential identity
+``row-interpreted == row-compiled == columnar-batch`` on every case.
 
 Executors are cached per combo so one process pool serves the whole
 fuzz run; call :meth:`DifferentialOracle.close` (or use it as a context
@@ -41,13 +44,16 @@ class ComboSpec:
     ``factory(parallelism) -> Executor``; tests use it to inject mutant
     or fault-injecting executors. ``compile`` selects the kernel axis:
     generated per-partition kernels (True) or the closure interpreter
-    (False).
+    (False). ``columnar`` selects the partition-layout axis: columnar
+    batch kernels for pure Filter/Project chains (True), row kernels
+    only (False), or the executor's environment default (None).
     """
 
     name: str
     kind: str = "serial"  # "serial" | "multiprocessing" | "simulated"
     optimize: bool = True
     compile: bool = True
+    columnar: object = None
     factory: object = None
 
     def build(self, parallelism):
@@ -58,6 +64,7 @@ class ComboSpec:
                 default_parallelism=parallelism,
                 optimize_plans=self.optimize,
                 compile_kernels=self.compile,
+                columnar_kernels=self.columnar,
             )
         if self.kind == "simulated":
             return SimulatedClusterExecutor(
@@ -65,6 +72,7 @@ class ComboSpec:
                 default_parallelism=parallelism,
                 optimize_plans=self.optimize,
                 compile_kernels=self.compile,
+                columnar_kernels=self.columnar,
             )
         if self.kind == "multiprocessing":
             return MultiprocessingExecutor(
@@ -72,6 +80,7 @@ class ComboSpec:
                 default_parallelism=parallelism,
                 optimize_plans=self.optimize,
                 compile_kernels=self.compile,
+                columnar_kernels=self.columnar,
                 retry_backoff=0.0,
             )
         raise ValueError("unknown executor kind {!r}".format(self.kind))
@@ -86,8 +95,14 @@ REFERENCE_COMBO = ComboSpec(
 
 DEFAULT_COMBOS = (
     ComboSpec("serial-optimized", "serial", optimize=True),
-    # Pure codegen axis: identical to the reference except for kernels.
-    ComboSpec("serial-unoptimized-compiled", "serial", optimize=False),
+    # Pure columnar-batch axis: identical to the reference except that
+    # fuseable chains run as columnar kernels over column buffers.
+    ComboSpec("serial-unoptimized-columnar", "serial", optimize=False,
+              columnar=True),
+    # Pure row-codegen axis: identical to the reference except for row
+    # kernels (columnar lowering disabled).
+    ComboSpec("serial-unoptimized-row-compiled", "serial", optimize=False,
+              columnar=False),
     # Pure optimizer axis: identical to the reference except for rules.
     ComboSpec("serial-optimized-interpreted", "serial", optimize=True,
               compile=False),

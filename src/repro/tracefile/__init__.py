@@ -1,19 +1,31 @@
-"""Trace file formats (ASCII and binary logs) for raw ``K_b`` traces."""
+"""Trace file formats (ASCII, binary and columnar logs) for raw ``K_b``."""
 
-from repro.tracefile import asciilog, binlog
+from repro.tracefile import asciilog, binlog, colbin
 from repro.tracefile.asciilog import TraceFormatError
 from repro.tracefile.binlog import BinaryTraceError
+from repro.tracefile.colbin import ColumnarTraceError
 
 
 def codec_for(path):
-    """Pick the trace codec from the file suffix (.btrc binary, else text)."""
-    return binlog if str(path).endswith(".btrc") else asciilog
+    """Pick the trace codec from the file suffix.
+
+    ``.btrc`` is the record-major binary format, ``.ctrc`` the
+    mmap-able columnar format; everything else parses as ASCII.
+    """
+    name = str(path)
+    if name.endswith(".btrc"):
+        return binlog
+    if name.endswith(".ctrc"):
+        return colbin
+    return asciilog
 
 
 __all__ = [
     "asciilog",
     "binlog",
+    "colbin",
     "codec_for",
     "TraceFormatError",
     "BinaryTraceError",
+    "ColumnarTraceError",
 ]

@@ -231,3 +231,61 @@ class TestRuleCatalog:
         )
         merged = catalog.merge(extra)
         assert len(merged) == 4
+
+
+class TestCompiledRulePaths:
+    """compile_extractor/compile_evaluator mirror the row-wise methods.
+
+    These closures are what the columnar batch interpretation runs, so
+    every presence mechanism (sections, mux, required_info) and every
+    error path must behave identically to extract_relevant/evaluate.
+    """
+
+    def test_extractor_plain_parity(self):
+        rule = InterpretationRule(SignalEncoding(16, 16))
+        payload = b"\x5a\x01\x07\x00"
+        assert rule.compile_extractor()(payload) == \
+            rule.extract_relevant(payload)
+
+    def test_extractor_short_payload_raises_same_error(self):
+        rule = InterpretationRule(SignalEncoding(16, 16))
+        with pytest.raises(RuleError) as compiled:
+            rule.compile_extractor()(b"\x00\x01")
+        with pytest.raises(RuleError) as reference:
+            rule.extract_relevant(b"\x00\x01")
+        assert str(compiled.value) == str(reference.value)
+
+    def test_extractor_sectioned_absent_and_present(self):
+        layout = ConditionalLayout((OptionalSection(0, 2),))
+        rule = InterpretationRule(
+            SignalEncoding(0, 16), layout=layout, section_bit=0
+        )
+        extract = rule.compile_extractor()
+        assert extract(b"\x00") is ABSENT
+        payload = layout.build_payload({0: (500).to_bytes(2, "little")})
+        assert extract(payload) == rule.extract_relevant(payload)
+
+    def test_extractor_mux_gates_presence(self):
+        rule = InterpretationRule(
+            SignalEncoding(8, 8),
+            mux_selector=SignalEncoding(0, 8),
+            mux_value=2,
+        )
+        extract = rule.compile_extractor()
+        assert extract(b"\x02\x2a") == rule.extract_relevant(b"\x02\x2a")
+        assert extract(b"\x03\x2a") is ABSENT
+
+    def test_evaluator_parity_with_required_info(self):
+        rule = InterpretationRule(
+            SignalEncoding(0, 8), required_info=(("message_type", 2),)
+        )
+        evaluate = rule.compile_evaluator()
+        for m_info in ((("message_type", 2),), (("message_type", 3),), ()):
+            assert evaluate(b"\x2a", m_info) == rule.evaluate(b"\x2a", m_info)
+        assert evaluate(ABSENT, ()) is ABSENT
+
+    def test_evaluator_uses_relative_encoding(self):
+        # Non-zero byte span: evaluate sees the *sliced* bytes.
+        rule = InterpretationRule(SignalEncoding(16, 16, scale=0.5))
+        l_rel = rule.extract_relevant(b"\x00\x00\x5a\x00")
+        assert rule.compile_evaluator()(l_rel) == rule.evaluate(l_rel) == 45.0

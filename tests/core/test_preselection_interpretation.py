@@ -248,3 +248,56 @@ class TestFusedInterpretation:
             return any(contains_join(c) for c in node.children())
 
         assert not contains_join(k_s.plan)
+
+
+class TestBatchInterpretation:
+    """The columnar batch forms of u_1/u_2 equal their row forms."""
+
+    def test_u1_batch_matches_rowwise(self, wiper_catalog):
+        from repro.core.interpretation import _U1
+
+        rules = [u.rule for u in wiper_catalog] * 3
+        payloads = [
+            (90).to_bytes(2, "little") + (i).to_bytes(2, "little")
+            for i in range(len(rules))
+        ]
+        u1 = _U1()
+        assert u1.batch_call(payloads, rules) == [
+            u1(payload, rule) for payload, rule in zip(payloads, rules)
+        ]
+
+    def test_u2_batch_matches_rowwise(self, wiper_catalog):
+        from repro.core.interpretation import _U2
+
+        rules = [u.rule for u in wiper_catalog] * 3
+        l_rels = [(2 * i).to_bytes(2, "little") for i in range(len(rules))]
+        m_infos = [()] * len(rules)
+        u2 = _U2()
+        assert u2.batch_call(l_rels, m_infos, rules) == [
+            u2(l_rel, m_info, rule)
+            for l_rel, m_info, rule in zip(l_rels, m_infos, rules)
+        ]
+
+    def test_columnar_pipeline_matches_interpreted(
+        self, fig2_trace, wiper_catalog, ctx
+    ):
+        from repro.engine import EngineContext
+        from repro.engine.executor import SerialExecutor
+
+        expected = sorted(
+            interpret(preselect(fig2_trace, wiper_catalog), wiper_catalog)
+            .collect()
+        )
+        with SerialExecutor(
+            compile_kernels=True, columnar_kernels=True
+        ) as executor:
+            columnar_ctx = EngineContext(executor)
+            trace = columnar_ctx.table_from_rows(
+                ["t", "l", "b_id", "m_id", "m_info"],
+                fig2_trace.collect(),
+            )
+            actual = sorted(
+                interpret(preselect(trace, wiper_catalog), wiper_catalog)
+                .collect()
+            )
+        assert actual == expected

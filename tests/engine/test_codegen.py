@@ -323,9 +323,12 @@ class TestExecutorSmoke:
             self._pipeline(EngineContext(executor)).collect()
             histograms = executor.obs.histograms()
             assert histograms["executor.kernel_run_seconds"]["count"] > 0
+            # Row kernels tag histograms with a "k" id, columnar batch
+            # kernels with a "c" id; either proves per-kernel timing.
             per_kernel = [
                 name for name in histograms
                 if name.startswith("executor.kernel_run_seconds.k")
+                or name.startswith("executor.kernel_run_seconds.c")
             ]
             assert per_kernel
 

@@ -1,10 +1,12 @@
 """Tier-1 differential fuzz harness run.
 
 Executes a fixed, deterministic seed budget of generated plans across
-the full executor/optimizer matrix (>= 200 combinations) and asserts
-zero divergences; separately proves the oracle is not vacuous by
-injecting a divergent mutant executor and shrinking the failure to a
-tiny reproducer.
+the full executor/optimizer/layout matrix (>= 200 combinations) and
+asserts zero divergences; separately proves the oracle is not vacuous
+by injecting a divergent mutant executor and shrinking the failure to a
+tiny reproducer. The matrix includes the layout-differential axis:
+dedicated serial combos pin row-interpreted == row-compiled ==
+columnar-batch on every case.
 """
 
 import pytest
@@ -23,8 +25,9 @@ from repro.testing import (
 )
 from repro.testing.fuzz import main as fuzz_main
 from repro.testing.fuzz import run_fuzz
+from repro.testing.oracle import DEFAULT_COMBOS
 
-#: Fixed tier-1 budget: 40 seeds x 6 combos (reference + 5) = 240.
+#: Fixed tier-1 budget: 40 seeds x 9 combos (reference + 8) = 360.
 TIER1_SEEDS = 40
 
 
@@ -35,6 +38,36 @@ class TestFuzzHarness:
         assert all(not r.invalid for r in reports)
         diverged = [r for r in reports if not r.ok]
         assert diverged == []
+
+    def test_matrix_carries_the_layout_axis(self):
+        names = {combo.name for combo in DEFAULT_COMBOS}
+        assert "serial-unoptimized-columnar" in names
+        assert "serial-unoptimized-row-compiled" in names
+        by_name = {combo.name: combo for combo in DEFAULT_COMBOS}
+        assert by_name["serial-unoptimized-columnar"].columnar is True
+        assert by_name["serial-unoptimized-row-compiled"].columnar is False
+        # Both differ from the reference only in the kernel layout.
+        for name in (
+            "serial-unoptimized-columnar",
+            "serial-unoptimized-row-compiled",
+        ):
+            assert by_name[name].optimize is False
+            assert by_name[name].compile is True
+
+    def test_columnar_combo_actually_runs_columnar_kernels(self):
+        combo = {c.name: c for c in DEFAULT_COMBOS}[
+            "serial-unoptimized-columnar"
+        ]
+        executor = combo.build(4)
+        with executor:
+            ctx = EngineContext(executor)
+            for seed in range(10):
+                case, spec = generate_case(seed)
+                apply_spec(ctx, case, spec).collect()
+            # Layout counters prove the axis is not vacuously equal: the
+            # combo ran columnar kernels (or explicitly fell back) on at
+            # least some of the generated plans.
+            assert executor.metrics.columnar_tasks > 0
 
     def test_generated_cases_are_deterministic(self):
         for seed in range(10):

@@ -115,3 +115,55 @@ class TestPickleSizeGauges:
             assert "executor.pickle_task_bytes" not in executor.obs.gauges()
         finally:
             executor.close()
+
+
+class TestColumnarCounters:
+    def _columnar_table(self, ctx, rows=80):
+        from repro.engine import ColumnarPartition
+
+        data = [(i, i * 0.5) for i in range(rows)]
+        parts = [
+            ColumnarPartition.from_rows(data[: rows // 2], 2),
+            ColumnarPartition.from_rows(data[rows // 2 :], 2),
+        ]
+        return ctx.table_from_columnar(["x", "y"], parts)
+
+    def test_columnar_tasks_counted_and_bytes_gauged(self):
+        ctx = EngineContext.serial(default_parallelism=2)
+        table = self._columnar_table(ctx)
+        table.filter(col("x") > 3).select("y").collect()
+        counters = ctx.executor.obs.counters()
+        assert counters["executor.columnar_tasks"] >= 1
+        assert counters["executor.columnar_fallbacks"] == 0
+        assert ctx.executor.metrics.columnar_tasks >= 1
+        gauges = ctx.executor.obs.gauges()
+        assert gauges["executor.partition_bytes"] > 0
+
+    def test_fallback_counted_for_unloweable_chain(self):
+        ctx = EngineContext.serial(default_parallelism=2)
+        table = self._columnar_table(ctx)
+        table.filter(col("x") > 3).flat_map(_echo_row, ["x", "y"]).collect()
+        counters = ctx.executor.obs.counters()
+        assert counters["executor.columnar_fallbacks"] >= 1
+        assert ctx.executor.metrics.columnar_fallbacks >= 1
+
+    def test_columnar_disabled_runs_row_kernels_only(self):
+        executor = SerialExecutor(
+            default_parallelism=2, columnar_kernels=False
+        )
+        ctx = EngineContext(executor)
+        table = self._columnar_table(ctx)
+        table.filter(col("x") > 3).select("y").collect()
+        assert executor.metrics.columnar_tasks == 0
+        assert executor.metrics.columnar_fallbacks == 0
+        assert executor.metrics.kernels_compiled >= 1
+
+    def test_counters_exist_at_zero_before_any_run(self):
+        executor = SerialExecutor()
+        counters = executor.obs.counters()
+        assert counters["executor.columnar_tasks"] == 0
+        assert counters["executor.columnar_fallbacks"] == 0
+
+
+def _echo_row(row):
+    return [row]
