@@ -11,6 +11,7 @@ Subcommands
 ``export-dbc`` write a data set's communication database as DBC files
 ``extract``   lines 3-6: signal extraction into a table store
 ``pipeline``  full Algorithm 1 run; prints summary + state representation
+``degrade``   corruption severity sweep: perfect vs corrupted pipeline runs
 ``fleet``     checkpointed multi-trace sweeps: prepare / run / resume / status
 
 Operational errors (a missing or corrupt catalog, an unreadable trace
@@ -277,6 +278,94 @@ def cmd_report(args, out=sys.stdout):
     return 0
 
 
+def _load_records(path):
+    from repro.tracefile import BinaryTraceError, TraceFormatError
+
+    try:
+        return _trace_module(path).load_records(path)
+    except FileNotFoundError:
+        raise CliError("trace", "trace file {!r} does not exist".format(
+            str(path)))
+    except IsADirectoryError:
+        raise CliError("trace", "{!r} is a directory, not a trace "
+                       "file".format(str(path)))
+    except (TraceFormatError, BinaryTraceError) as exc:
+        raise CliError("trace", "trace file {!r} is corrupt: {}".format(
+            str(path), exc))
+
+
+def cmd_degrade(args, out=sys.stdout):
+    """Severity sweep: perfect vs corrupted runs of the same trace."""
+    from repro.testing.degradation import (
+        KNOBS,
+        degradation_summary,
+        run_degradation,
+    )
+
+    bundle = _bundle(args)
+    records = _load_records(args.trace)
+    if args.params:
+        try:
+            config = load_config(args.params, bundle.database)
+        except FileNotFoundError:
+            raise CliError("params", "parameter file {!r} does not "
+                           "exist".format(str(args.params)))
+        except ValueError as exc:
+            raise CliError("params", "parameter file {!r} is invalid: "
+                           "{}".format(str(args.params), exc))
+    else:
+        document = {
+            "signals": list(bundle.signal_ids),
+            "constraints": [
+                {
+                    "signal": s,
+                    "type": "unchanged_within_cycle",
+                    "cycle_time": bundle.cycle_times[s],
+                }
+                for s in bundle.signal_ids
+            ],
+        }
+        config = config_from_dict(document, bundle.database)
+    try:
+        severities = tuple(
+            float(s) for s in args.severities.split(",") if s
+        )
+    except ValueError:
+        raise CliError("degrade", "severities must be a comma-separated "
+                       "list of numbers, got {!r}".format(args.severities))
+    knobs = dict(KNOBS)
+    if args.knobs:
+        wanted = [k for k in args.knobs.split(",") if k]
+        unknown = sorted(set(wanted) - set(KNOBS))
+        if unknown:
+            raise CliError("degrade", "unknown knobs {}; available: "
+                           "{}".format(unknown, sorted(KNOBS)))
+        knobs = {k: KNOBS[k] for k in wanted}
+    try:
+        report = run_degradation(
+            records, config, knobs=knobs, severities=severities,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise CliError("degrade", str(exc))
+    report.set_meta(dataset=args.dataset, trace=str(args.trace))
+    print(degradation_summary(report), file=out)
+    print(
+        "baseline: {records} records -> {k_s_rows} K_s rows -> "
+        "{r_out_rows} R_out rows (reduction {reduction_ratio:.3f})".format(
+            **report.baseline
+        ),
+        file=out,
+    )
+    if args.out_report:
+        report.write(args.out_report)
+        print(
+            "degradation report written to {}".format(args.out_report),
+            file=out,
+        )
+    return 0
+
+
 def cmd_show_params(args, out=sys.stdout):
     """Print a starter parameter document for a data set."""
     bundle = _bundle(args)
@@ -497,6 +586,23 @@ def build_parser():
     p.add_argument("--state-rows", type=int, default=0)
     p.add_argument("--workers", type=int, default=1)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "degrade",
+        help="corruption severity sweep: perfect vs corrupted pipeline runs",
+    )
+    add_dataset(p)
+    p.add_argument("--trace", required=True)
+    p.add_argument("--params", help="JSON parameter file (see core.params)")
+    p.add_argument("--severities", default="0,0.5,1",
+                   help="comma-separated severity factors (default 0,0.5,1)")
+    p.add_argument("--knobs",
+                   help="comma-separated corruption knob subset "
+                        "(default: all)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out-report",
+                   help="write the repro.degrade/1 report (JSON) here")
+    p.set_defaults(func=cmd_degrade)
 
     p = sub.add_parser("show-params", help="print a starter parameter file")
     add_dataset(p)

@@ -22,6 +22,7 @@ from repro.core.interpretation import interpret
 from repro.core.model import K_S_COLUMNS
 from repro.core.preselection import preselect
 from repro.core.representation import merge_results
+from repro.core.rules import TRUNCATED
 
 
 class IncrementalError(ValueError):
@@ -55,21 +56,51 @@ class IncrementalRunner:
     _states: dict = field(default_factory=dict)
     _last_window_end: float = None
     _finalized: bool = False
+    #: Truncated-payload rows dropped so far (short_payload="skip").
+    short_payload_skipped: int = 0
+    #: Exact K_s duplicates dropped so far (drop_exact_duplicates).
+    exact_duplicates_dropped: int = 0
 
     def process_window(self, k_b_window):
         """Run lines 3-11 on one window's K_b table; returns row count.
 
         Windows must arrive in time order (their minimum timestamp must
-        not precede the previous window's maximum).
+        not precede the previous window's maximum). Timestamps *inside*
+        a window may be unordered (clock-skewed recorders step
+        backwards); rows are sorted here before reduction, so window
+        runs match the whole-trace pipeline, which sorts per signal.
         """
         if self._finalized:
             raise IncrementalError("runner already finalized")
+        on_short = (
+            "keep"
+            if getattr(self.config, "short_payload", "raise") == "skip"
+            else "raise"
+        )
         k_pre = preselect(k_b_window, self.config.catalog)
-        k_s = interpret(k_pre, self.config.catalog)
+        k_s = interpret(k_pre, self.config.catalog, on_short=on_short)
+        collected = k_s.collect()
+        if on_short == "keep":
+            kept = [r for r in collected if r[1] is not TRUNCATED]
+            self.short_payload_skipped += len(collected) - len(kept)
+            collected = kept
+        if getattr(self.config, "drop_exact_duplicates", True):
+            # Exact duplicates share their timestamp, so window
+            # assignment puts every copy of a row into the same window:
+            # per-window dedup equals the whole-trace distinct().
+            seen = set()
+            unique = []
+            for row in collected:
+                if row in seen:
+                    continue
+                seen.add(row)
+                unique.append(row)
+            self.exact_duplicates_dropped += len(collected) - len(unique)
+            collected = unique
         # Sort on (t, s_id, b_id) only: comparing whole rows would reach
         # the value column, whose type varies across signals.
         rows = sorted(
-            k_s.collect(), key=lambda r: (r[0], str(r[2]), str(r[3]))
+            collected, key=lambda r: (r[0], str(r[2]), str(r[3]))
         )
         if rows:
             window_start = rows[0][0]
@@ -164,13 +195,20 @@ class IncrementalResult:
 
 
 def split_into_windows(records, window_seconds):
-    """Partition time-ordered byte records into window-sized chunks."""
+    """Partition byte records into time-ordered window-sized chunks.
+
+    Records need not arrive time-ordered (lossy recorders step
+    backwards): they are stable-sorted by timestamp first, so window
+    membership is a pure function of each record's timestamp and
+    :meth:`IncrementalRunner.process_window`'s in-order-windows check
+    holds for the produced sequence.
+    """
     if window_seconds <= 0:
         raise IncrementalError("window_seconds must be positive")
     windows = []
     current = []
     boundary = None
-    for record in records:
+    for record in sorted(records, key=lambda r: (r[0],)):
         t = record[0]
         if boundary is None:
             boundary = t + window_seconds

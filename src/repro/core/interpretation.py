@@ -11,6 +11,15 @@ preselected trace ``K_pre`` with the translation tuples ``U_comb`` on
 per row. The result is the signal-instance sequence ``K_s`` with columns
 ``(t, v, s_id, b_id)``. Rows whose signal is absent in the instance
 (presence-conditional SOME/IP sections) are dropped.
+
+Truncated payloads (shorter than a rule's relevant bytes) surface as
+:class:`~repro.protocols.signalcodec.ShortPayloadError` by default.
+``on_short`` selects the lossy-trace alternative: ``"skip"`` drops the
+affected rows, ``"keep"`` retains them with ``v`` set to the
+:data:`~repro.core.rules.TRUNCATED` sentinel so callers can count them
+before dropping. All three modes behave identically across the join and
+fused strategies and across the interpreted, compiled and columnar
+execution paths.
 """
 
 from __future__ import annotations
@@ -18,8 +27,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.model import K_S_COLUMNS  # noqa: F401 (used by both paths)
-from repro.core.rules import ABSENT, U_REL_COLUMNS
+from repro.core.rules import ABSENT, TRUNCATED, U_REL_COLUMNS
 from repro.engine.expressions import apply, col
+from repro.protocols.signalcodec import ShortPayloadError
+
+_ON_SHORT_MODES = ("raise", "skip", "keep")
+
+
+def _check_on_short(on_short):
+    if on_short not in _ON_SHORT_MODES:
+        raise ValueError(
+            "on_short must be one of {}, got {!r}".format(
+                "/".join(_ON_SHORT_MODES), on_short
+            )
+        )
 
 
 @dataclass(frozen=True)
@@ -32,12 +53,24 @@ class _U1:
     geometry) is compiled once per distinct rule instead of re-derived
     per row. Rules repeat massively (one per catalog entry across
     thousands of trace rows), so the cache is tiny and hot.
+
+    With ``on_short`` other than ``"raise"``, truncated payloads map to
+    the :data:`TRUNCATED` sentinel instead of raising; downstream
+    filters decide whether the marker rows are counted or dropped.
     """
 
+    on_short: str = "raise"
+
     def __call__(self, payload, rule):
-        return rule.extract_relevant(payload)
+        if self.on_short == "raise":
+            return rule.extract_relevant(payload)
+        try:
+            return rule.extract_relevant(payload)
+        except ShortPayloadError:
+            return TRUNCATED
 
     def batch_call(self, payloads, rules):
+        tolerant = self.on_short != "raise"
         compiled = {}
         out = []
         append = out.append
@@ -46,7 +79,13 @@ class _U1:
             if extract is None:
                 extract = rule.compile_extractor()
                 compiled[id(rule)] = extract
-            append(extract(payload))
+            if tolerant:
+                try:
+                    append(extract(payload))
+                except ShortPayloadError:
+                    append(TRUNCATED)
+            else:
+                append(extract(payload))
         return out
 
 
@@ -61,6 +100,8 @@ class _U2:
     """
 
     def __call__(self, l_rel, m_info, rule):
+        if l_rel is TRUNCATED:
+            return TRUNCATED
         return rule.evaluate(l_rel, m_info)
 
     def batch_call(self, l_rels, m_infos, rules):
@@ -68,6 +109,9 @@ class _U2:
         out = []
         append = out.append
         for l_rel, m_info, rule in zip(l_rels, m_infos, rules):
+            if l_rel is TRUNCATED:
+                append(TRUNCATED)
+                continue
             evaluate = compiled.get(id(rule))
             if evaluate is None:
                 evaluate = rule.compile_evaluator()
@@ -91,18 +135,54 @@ def join_rules(k_pre, catalog_table):
     return k_pre.join(catalog_table, on=["b_id", "m_id"], how="inner")
 
 
-def extract_relevant_bytes(k_join):
+def extract_relevant_bytes(k_join, on_short="raise"):
     """Line 5: ``K_join2 = F_u1(K_join)`` -- add the ``l_rel`` column."""
-    return k_join.with_column("l_rel", apply(_U1(), "l", "u_info"))
+    return k_join.with_column(
+        "l_rel", apply(_U1(on_short=on_short), "l", "u_info")
+    )
 
 
-def evaluate_signals(k_join2):
+@dataclass(frozen=True)
+class _NotTruncated:
+    """Picklable filter body: keep rows whose value is not TRUNCATED."""
+
+    def __call__(self, v):
+        return v is not TRUNCATED
+
+    def batch_call(self, values):
+        return [v is not TRUNCATED for v in values]
+
+
+@dataclass(frozen=True)
+class _IsTruncated:
+    """Picklable filter body: keep only TRUNCATED marker rows."""
+
+    def __call__(self, v):
+        return v is TRUNCATED
+
+    def batch_call(self, values):
+        return [v is TRUNCATED for v in values]
+
+
+def drop_truncated(k_s):
+    """``K_s`` without the TRUNCATED marker rows of keep-mode runs."""
+    return k_s.filter(apply(_NotTruncated(), "v"))
+
+
+def count_truncated(k_s):
+    """Number of TRUNCATED marker rows in a keep-mode ``K_s``."""
+    return k_s.filter(apply(_IsTruncated(), "v")).count()
+
+
+def evaluate_signals(k_join2, on_short="raise"):
     """Line 6: ``K_s = F_u2(K_join2)`` -- signal instances per row."""
     with_value = k_join2.with_column(
         "v", apply(_U2(), "l_rel", "m_info", "u_info")
     )
     present = with_value.filter(col("v").is_not_null() if ABSENT is None
                                 else col("v") != ABSENT)
+    if on_short == "skip":
+        present = present.filter(apply(_NotTruncated(), "v"))
     return present.select(*K_S_COLUMNS)
 
 
@@ -118,18 +198,29 @@ class _FusedInterpreter:
     """
 
     rules_by_key: dict
+    on_short: str = "raise"
 
     def __call__(self, row):
         t, payload, b_id, m_id, m_info = row
+        tolerant = self.on_short != "raise"
         out = []
         for s_id, rule in self.rules_by_key.get((m_id, b_id), ()):
-            value = rule.evaluate(rule.extract_relevant(payload), m_info)
+            if tolerant:
+                try:
+                    l_rel = rule.extract_relevant(payload)
+                except ShortPayloadError:
+                    if self.on_short == "keep":
+                        out.append((t, TRUNCATED, s_id, b_id))
+                    continue
+                value = rule.evaluate(l_rel, m_info)
+            else:
+                value = rule.evaluate(rule.extract_relevant(payload), m_info)
             if value is not ABSENT:
                 out.append((t, value, s_id, b_id))
         return out
 
 
-def interpret_fused(k_pre, catalog):
+def interpret_fused(k_pre, catalog, on_short="raise"):
     """Lines 4-6 as one fused flat-map stage (broadcast rules).
 
     Produces exactly the rows of :func:`interpret`; preferable when the
@@ -142,22 +233,28 @@ def interpret_fused(k_pre, catalog):
             (u.signal_id, u.rule)
         )
     frozen = {k: tuple(v) for k, v in rules_by_key.items()}
-    return k_pre.flat_map(_FusedInterpreter(frozen), list(K_S_COLUMNS))
+    return k_pre.flat_map(
+        _FusedInterpreter(frozen, on_short=on_short), list(K_S_COLUMNS)
+    )
 
 
-def interpret(k_pre, catalog, context=None, strategy="join"):
+def interpret(k_pre, catalog, context=None, strategy="join",
+              on_short="raise"):
     """Lines 4-6 composed: preselected trace + catalog -> ``K_s``.
 
     *catalog* may be a :class:`~repro.core.rules.RuleCatalog` (loaded into
     the trace's context) or an already-loaded engine table. *strategy*
     selects the physical formulation: ``"join"`` (the paper's relational
-    join of line 4) or ``"fused"`` (broadcast flat-map; requires a
-    RuleCatalog).
+    join of line 4) or ``"fused"`` (broadcast flat-map; same output,
+    fewer stages; requires a RuleCatalog). *on_short* selects truncated-
+    payload handling: ``"raise"`` (default), ``"skip"`` (drop affected
+    rows) or ``"keep"`` (retain them with ``v = TRUNCATED``).
     """
+    _check_on_short(on_short)
     if strategy == "fused":
         if not hasattr(catalog, "preselection_keys"):
             raise ValueError("fused interpretation needs a RuleCatalog")
-        return interpret_fused(k_pre, catalog)
+        return interpret_fused(k_pre, catalog, on_short=on_short)
     if strategy != "join":
         raise ValueError("unknown interpretation strategy {!r}".format(strategy))
     if hasattr(catalog, "to_table"):
@@ -166,8 +263,8 @@ def interpret(k_pre, catalog, context=None, strategy="join"):
     else:
         catalog_table = catalog
     k_join = join_rules(k_pre, catalog_table)
-    k_join2 = extract_relevant_bytes(k_join)
-    return evaluate_signals(k_join2)
+    k_join2 = extract_relevant_bytes(k_join, on_short=on_short)
+    return evaluate_signals(k_join2, on_short=on_short)
 
 
 _ = U_REL_COLUMNS  # re-exported context for readers of this module

@@ -195,6 +195,8 @@ def config_from_dict(document, database):
         extensions=extensions,
         branch_config=_build_branch_config(document.get("branch", {})),
         dedup_channels=document.get("dedup_channels", True),
+        short_payload=document.get("short_payload", "raise"),
+        drop_exact_duplicates=document.get("drop_exact_duplicates", True),
     )
 
 
@@ -206,7 +208,7 @@ def config_to_dict(config):
     exactly what :func:`config_from_dict` produces.
     """
     branch = config.branch_config
-    return {
+    out = {
         "signals": sorted(set(config.catalog.signal_ids())),
         "constraints": [
             _constraint_to_dict(c) for c in config.constraints
@@ -223,6 +225,14 @@ def config_to_dict(config):
         },
         "dedup_channels": config.dedup_channels,
     }
+    # Lossy-trace knobs are emitted only when non-default, keeping older
+    # documents byte-stable (like interpretation_strategy, which has no
+    # declarative form at all).
+    if config.short_payload != "raise":
+        out["short_payload"] = config.short_payload
+    if not config.drop_exact_duplicates:
+        out["drop_exact_duplicates"] = False
+    return out
 
 
 def load_config(path, database):

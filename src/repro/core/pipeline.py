@@ -31,7 +31,7 @@ from repro.obs import RunReport
 from repro.core.branches import BranchConfig, R_COLUMNS, process_branch
 from repro.core.classification import SequenceClassifier
 from repro.core.extension import ExtensionSet, apply_extensions
-from repro.core.interpretation import interpret
+from repro.core.interpretation import count_truncated, drop_truncated, interpret
 from repro.core.preselection import preselect
 from repro.core.reduction import ConstraintSet, reduce_signal
 from repro.core.representation import build_state_representation, merge_results
@@ -64,6 +64,18 @@ class PipelineConfig:
     interpretation_strategy:
         ``"join"`` (the paper's relational formulation of line 4) or
         ``"fused"`` (broadcast flat-map; same output, fewer stages).
+    short_payload:
+        ``"raise"`` (default: a truncated payload aborts the run with
+        :class:`~repro.protocols.signalcodec.ShortPayloadError`) or
+        ``"skip"`` (affected signal rows are dropped and counted in the
+        ``pipeline.interpret.short_payload_skipped`` counter) -- the
+        lossy-trace setting.
+    drop_exact_duplicates:
+        Drop exact ``K_s`` duplicates -- identical ``(t, v, s_id,
+        b_id)`` rows, as produced by store-and-forward gateways
+        replaying frames without jitter -- before splitting, so they
+        cannot double-count reduction statistics. Counted in the
+        ``pipeline.interpret.exact_duplicates_dropped`` counter.
     """
 
     catalog: RuleCatalog
@@ -72,6 +84,8 @@ class PipelineConfig:
     branch_config: BranchConfig = field(default_factory=BranchConfig)
     dedup_channels: bool = True
     interpretation_strategy: str = "join"
+    short_payload: str = "raise"
+    drop_exact_duplicates: bool = True
 
     def __post_init__(self):
         if len(self.catalog) == 0:
@@ -80,6 +94,8 @@ class PipelineConfig:
             raise PipelineError(
                 "interpretation_strategy must be 'join' or 'fused'"
             )
+        if self.short_payload not in ("raise", "skip"):
+            raise PipelineError("short_payload must be 'raise' or 'skip'")
 
 
 @dataclass
@@ -135,12 +151,17 @@ class PreprocessingPipeline:
         """Lines 2-3."""
         return preselect(k_b, self.config.catalog)
 
-    def interpret(self, k_pre):
+    def interpret(self, k_pre, on_short=None):
         """Lines 4-6."""
+        if on_short is None:
+            on_short = (
+                "skip" if self.config.short_payload == "skip" else "raise"
+            )
         return interpret(
             k_pre,
             self.config.catalog,
             strategy=self.config.interpretation_strategy,
+            on_short=on_short,
         )
 
     def extract_signals(self, k_b, cache=True):
@@ -187,8 +208,32 @@ class PreprocessingPipeline:
             )
 
         with recorder.span("interpret") as span:
-            k_s = self.interpret(k_pre).cache()
+            if self.config.short_payload == "skip":
+                # Interpret in keep mode so truncated rows can be counted
+                # before they are dropped from K_s.
+                k_s_raw = self.interpret(k_pre, on_short="keep").cache()
+                truncated = count_truncated(k_s_raw)
+                k_s = (
+                    drop_truncated(k_s_raw).cache() if truncated else k_s_raw
+                )
+                registry.counter(
+                    "pipeline.interpret.short_payload_skipped"
+                ).inc(truncated)
+            else:
+                k_s = self.interpret(k_pre).cache()
         counts["k_s"] = k_s.count()
+        if self.config.drop_exact_duplicates:
+            # distinct() repartitions (changing row order), so only swap
+            # in the deduped table when duplicates actually exist.
+            distinct_k_s = k_s.distinct().cache()
+            distinct_rows = distinct_k_s.count()
+            duplicates = counts["k_s"] - distinct_rows
+            if duplicates:
+                k_s = distinct_k_s
+                counts["k_s"] = distinct_rows
+            registry.counter(
+                "pipeline.interpret.exact_duplicates_dropped"
+            ).inc(duplicates)
         span.set(rows_in=counts["k_pre"], rows_out=counts["k_s"])
 
         with recorder.span("split") as split_span:

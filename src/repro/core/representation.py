@@ -156,6 +156,15 @@ def build_state_representation(r_out, signal_order=None, round_time=9):
         signal_order = tuple(signal_order)
     col_index = {s: i for i, s in enumerate(signal_order)}
     sparse = {}
+    # The cell for (t, s_id) is last-write-wins; iterate in a total
+    # order so the pivot is a pure function of the row multiset, not of
+    # the collect order (which shuffles may permute).
+    rows = sorted(
+        rows,
+        key=lambda r: (
+            r[t_i], str(r[s_i]), str(r[k_i]), repr(r[v_i]), repr(r[tr_i])
+        ),
+    )
     for r in rows:
         s_id = str(r[s_i])
         if s_id not in col_index:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.protocols.signalcodec import SignalEncoding
+from repro.protocols.signalcodec import ShortPayloadError, SignalEncoding
 from repro.protocols.someip import ConditionalLayout
 
 #: Sentinel value for "signal not present in this instance" (e.g. a
@@ -31,6 +31,29 @@ ABSENT = None
 
 class RuleError(ValueError):
     """Raised for inconsistent rules or catalogs."""
+
+
+class _TruncatedType:
+    """Singleton marker type behind :data:`TRUNCATED`."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "TRUNCATED"
+
+    def __reduce__(self):
+        return (_get_truncated, ())
+
+
+def _get_truncated():
+    return TRUNCATED
+
+
+#: Sentinel value for "payload too short to extract this signal": the
+#: skip-mode interpretation marks truncated rows with it (so they can
+#: be counted) before dropping them from ``K_s``. Picklable as the one
+#: singleton, so identity checks survive worker-process round trips.
+TRUNCATED = _TruncatedType()
 
 
 @dataclass(frozen=True)
@@ -105,7 +128,7 @@ class InterpretationRule:
             payload = section
         first, last = self.encoding.byte_span()
         if last >= len(payload):
-            raise RuleError(
+            raise ShortPayloadError(
                 "payload of {} bytes too short for relevant bytes {}..{}".format(
                     len(payload), first, last
                 )
@@ -171,7 +194,7 @@ class InterpretationRule:
                     return ABSENT
                 payload = section
             if last >= len(payload):
-                raise RuleError(
+                raise ShortPayloadError(
                     "payload of {} bytes too short for relevant bytes "
                     "{}..{}".format(len(payload), first, last)
                 )

@@ -15,6 +15,7 @@ from repro.protocols.signalcodec import (
     INTEL,
     MOTOROLA,
     CodecError,
+    ShortPayloadError,
     SignalEncoding,
     overlaps,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "BYTE_RECORD_COLUMNS",
     "SignalEncoding",
     "CodecError",
+    "ShortPayloadError",
     "INTEL",
     "MOTOROLA",
     "overlaps",

@@ -28,6 +28,17 @@ class CodecError(ValueError):
     """Raised when an encoding is inconsistent or a value does not fit."""
 
 
+class ShortPayloadError(CodecError):
+    """A payload is too short to hold the bytes a rule needs.
+
+    The one structured truncation error of the decode stack: raw
+    extraction (interpreted and compiled), rule-level relevant-byte
+    slicing and SOME/IP section lookup all raise this same type, so
+    truncated frames surface identically no matter which execution
+    path (row-interpreted, row-compiled, columnar batch) touched them.
+    """
+
+
 def _intel_bit_positions(start_bit, length):
     """Absolute bit positions, LSB first, for an Intel signal."""
     return list(range(start_bit, start_bit + length))
@@ -113,7 +124,7 @@ class SignalEncoding:
     def extract_raw(self, payload):
         """Read the raw unsigned-or-signed integer from *payload*."""
         if len(payload) < self.required_payload_length():
-            raise CodecError(
+            raise ShortPayloadError(
                 "payload of {} bytes too short for signal spanning byte {}".format(
                     len(payload), self.byte_span()[1]
                 )
@@ -179,7 +190,7 @@ class SignalEncoding:
 
             def extract(payload):
                 if len(payload) < required:
-                    raise CodecError(
+                    raise ShortPayloadError(
                         short.format(len(payload), span_last)
                     )
                 raw = (int.from_bytes(payload, "little") >> shift) & mask
@@ -194,7 +205,7 @@ class SignalEncoding:
 
         def extract(payload):
             if len(payload) < required:
-                raise CodecError(short.format(len(payload), span_last))
+                raise ShortPayloadError(short.format(len(payload), span_last))
             shift = 8 * (len(payload) - 1 - byte_index) + in_byte - length + 1
             raw = (int.from_bytes(payload, "big") >> shift) & mask
             if signed and raw >= half:

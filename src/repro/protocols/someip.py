@@ -18,6 +18,7 @@ import struct
 from dataclasses import dataclass, field
 
 from repro.protocols.frames import Frame
+from repro.protocols.signalcodec import ShortPayloadError
 
 PROTOCOL = "SOMEIP"
 
@@ -215,7 +216,7 @@ class ConditionalLayout:
         presence and position of succeeding bytes.
         """
         if not payload:
-            raise SomeIpError("empty payload has no presence mask")
+            raise ShortPayloadError("empty payload has no presence mask")
         mask = payload[0]
         if not mask & (1 << mask_bit):
             return None
@@ -236,7 +237,7 @@ class ConditionalLayout:
             if section.mask_bit == mask_bit:
                 end = offset + section.length
                 if end > len(payload):
-                    raise SomeIpError("payload truncated inside section")
+                    raise ShortPayloadError("payload truncated inside section")
                 return payload[offset:end]
         raise SomeIpError("mask bit {} not part of layout".format(mask_bit))
 

@@ -24,8 +24,10 @@ from repro.testing.generator import (
     DatasetCase,
     apply_spec,
     build_table,
+    corrupt_dataset,
     generate_case,
     generate_dataset,
+    generate_journey_case,
     generate_spec,
 )
 from repro.testing.oracle import (
@@ -37,6 +39,17 @@ from repro.testing.oracle import (
     Divergence,
     run_seeds,
 )
+from repro.testing.degradation import (
+    DEFAULT_SEVERITIES,
+    DEGRADE_REPORT_FORMAT,
+    KNOBS,
+    DegradationError,
+    DegradationReport,
+    degradation_summary,
+    lossy_config,
+    run_degradation,
+    validate_degrade_report,
+)
 from repro.testing.shrinker import (
     load_reproducer,
     shrink_case,
@@ -47,8 +60,10 @@ __all__ = [
     "DatasetCase",
     "apply_spec",
     "build_table",
+    "corrupt_dataset",
     "generate_case",
     "generate_dataset",
+    "generate_journey_case",
     "generate_spec",
     "DEFAULT_COMBOS",
     "REFERENCE_COMBO",
@@ -60,4 +75,13 @@ __all__ = [
     "load_reproducer",
     "shrink_case",
     "write_reproducer",
+    "DEFAULT_SEVERITIES",
+    "DEGRADE_REPORT_FORMAT",
+    "KNOBS",
+    "DegradationError",
+    "DegradationReport",
+    "degradation_summary",
+    "lossy_config",
+    "run_degradation",
+    "validate_degrade_report",
 ]

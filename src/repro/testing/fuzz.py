@@ -44,7 +44,7 @@ from repro.testing.shrinker import (
 
 def run_fuzz(num_seeds, start=0, out_dir="fuzz-failures", max_ops=8,
              use_multiprocessing=True, fail_fast=False, shrink=True,
-             log=None):
+             lossy=False, log=None):
     """Run *num_seeds* differential cases; shrink and persist failures.
 
     Returns ``(failures, combos_run)`` where *failures* is a list of
@@ -60,7 +60,7 @@ def run_fuzz(num_seeds, start=0, out_dir="fuzz-failures", max_ops=8,
     combos_run = 0
     with DifferentialOracle(combos=combos) as oracle:
         for seed in range(start, start + num_seeds):
-            case, spec = generate_case(seed, max_ops=max_ops)
+            case, spec = generate_case(seed, max_ops=max_ops, lossy=lossy)
             report = oracle.check_case(case, spec, seed=seed)
             combos_run += report.combos_run
             if report.invalid:
@@ -150,6 +150,9 @@ def main(argv=None):
                         help="stop at the first divergence")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report divergences without shrinking")
+    parser.add_argument("--lossy", action="store_true",
+                        help="corrupt each dataset with transport faults "
+                             "(duplicate frames, clock steps, truncation)")
     parser.add_argument("--reproduce", metavar="FILE",
                         help="re-run a reproducer JSON instead of fuzzing")
     args = parser.parse_args(argv)
@@ -178,6 +181,7 @@ def main(argv=None):
         use_multiprocessing=not args.no_multiprocessing,
         fail_fast=args.fail_fast,
         shrink=not args.no_shrink,
+        lossy=args.lossy,
         log=print,
     )
     print("{} seeds, {} plan/executor/optimizer combinations, {} divergent".format(

@@ -95,6 +95,40 @@ def generate_dataset(rng):
     )
 
 
+def corrupt_dataset(case, rng):
+    """Return a lossy transport variant of *case*.
+
+    Models what gateways and flaky loggers do to real traces: exact
+    duplicate frames (replays, possibly landing in another partition),
+    backwards clock steps (non-monotonic ``t``), and frames whose value
+    was lost in transit (``v`` nulled, as a truncated payload decodes to
+    nothing). The plan grammar has no ordering assumptions the engine
+    does not enforce itself, so every combo must agree on lossy input
+    exactly as it does on clean input.
+    """
+    partitions = [list(p) for p in case.trace_partitions]
+    index = [
+        (i, j) for i, p in enumerate(partitions) for j in range(len(p))
+    ]
+    if not index:
+        return case
+    for _unused in range(rng.randint(1, 3)):  # gateway replays
+        i, j = index[rng.randrange(len(index))]
+        partitions[rng.randrange(len(partitions))].append(partitions[i][j])
+    if rng.random() < 0.7:  # backwards clock step
+        i, j = index[rng.randrange(len(index))]
+        row = partitions[i][j]
+        back = rng.choice((0.01, 0.1, 1.0))
+        partitions[i][j] = (max(0.0, row[0] - back),) + row[1:]
+    if rng.random() < 0.5:  # payload truncated in transport
+        i, j = index[rng.randrange(len(index))]
+        row = partitions[i][j]
+        partitions[i][j] = row[:3] + (None,) + row[4:]
+    return DatasetCase(
+        tuple(tuple(p) for p in partitions), case.catalog_rows
+    )
+
+
 # ---------------------------------------------------------------------------
 # Plan specs
 # ---------------------------------------------------------------------------
@@ -432,11 +466,20 @@ def _apply_op(ctx, case, table, op):
     raise ValueError("unknown op kind {!r}".format(kind))
 
 
-def generate_case(seed, max_ops=8):
-    """Generate the (dataset, spec) pair for one seed."""
+def generate_case(seed, max_ops=8, lossy=False):
+    """Generate the (dataset, spec) pair for one seed.
+
+    With ``lossy=True`` the dataset is additionally passed through
+    :func:`corrupt_dataset`. The corruption draws happen *after* every
+    clean draw, so ``generate_case(seed)`` and the clean prefix of
+    ``generate_case(seed, lossy=True)`` are identical for any seed —
+    lossy fuzzing extends the corpus instead of reshuffling it.
+    """
     rng = random.Random(seed)
     case = generate_dataset(rng)
     spec = generate_spec(rng, case, max_ops=max_ops)
+    if lossy:
+        case = corrupt_dataset(case, rng)
     return case, spec
 
 
@@ -471,8 +514,16 @@ _JOURNEY_LEVELS = (
 )
 
 
-def generate_journey_case(rng):
+def generate_journey_case(rng, lossy=False):
     """Draw a :class:`JourneyCase` from *rng* (a ``random.Random``).
+
+    With ``lossy=True`` the finished journey is additionally passed
+    through the transport corruption models of
+    :mod:`repro.vehicle.corruption` (replayed duplicates, clock skew
+    with non-monotonic steps, dropped and truncated frames) and the
+    parameter document switches to ``short_payload: skip``. Corruption
+    draws come after every clean draw, so clean journeys per seed are
+    stable across the two modes.
 
     1-3 CAN messages on one channel, each with 1-2 signals (numeric
     random walks or ordinal level machines), cyclic transmission with
@@ -582,8 +633,52 @@ def generate_journey_case(rng):
         # channels, which windowed runs cannot see across boundaries.
         "dedup_channels": False,
     }
-    return JourneyCase(
+    case = JourneyCase(
         database=database, params=params, records=tuple(records)
+    )
+    if lossy:
+        case = _corrupt_journey(case, rng)
+    return case
+
+
+def _corrupt_journey(case, rng):
+    """Apply transport corruption models to a clean journey.
+
+    Draws only *after* every clean draw, so the clean journey for a
+    given rng state is unchanged. The parameter document switches to
+    ``short_payload: skip`` because truncated frames are expected, not
+    exceptional, on a lossy bus.
+    """
+    from repro.vehicle.corruption import (
+        ClockSkew,
+        FrameDrop,
+        GatewayDuplicate,
+        PayloadTruncation,
+        corrupt,
+    )
+
+    models = []
+    if rng.random() < 0.7:
+        models.append(GatewayDuplicate(rate=rng.choice((0.05, 0.2))))
+    if rng.random() < 0.7:
+        models.append(ClockSkew(
+            drift=rng.choice((0.0, 0.002)),
+            step_rate=rng.choice((0.02, 0.08)),
+            step_scale=0.05,
+        ))
+    if rng.random() < 0.4:
+        models.append(FrameDrop(rate=0.05))
+    if rng.random() < 0.5:
+        models.append(PayloadTruncation(rate=0.1))
+    if not models:
+        models.append(GatewayDuplicate(rate=0.1))
+    corrupted, _log = corrupt(
+        case.records, models, seed=rng.randrange(2 ** 32)
+    )
+    params = dict(case.params)
+    params["short_payload"] = "skip"
+    return JourneyCase(
+        database=case.database, params=params, records=tuple(corrupted)
     )
 
 

@@ -245,7 +245,7 @@ class DifferentialOracle:
         return bool(self.check_case(case, spec).divergences)
 
 
-def run_seeds(seeds, oracle=None, max_ops=8, on_report=None):
+def run_seeds(seeds, oracle=None, max_ops=8, on_report=None, lossy=False):
     """Run the differential oracle over an iterable of seeds.
 
     Returns ``(reports, total_combos_run)``. *on_report*, when given, is
@@ -259,7 +259,7 @@ def run_seeds(seeds, oracle=None, max_ops=8, on_report=None):
     total = 0
     try:
         for seed in seeds:
-            case, spec = generate_case(seed, max_ops=max_ops)
+            case, spec = generate_case(seed, max_ops=max_ops, lossy=lossy)
             report = oracle.check_case(case, spec, seed=seed)
             total += report.combos_run
             reports.append(report)

@@ -6,7 +6,7 @@ SOME-IP / FlexRay channels, gateways duplicate traffic across channels
 and a recorder emits the raw trace ``K_b``.
 """
 
-from repro.vehicle import behaviors, faults, scenarios
+from repro.vehicle import behaviors, corruption, faults, scenarios
 from repro.vehicle.bus import (
     EthernetBus,
     FlexRayBus,
@@ -22,6 +22,7 @@ from repro.vehicle.vehicle import VehicleSimulation
 
 __all__ = [
     "behaviors",
+    "corruption",
     "faults",
     "scenarios",
     "Ecu",

@@ -1,0 +1,398 @@
+"""Transport-level corruption of recorded traces.
+
+Where :mod:`repro.vehicle.faults` injects *signal-level* faults (stuck
+sensors, ECU resets) into live frame streams, this module models what
+the *recording path* does to an otherwise-correct trace: dropped frames
+(lossy logger, bus-off bursts), gateway duplication glitches, clock
+skew between channel recorders, truncated payloads and flipped bits.
+Real fleet captures exhibit all of these; the perfect traces the
+simulator emits do not.
+
+Corruption models operate on ``k_b`` byte-record tuples
+``(t, l, b_id, m_id, m_info)`` -- the layer *below* interpretation --
+so corrupted traces round-trip through every trace codec and feed the
+pipeline unchanged. All models are deterministic (seeded), composable
+(``corrupt(records, [FrameDrop(...), ClockSkew(...)])``) and return a
+ground-truth :class:`CorruptionLog` alongside the corrupted records.
+
+Every model supports :meth:`CorruptionModel.at_severity`: the
+configured knob values act as severity 1.0 and scale linearly. At
+severity 0 every model is a strict identity -- ``apply`` returns the
+input records unchanged, byte for byte -- which the degradation
+harness uses as its "perfect run equals corrupted run" gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class CorruptionError(ValueError):
+    """Raised for invalid corruption configuration."""
+
+
+@dataclass(frozen=True)
+class CorruptionEvent:
+    """Ground truth: one corruption occurrence on one frame.
+
+    ``timestamp``/``channel``/``message_id`` identify the affected
+    frame by its *original* (pre-corruption) coordinates.
+    """
+
+    kind: str
+    timestamp: float
+    channel: str
+    message_id: int
+    detail: str = ""
+
+
+@dataclass
+class CorruptionLog:
+    """All ground-truth events of one corruption run."""
+
+    events: list = field(default_factory=list)
+
+    def __len__(self):
+        return len(self.events)
+
+    def by_kind(self, kind):
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self):
+        """Event count per corruption kind."""
+        out = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def timestamps(self, kind=None):
+        return sorted(
+            e.timestamp
+            for e in self.events
+            if kind is None or e.kind == kind
+        )
+
+    def to_rows(self):
+        """Event tuples ``(kind, t, b_id, m_id, detail)`` for tables."""
+        return [
+            (e.kind, e.timestamp, e.channel, e.message_id, e.detail)
+            for e in self.events
+        ]
+
+
+class CorruptionModel:
+    """Base class: ``apply(records, rng)`` -> (records, [CorruptionEvent]).
+
+    Subclasses declare ``SEVERITY_FIELDS`` (knobs scaled linearly by
+    :meth:`at_severity`) and ``RATE_FIELDS`` (the subset clamped to
+    1.0, since probabilities cannot exceed certainty).
+    """
+
+    kind = "corruption"
+    SEVERITY_FIELDS = ()
+    RATE_FIELDS = ()
+
+    def apply(self, records, rng):
+        raise NotImplementedError
+
+    def at_severity(self, severity):
+        """A copy with every severity knob scaled by *severity*.
+
+        Severity 0 yields a strict identity model; severity 1 returns
+        the configured values unchanged.
+        """
+        if severity < 0:
+            raise CorruptionError("severity must be >= 0")
+        changes = {}
+        for name in self.SEVERITY_FIELDS:
+            value = getattr(self, name) * severity
+            if name in self.RATE_FIELDS:
+                value = min(1.0, value)
+            changes[name] = value
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def is_identity(self):
+        """True when every severity knob is zero (apply is a no-op)."""
+        return all(
+            getattr(self, name) == 0 for name in self.SEVERITY_FIELDS
+        )
+
+    def _matches(self, record):
+        channel = getattr(self, "channel", None)
+        return channel is None or record[2] == channel
+
+
+@dataclass(frozen=True)
+class FrameDrop(CorruptionModel):
+    """Drop frames: uniformly, or in bursts (bus-off / logger stall).
+
+    Each frame independently *starts* a drop with probability ``rate``;
+    with ``burst_length > 1`` the drop extends over the following
+    frames of the same scope (the whole stream, or one channel when
+    ``channel`` is set), modelling a bus-off recovery window.
+    """
+
+    rate: float = 0.01
+    burst_length: int = 1
+    channel: str = None
+
+    kind = "drop"
+    SEVERITY_FIELDS = ("rate",)
+    RATE_FIELDS = ("rate",)
+
+    def __post_init__(self):
+        if not 0 <= self.rate <= 1:
+            raise CorruptionError("rate must be in [0, 1]")
+        if self.burst_length < 1:
+            raise CorruptionError("burst_length must be >= 1")
+
+    def apply(self, records, rng):
+        if self.is_identity:
+            return list(records), []
+        out = []
+        events = []
+        remaining = 0
+        for record in records:
+            if not self._matches(record):
+                out.append(record)
+                continue
+            if remaining > 0:
+                remaining -= 1
+                in_burst = True
+            elif rng.random() < self.rate:
+                remaining = self.burst_length - 1
+                in_burst = self.burst_length > 1
+            else:
+                out.append(record)
+                continue
+            events.append(
+                CorruptionEvent(
+                    self.kind, record[0], record[2], record[3],
+                    detail="burst" if in_burst else "uniform",
+                )
+            )
+        return out, events
+
+
+@dataclass(frozen=True)
+class GatewayDuplicate(CorruptionModel):
+    """Replay frames as a glitching gateway does.
+
+    Each frame is re-emitted immediately after itself with probability
+    ``rate``. With ``jitter == 0`` the copy is byte-identical --
+    including ``(t, b_id, m_id)`` -- the exact-duplicate case the
+    dedup/statistics paths must not double-count. With ``jitter > 0``
+    the copy's timestamp shifts by ``U(0, jitter)`` seconds, which may
+    land it behind the next recorded frame (non-monotonic streams).
+    """
+
+    rate: float = 0.01
+    jitter: float = 0.0
+    channel: str = None
+
+    kind = "duplicate"
+    SEVERITY_FIELDS = ("rate",)
+    RATE_FIELDS = ("rate",)
+
+    def __post_init__(self):
+        if not 0 <= self.rate <= 1:
+            raise CorruptionError("rate must be in [0, 1]")
+        if self.jitter < 0:
+            raise CorruptionError("jitter must be >= 0")
+
+    def apply(self, records, rng):
+        if self.is_identity:
+            return list(records), []
+        out = []
+        events = []
+        for record in records:
+            out.append(record)
+            if not self._matches(record) or rng.random() >= self.rate:
+                continue
+            shift = rng.random() * self.jitter if self.jitter else 0.0
+            copy = (record[0] + shift,) + tuple(record[1:])
+            out.append(copy)
+            events.append(
+                CorruptionEvent(
+                    self.kind, record[0], record[2], record[3],
+                    detail="jitter={:.9f}".format(shift),
+                )
+            )
+        return out, events
+
+
+@dataclass(frozen=True)
+class ClockSkew(CorruptionModel):
+    """Per-channel recorder clock drift plus occasional backwards steps.
+
+    Each channel's recorder runs at rate ``1 + U(-drift, drift)``
+    relative to true time (anchored at the channel's first frame). On
+    top, with probability ``step_rate`` per frame the channel clock
+    jumps *backwards* by ``U(0, step_scale)`` seconds (an NTP-style
+    correction), producing the non-monotonic timestamps real merged
+    captures contain.
+    """
+
+    drift: float = 0.001
+    step_rate: float = 0.0
+    step_scale: float = 0.05
+    channel: str = None
+
+    kind = "clock"
+    SEVERITY_FIELDS = ("drift", "step_rate", "step_scale")
+    RATE_FIELDS = ("step_rate",)
+
+    def __post_init__(self):
+        if self.drift < 0:
+            raise CorruptionError("drift must be >= 0")
+        if not 0 <= self.step_rate <= 1:
+            raise CorruptionError("step_rate must be in [0, 1]")
+        if self.step_scale < 0:
+            raise CorruptionError("step_scale must be >= 0")
+
+    def apply(self, records, rng):
+        if self.drift == 0 and self.step_rate == 0:
+            return list(records), []
+        out = []
+        events = []
+        anchors = {}  # b_id -> (t0, drift_factor)
+        offsets = {}  # b_id -> accumulated step offset
+        for record in records:
+            if not self._matches(record):
+                out.append(record)
+                continue
+            b_id = record[2]
+            if b_id not in anchors:
+                factor = float(rng.uniform(-self.drift, self.drift))
+                anchors[b_id] = (record[0], factor)
+                offsets[b_id] = 0.0
+                events.append(
+                    CorruptionEvent(
+                        "clock_drift", record[0], b_id, record[3],
+                        detail="factor={:+.9f}".format(factor),
+                    )
+                )
+            t0, factor = anchors[b_id]
+            if self.step_rate and rng.random() < self.step_rate:
+                step = float(rng.random() * self.step_scale)
+                offsets[b_id] -= step
+                events.append(
+                    CorruptionEvent(
+                        "clock_step", record[0], b_id, record[3],
+                        detail="-{:.9f}s".format(step),
+                    )
+                )
+            skewed = t0 + (record[0] - t0) * (1.0 + factor) + offsets[b_id]
+            out.append((skewed,) + tuple(record[1:]))
+        return out, events
+
+
+@dataclass(frozen=True)
+class PayloadTruncation(CorruptionModel):
+    """Cut frames short, as overrun loggers and DMA glitches do.
+
+    Affected frames keep a uniformly-drawn prefix of their payload
+    (possibly empty). Interpretation must surface these as structured
+    short-payload conditions, never as garbage values.
+    """
+
+    rate: float = 0.01
+    channel: str = None
+
+    kind = "truncate"
+    SEVERITY_FIELDS = ("rate",)
+    RATE_FIELDS = ("rate",)
+
+    def __post_init__(self):
+        if not 0 <= self.rate <= 1:
+            raise CorruptionError("rate must be in [0, 1]")
+
+    def apply(self, records, rng):
+        if self.is_identity:
+            return list(records), []
+        out = []
+        events = []
+        for record in records:
+            payload = record[1]
+            if (
+                not self._matches(record)
+                or not payload
+                or rng.random() >= self.rate
+            ):
+                out.append(record)
+                continue
+            keep = int(rng.integers(0, len(payload)))
+            out.append(
+                (record[0], bytes(payload[:keep])) + tuple(record[2:])
+            )
+            events.append(
+                CorruptionEvent(
+                    self.kind, record[0], record[2], record[3],
+                    detail="{} -> {} bytes".format(len(payload), keep),
+                )
+            )
+        return out, events
+
+
+@dataclass(frozen=True)
+class BitFlip(CorruptionModel):
+    """Flip one random payload bit per affected frame.
+
+    Unlike :class:`repro.vehicle.faults.PayloadCorruption` this is not
+    scoped to one message type: transport-level bit errors hit any
+    frame of the stream (or one channel when ``channel`` is set).
+    """
+
+    rate: float = 0.01
+    channel: str = None
+
+    kind = "bitflip"
+    SEVERITY_FIELDS = ("rate",)
+    RATE_FIELDS = ("rate",)
+
+    def __post_init__(self):
+        if not 0 <= self.rate <= 1:
+            raise CorruptionError("rate must be in [0, 1]")
+
+    def apply(self, records, rng):
+        if self.is_identity:
+            return list(records), []
+        out = []
+        events = []
+        for record in records:
+            payload = record[1]
+            if (
+                not self._matches(record)
+                or not payload
+                or rng.random() >= self.rate
+            ):
+                out.append(record)
+                continue
+            bit = int(rng.integers(0, len(payload) * 8))
+            mutated = bytearray(payload)
+            mutated[bit // 8] ^= 1 << (bit % 8)
+            out.append(
+                (record[0], bytes(mutated)) + tuple(record[2:])
+            )
+            events.append(
+                CorruptionEvent(
+                    self.kind, record[0], record[2], record[3],
+                    detail="bit {}".format(bit),
+                )
+            )
+        return out, events
+
+
+def corrupt(records, models, seed=0):
+    """Apply *models* in order; returns (records, CorruptionLog)."""
+    rng = np.random.default_rng(seed)
+    log = CorruptionLog()
+    current = list(records)
+    for model in models:
+        current, events = model.apply(current, rng)
+        log.events.extend(events)
+    return current, log

@@ -71,11 +71,79 @@ def test_window_size_is_irrelevant(seed):
     assert small == large
 
 
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    window=st.sampled_from((0.3, 0.7, 1.1, 2.5)),
+)
+@settings(max_examples=20, deadline=None)
+def test_lossy_windowed_run_matches_whole_trace(seed, window):
+    """Satellite regression: the incremental == whole-trace guarantee
+    must survive transport corruption — non-monotonic timestamps from
+    clock skew, exact gateway duplicates, dropped and truncated frames.
+    Pre-fix code diverged here (windows split on raw record order and
+    per-window dedup did not exist)."""
+    case = generate_journey_case(random.Random(seed), lossy=True)
+    ctx = EngineContext.serial(default_parallelism=3)
+    config = config_from_dict(case.params, case.database)
+    whole = _whole_trace_rows(ctx, config, case.records)
+    windowed = _windowed_rows(ctx, config, case.records, window)
+    assert windowed == whole
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=10, deadline=None)
+def test_lossy_window_size_is_irrelevant(seed):
+    case = generate_journey_case(random.Random(seed), lossy=True)
+    ctx = EngineContext.serial(default_parallelism=3)
+    config = config_from_dict(case.params, case.database)
+    small = _windowed_rows(ctx, config, case.records, 0.4)
+    large = _windowed_rows(ctx, config, case.records, 3.0)
+    assert small == large
+
+
 def test_generated_journeys_are_deterministic():
     a = generate_journey_case(random.Random(1234))
     b = generate_journey_case(random.Random(1234))
     assert a.records == b.records
     assert a.params == b.params
+
+
+def test_lossy_journeys_are_deterministic():
+    a = generate_journey_case(random.Random(1234), lossy=True)
+    b = generate_journey_case(random.Random(1234), lossy=True)
+    assert a.records == b.records
+    assert a.params == b.params
+
+
+def test_lossy_mode_does_not_reshuffle_clean_journeys():
+    """Corruption draws come after every clean draw, so the clean
+    journey per seed is identical whether or not lossy mode exists."""
+    for seed in (0, 7, 1234):
+        clean = generate_journey_case(random.Random(seed))
+        lossy = generate_journey_case(random.Random(seed), lossy=True)
+        assert lossy.params["short_payload"] == "skip"
+        assert clean.params == {
+            k: v for k, v in lossy.params.items() if k != "short_payload"
+        }
+        assert clean.database.messages == lossy.database.messages
+
+
+def test_lossy_journeys_have_corruption_substance():
+    """Across a small corpus the lossy corpus must actually contain
+    the frame defects the satellites fix: non-monotonic timestamps and
+    exact duplicate frames."""
+    saw_backwards = saw_duplicate = saw_changed = False
+    for seed in range(40):
+        case = generate_journey_case(random.Random(seed), lossy=True)
+        times = [r[0] for r in case.records]
+        if any(b < a for a, b in zip(times, times[1:])):
+            saw_backwards = True
+        if len(set(case.records)) < len(case.records):
+            saw_duplicate = True
+        clean = generate_journey_case(random.Random(seed))
+        if case.records != clean.records:
+            saw_changed = True
+    assert saw_backwards and saw_duplicate and saw_changed
 
 
 def test_generated_journeys_have_substance():

@@ -17,7 +17,7 @@ from repro.core import (
 )
 from repro.core.model import message_instances_from_k_s
 from repro.core.rules import RuleError
-from repro.protocols import SignalEncoding
+from repro.protocols import ShortPayloadError, SignalEncoding
 from repro.protocols.someip import ConditionalLayout, OptionalSection
 
 
@@ -109,7 +109,7 @@ class TestInterpretationRule:
 
     def test_short_payload_raises(self):
         rule = InterpretationRule(SignalEncoding(16, 16))
-        with pytest.raises(RuleError):
+        with pytest.raises(ShortPayloadError):
             rule.extract_relevant(b"\x00\x01")
 
     def test_sectioned_signal_absent(self):
@@ -249,9 +249,9 @@ class TestCompiledRulePaths:
 
     def test_extractor_short_payload_raises_same_error(self):
         rule = InterpretationRule(SignalEncoding(16, 16))
-        with pytest.raises(RuleError) as compiled:
+        with pytest.raises(ShortPayloadError) as compiled:
             rule.compile_extractor()(b"\x00\x01")
-        with pytest.raises(RuleError) as reference:
+        with pytest.raises(ShortPayloadError) as reference:
             rule.extract_relevant(b"\x00\x01")
         assert str(compiled.value) == str(reference.value)
 

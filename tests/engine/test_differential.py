@@ -86,6 +86,67 @@ class TestFuzzHarness:
         assert not (tmp_path / "failures").exists()
 
 
+class TestLossyFuzzing:
+    """Corrupted-frame cases: every combo must also agree on lossy input."""
+
+    def test_lossy_budget_has_zero_divergences(self):
+        reports, combos_run = run_seeds(range(15), lossy=True)
+        assert combos_run >= 100
+        assert all(not r.invalid for r in reports)
+        assert [r for r in reports if not r.ok] == []
+
+    def test_lossy_mode_preserves_clean_prefix(self):
+        # Corruption draws come after every clean draw, so the plan spec
+        # and catalog are identical between the two modes for any seed.
+        for seed in range(20):
+            clean_case, clean_spec = generate_case(seed)
+            lossy_case, lossy_spec = generate_case(seed, lossy=True)
+            assert lossy_spec == clean_spec
+            assert lossy_case.catalog_rows == clean_case.catalog_rows
+
+    def test_lossy_mode_actually_corrupts(self):
+        changed = duplicated = mutated = nulled = 0
+        for seed in range(30):
+            clean_case, _spec = generate_case(seed)
+            lossy_case, _spec = generate_case(seed, lossy=True)
+            if lossy_case == clean_case:
+                continue
+            changed += 1
+            clean_rows = [
+                r for p in clean_case.trace_partitions for r in p
+            ]
+            lossy_rows = [
+                r for p in lossy_case.trace_partitions for r in p
+            ]
+            if len(lossy_rows) > len(clean_rows):
+                duplicated += 1
+            if sum(1 for r in lossy_rows if r[3] is None) > sum(
+                1 for r in clean_rows if r[3] is None
+            ):
+                nulled += 1
+            # Clock steps / truncation rewrite a row in place.
+            if any(r not in clean_rows for r in lossy_rows):
+                mutated += 1
+        assert changed >= 10
+        assert duplicated >= 5
+        assert nulled >= 1
+        assert mutated >= 1
+
+    def test_lossy_cases_are_deterministic(self):
+        for seed in range(10):
+            assert generate_case(seed, lossy=True) == generate_case(
+                seed, lossy=True
+            )
+
+    def test_cli_lossy_run_exits_zero(self, tmp_path):
+        code = fuzz_main([
+            "--seeds", "5", "--no-multiprocessing", "--lossy",
+            "--out", str(tmp_path / "failures"),
+        ])
+        assert code == 0
+        assert not (tmp_path / "failures").exists()
+
+
 def _poisoned_executor(parallelism):
     """A deliberately-divergent mutant: silently drops task output rows."""
     return SerialExecutor(

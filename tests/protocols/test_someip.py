@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.protocols import someip
+from repro.protocols import ShortPayloadError, someip
 
 
 class TestMessageId:
@@ -96,11 +96,11 @@ class TestConditionalLayout:
 
     def test_truncated_payload_detected(self):
         payload = self.LAYOUT.build_payload({1: b"xyz"})[:-1]
-        with pytest.raises(someip.SomeIpError):
+        with pytest.raises(ShortPayloadError):
             self.LAYOUT.extract_section(payload, 1)
 
     def test_empty_payload_rejected(self):
-        with pytest.raises(someip.SomeIpError):
+        with pytest.raises(ShortPayloadError):
             self.LAYOUT.section_offset(b"", 0)
 
     def test_duplicate_mask_bits_rejected(self):

@@ -1,0 +1,312 @@
+"""Transport-level corruption models and their ground-truth logs."""
+
+import math
+
+import pytest
+
+from repro.tracefile import binlog, colbin
+from repro.vehicle.corruption import (
+    BitFlip,
+    ClockSkew,
+    CorruptionError,
+    CorruptionEvent,
+    CorruptionLog,
+    FrameDrop,
+    GatewayDuplicate,
+    PayloadTruncation,
+    corrupt,
+)
+
+ALL_MODELS = (
+    FrameDrop(rate=0.05),
+    FrameDrop(rate=0.01, burst_length=8),
+    GatewayDuplicate(rate=0.05),
+    GatewayDuplicate(rate=0.05, jitter=0.002),
+    ClockSkew(drift=0.002, step_rate=0.01, step_scale=0.05),
+    PayloadTruncation(rate=0.05),
+    BitFlip(rate=0.05),
+)
+
+
+@pytest.fixture
+def records(wiper_simulation):
+    return [f.to_byte_record() for f in wiper_simulation.run(30.0)]
+
+
+class TestSeverityScaling:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: repr(m))
+    def test_severity_zero_is_identity(self, records, model):
+        out, log = corrupt(records, [model.at_severity(0.0)], seed=3)
+        assert out == records
+        assert len(log) == 0
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: repr(m))
+    def test_severity_one_is_configured(self, model):
+        assert model.at_severity(1.0) == model
+
+    def test_linear_scaling(self):
+        assert FrameDrop(rate=0.2).at_severity(2.0).rate == pytest.approx(0.4)
+        skew = ClockSkew(drift=0.01, step_rate=0.1, step_scale=0.2)
+        half = skew.at_severity(0.5)
+        assert half.drift == pytest.approx(0.005)
+        assert half.step_rate == pytest.approx(0.05)
+        assert half.step_scale == pytest.approx(0.1)
+
+    def test_rates_clamp_at_one(self):
+        assert FrameDrop(rate=0.5).at_severity(10.0).rate == 1.0
+        assert GatewayDuplicate(rate=0.5).at_severity(10.0).rate == 1.0
+        assert ClockSkew(step_rate=0.5).at_severity(10.0).step_rate == 1.0
+
+    def test_non_rate_knobs_do_not_clamp(self):
+        assert ClockSkew(drift=0.5).at_severity(10.0).drift == pytest.approx(5.0)
+
+    def test_negative_severity_rejected(self):
+        with pytest.raises(CorruptionError):
+            FrameDrop().at_severity(-0.1)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: repr(m))
+    def test_same_seed_same_output(self, records, model):
+        a, log_a = corrupt(records, [model], seed=11)
+        b, log_b = corrupt(records, [model], seed=11)
+        assert a == b
+        assert log_a.events == log_b.events
+
+    def test_different_seed_differs(self, records):
+        a, _la = corrupt(records, [FrameDrop(rate=0.2)], seed=1)
+        b, _lb = corrupt(records, [FrameDrop(rate=0.2)], seed=2)
+        assert a != b
+
+
+class TestFrameDrop:
+    def test_count_conserved(self, records):
+        out, log = corrupt(records, [FrameDrop(rate=0.1)], seed=0)
+        assert len(out) + len(log) == len(records)
+        assert len(log) > 0
+        assert all(e.kind == "drop" for e in log.events)
+
+    def test_burst_drops_runs(self, records):
+        out, log = corrupt(
+            records, [FrameDrop(rate=0.01, burst_length=10)], seed=0
+        )
+        assert len(out) + len(log) == len(records)
+        details = {e.detail for e in log.events}
+        assert "burst" in details
+
+    def test_channel_scoped(self, records):
+        out, log = corrupt(
+            records, [FrameDrop(rate=1.0, channel="K-LIN")], seed=0
+        )
+        assert all(r[2] != "K-LIN" for r in out)
+        assert all(e.channel == "K-LIN" for e in log.events)
+        untouched = [r for r in records if r[2] != "K-LIN"]
+        assert [r for r in out if r[2] != "K-LIN"] == untouched
+
+    def test_validation(self):
+        with pytest.raises(CorruptionError):
+            FrameDrop(rate=1.5)
+        with pytest.raises(CorruptionError):
+            FrameDrop(burst_length=0)
+
+
+class TestGatewayDuplicate:
+    def test_exact_duplicates_without_jitter(self, records):
+        out, log = corrupt(records, [GatewayDuplicate(rate=0.2)], seed=0)
+        assert len(out) == len(records) + len(log)
+        assert len(log) > 0
+        # Every duplicated frame appears at least twice, byte-identical.
+        for event in log.events:
+            copies = [
+                r for r in out
+                if r[0] == event.timestamp
+                and r[2] == event.channel
+                and r[3] == event.message_id
+            ]
+            assert len(copies) >= 2
+            assert copies[0] == copies[1]
+
+    def test_jitter_shifts_copies(self, records):
+        out, log = corrupt(
+            records, [GatewayDuplicate(rate=0.2, jitter=0.002)], seed=0
+        )
+        assert len(out) == len(records) + len(log)
+        originals = {(r[0], r[2], r[3]) for r in records}
+        shifted = [
+            r for r in out if (r[0], r[2], r[3]) not in originals
+        ]
+        # With continuous jitter, essentially every copy is shifted.
+        assert len(shifted) >= len(log) - 1
+
+    def test_validation(self):
+        with pytest.raises(CorruptionError):
+            GatewayDuplicate(jitter=-1.0)
+
+
+class TestClockSkew:
+    def test_first_frame_per_channel_anchored(self, records):
+        out, _log = corrupt(
+            records, [ClockSkew(drift=0.01)], seed=0
+        )
+        firsts = {}
+        for r in records:
+            firsts.setdefault(r[2], r[0])
+        seen = {}
+        for r in out:
+            seen.setdefault(r[2], r[0])
+        for channel, t0 in firsts.items():
+            assert seen[channel] == pytest.approx(t0)
+
+    def test_drift_scales_with_elapsed_time(self, records):
+        out, log = corrupt(records, [ClockSkew(drift=0.01)], seed=0)
+        assert log.by_kind("clock_drift")
+        deltas = [
+            abs(a[0] - b[0]) for a, b in zip(out, records)
+        ]
+        assert max(deltas) > 0
+
+    def test_steps_make_non_monotonic(self, records):
+        out, log = corrupt(
+            records,
+            [ClockSkew(drift=0.0, step_rate=0.05, step_scale=0.5)],
+            seed=0,
+        )
+        assert log.by_kind("clock_step")
+        per_channel = {}
+        for r in out:
+            per_channel.setdefault(r[2], []).append(r[0])
+        backwards = any(
+            any(b < a for a, b in zip(ts, ts[1:]))
+            for ts in per_channel.values()
+        )
+        assert backwards
+
+    def test_only_timestamps_touched(self, records):
+        out, _log = corrupt(
+            records, [ClockSkew(drift=0.01, step_rate=0.1)], seed=0
+        )
+        assert [r[1:] for r in out] == [r[1:] for r in records]
+
+    def test_validation(self):
+        with pytest.raises(CorruptionError):
+            ClockSkew(drift=-0.1)
+        with pytest.raises(CorruptionError):
+            ClockSkew(step_rate=2.0)
+
+
+class TestPayloadTruncation:
+    def test_payloads_shortened(self, records):
+        out, log = corrupt(records, [PayloadTruncation(rate=0.2)], seed=0)
+        assert len(out) == len(records)
+        assert len(log) > 0
+        by_coord = {(r[0], r[2], r[3]): r for r in records}
+        for event in log.events:
+            original = by_coord[(event.timestamp, event.channel, event.message_id)]
+            corrupted = next(
+                r for r in out
+                if (r[0], r[2], r[3])
+                == (event.timestamp, event.channel, event.message_id)
+            )
+            assert len(corrupted[1]) < len(original[1])
+            assert original[1].startswith(corrupted[1])
+
+    def test_non_payload_columns_untouched(self, records):
+        out, _log = corrupt(records, [PayloadTruncation(rate=0.2)], seed=0)
+        assert [(r[0],) + r[2:] for r in out] == [
+            (r[0],) + r[2:] for r in records
+        ]
+
+
+class TestBitFlip:
+    def test_flips_exactly_one_bit(self, records):
+        out, log = corrupt(records, [BitFlip(rate=0.2)], seed=0)
+        assert len(out) == len(records)
+        assert len(log) > 0
+        flipped = 0
+        for before, after in zip(records, out):
+            if before == after:
+                continue
+            assert len(before[1]) == len(after[1])
+            bits = sum(
+                bin(a ^ b).count("1")
+                for a, b in zip(before[1], after[1])
+            )
+            assert bits == 1
+            flipped += 1
+        assert flipped == len(log)
+
+
+class TestComposition:
+    def test_models_compose_in_order(self, records):
+        out, log = corrupt(
+            records,
+            [
+                FrameDrop(rate=0.05),
+                GatewayDuplicate(rate=0.05),
+                BitFlip(rate=0.05),
+            ],
+            seed=7,
+        )
+        counts = log.counts()
+        assert set(counts) <= {"drop", "duplicate", "bitflip"}
+        assert len(out) == (
+            len(records) - counts.get("drop", 0) + counts.get("duplicate", 0)
+        )
+
+    def test_empty_model_list_is_identity(self, records):
+        out, log = corrupt(records, [], seed=0)
+        assert out == records
+        assert len(log) == 0
+
+
+class TestCorruptionLog:
+    def test_query_helpers(self):
+        log = CorruptionLog(
+            [
+                CorruptionEvent("drop", 2.0, "FC", 3),
+                CorruptionEvent("drop", 1.0, "FC", 3),
+                CorruptionEvent("bitflip", 3.0, "BC", 7, detail="bit 4"),
+            ]
+        )
+        assert len(log) == 3
+        assert log.counts() == {"drop": 2, "bitflip": 1}
+        assert [e.timestamp for e in log.by_kind("drop")] == [2.0, 1.0]
+        assert log.timestamps() == [1.0, 2.0, 3.0]
+        assert log.timestamps("drop") == [1.0, 2.0]
+        assert log.to_rows()[2] == ("bitflip", 3.0, "BC", 7, "bit 4")
+
+
+class TestTracefileRoundTrip:
+    """Corrupted records survive both binary trace formats unchanged."""
+
+    @pytest.fixture
+    def corrupted(self, records):
+        out, _log = corrupt(
+            records,
+            [
+                ClockSkew(drift=0.002, step_rate=0.05, step_scale=0.2),
+                GatewayDuplicate(rate=0.1),
+                PayloadTruncation(rate=0.2),
+                BitFlip(rate=0.1),
+            ],
+            seed=13,
+        )
+        return out
+
+    def test_binlog_round_trip(self, corrupted, tmp_path):
+        path = tmp_path / "corrupted.btrc"
+        binlog.dump_records(corrupted, path)
+        loaded = binlog.load_records(path)
+        assert len(loaded) == len(corrupted)
+        for a, b in zip(corrupted, loaded):
+            assert math.isclose(a[0], b[0], rel_tol=0, abs_tol=1e-12)
+            assert a[1:] == b[1:]
+
+    def test_colbin_round_trip(self, corrupted, tmp_path):
+        path = tmp_path / "corrupted.ctrc"
+        colbin.dump_records(corrupted, path)
+        loaded = colbin.load_records(path)
+        assert len(loaded) == len(corrupted)
+        for a, b in zip(corrupted, loaded):
+            assert math.isclose(a[0], b[0], rel_tol=0, abs_tol=1e-12)
+            assert a[1:] == b[1:]
