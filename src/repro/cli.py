@@ -13,6 +13,7 @@ Subcommands
 ``pipeline``  full Algorithm 1 run; prints summary + state representation
 ``degrade``   corruption severity sweep: perfect vs corrupted pipeline runs
 ``fleet``     checkpointed multi-trace sweeps: prepare / run / resume / status
+``stream``    always-on windowed ingest: serve / status (kill-resumable)
 
 Operational errors (a missing or corrupt catalog, an unreadable trace
 file) exit with status 2 and a single structured ``error: <kind>: ...``
@@ -513,6 +514,190 @@ def cmd_fleet_status(args, out=sys.stdout):
 
 
 # ---------------------------------------------------------------------------
+# Stream subcommands
+# ---------------------------------------------------------------------------
+
+
+def _load_records(path):
+    """Trace file -> byte-record list, with structured error lines."""
+    from repro.tracefile import BinaryTraceError, TraceFormatError
+
+    try:
+        return _trace_module(path).load_records(path)
+    except FileNotFoundError:
+        raise CliError("trace", "trace file {!r} does not exist".format(
+            str(path)))
+    except IsADirectoryError:
+        raise CliError("trace", "{!r} is a directory, not a trace "
+                       "file".format(str(path)))
+    except (TraceFormatError, BinaryTraceError) as exc:
+        raise CliError("trace", "trace file {!r} is corrupt: {}".format(
+            str(path), exc))
+
+
+def _stream_pipeline_config(args, bundle):
+    """The per-vehicle pipeline parameterization (same rules as
+    ``pipeline``: a params file when given, else per-signal
+    unchanged-within-cycle constraints)."""
+    if args.params:
+        try:
+            return load_config(args.params, bundle.database)
+        except FileNotFoundError:
+            raise CliError("params", "parameter file {!r} does not "
+                           "exist".format(str(args.params)))
+        except ValueError as exc:
+            raise CliError("params", "parameter file {!r} is invalid: "
+                           "{}".format(str(args.params), exc))
+    document = {
+        "signals": list(bundle.signal_ids),
+        "constraints": [
+            {
+                "signal": s,
+                "type": "unchanged_within_cycle",
+                "cycle_time": bundle.cycle_times[s],
+            }
+            for s in bundle.signal_ids
+        ],
+    }
+    return config_from_dict(document, bundle.database)
+
+
+def cmd_stream_serve(args, out=sys.stdout):
+    import asyncio
+
+    from repro.obs import MetricsRegistry
+    from repro.stream import (
+        ReplaySource,
+        StreamConfig,
+        StreamError,
+        StreamIngestService,
+    )
+
+    bundle = _bundle(args)
+    ctx = _context(args)
+    config = _stream_pipeline_config(args, bundle)
+    try:
+        stream_config = StreamConfig(
+            window_seconds=args.window,
+            grace_seconds=args.grace,
+            queue_capacity=args.queue_capacity,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except StreamError as exc:
+        raise CliError("stream", str(exc))
+    metrics = MetricsRegistry()
+    service = StreamIngestService(
+        args.run_dir, stream_config, metrics=metrics
+    )
+    vehicles = {}
+    try:
+        for trace in args.traces:
+            vehicle_id = Path(trace).stem
+            records = _load_records(trace)
+            service.add_vehicle(
+                vehicle_id, ReplaySource(records), config, ctx
+            )
+            vehicles[vehicle_id] = str(trace)
+        service.checkpointer.write_manifest({
+            "dataset": args.dataset,
+            "window_seconds": args.window,
+            "grace_seconds": args.grace,
+            "vehicles": vehicles,
+            "params": str(args.params) if args.params else None,
+        })
+        result = asyncio.run(service.serve(max_frames=args.max_frames))
+    except StreamError as exc:
+        raise CliError("stream", str(exc))
+    counters = metrics.counters()
+    resumed = counters.get("stream.resume.sessions", 0)
+    if resumed:
+        print(
+            "resumed: {} sessions from checkpoints, {} frames already "
+            "covered".format(
+                resumed, counters.get("stream.resume.frames_skipped", 0)
+            ),
+            file=out,
+        )
+    for vehicle_id, summary in sorted(result.sessions.items()):
+        print(
+            "session {}: {} frames, {} windows sealed, {} late drops, "
+            "drained={}".format(
+                vehicle_id, summary["frames_ingested"],
+                summary["windows_sealed"], summary["late_dropped"],
+                "yes" if summary["drained"] else "no",
+            ),
+            file=out,
+        )
+    print(
+        "stream : {} frames delivered, {} checkpoints committed".format(
+            result.frames_delivered, counters.get("stream.checkpoints", 0)
+        ),
+        file=out,
+    )
+    if result.killed:
+        print(
+            "killed : frame budget spent mid-stream; re-run serve on {} "
+            "to resume".format(args.run_dir),
+            file=out,
+        )
+        return 1
+    if args.finalize:
+        try:
+            results = service.finalize_all()
+        except StreamError as exc:
+            raise CliError("stream", str(exc))
+        for vehicle_id, final in sorted(results.items()):
+            print(
+                "final  : {} -> {} reduced rows".format(
+                    vehicle_id, final.r_out.count()
+                ),
+                file=out,
+            )
+    return 0
+
+
+def cmd_stream_status(args, out=sys.stdout):
+    import time
+
+    from repro.stream import StreamCheckpointer, StreamError
+
+    checkpointer = StreamCheckpointer(args.run_dir)
+    try:
+        manifest = checkpointer.read_manifest()
+    except StreamError as exc:
+        raise CliError("stream", str(exc))
+    print(
+        "{}: stream run of dataset {}, window {} s (+{} s grace)".format(
+            args.run_dir, manifest.get("dataset"),
+            manifest.get("window_seconds"), manifest.get("grace_seconds"),
+        ),
+        file=out,
+    )
+    session_ids = checkpointer.session_ids()
+    if not session_ids:
+        print("no session checkpoints committed yet", file=out)
+        return 0
+    now = time.time()
+    for vehicle_id in session_ids:
+        try:
+            payload = checkpointer.session_payload(vehicle_id)
+        except StreamError as exc:
+            raise CliError("stream", str(exc))
+        mtime = checkpointer.checkpoint_mtime(vehicle_id)
+        age = " checkpoint age {:.1f} s".format(now - mtime) \
+            if mtime is not None else ""
+        print(
+            "session {}: {} frames, {} windows sealed, drained={},{}".format(
+                vehicle_id, payload.get("frames_ingested"),
+                payload.get("windows_sealed"),
+                "yes" if payload.get("drained") else "no", age,
+            ),
+            file=out,
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
 
@@ -642,6 +827,39 @@ def build_parser():
         "status", help="inspect a sweep without running anything")
     fp.add_argument("--run-dir", required=True)
     fp.set_defaults(func=cmd_fleet_status)
+
+    p = sub.add_parser(
+        "stream", help="always-on windowed ingest (kill-resumable)")
+    stream_sub = p.add_subparsers(dest="stream_command", required=True)
+
+    sp = stream_sub.add_parser(
+        "serve",
+        help="stream recorded traces through per-vehicle sessions")
+    add_dataset(sp)
+    sp.add_argument("--run-dir", required=True,
+                    help="checkpoint directory (resumed when re-run)")
+    sp.add_argument("--traces", nargs="+", required=True,
+                    help="trace files; each becomes one vehicle session")
+    sp.add_argument("--params", help="JSON parameter file (see core.params)")
+    sp.add_argument("--window", type=float, default=1.0,
+                    help="window length in seconds")
+    sp.add_argument("--grace", type=float, default=0.5,
+                    help="late-arrival grace before a window seals")
+    sp.add_argument("--queue-capacity", type=int, default=64,
+                    help="per-session queue bound (backpressure)")
+    sp.add_argument("--checkpoint-every", type=int, default=200,
+                    help="checkpoint cadence in frames per session")
+    sp.add_argument("--max-frames", type=int,
+                    help="stop after this many delivered frames "
+                         "(emulates a mid-stream kill)")
+    sp.add_argument("--finalize", action="store_true",
+                    help="finalize drained sessions and print row counts")
+    sp.set_defaults(func=cmd_stream_serve)
+
+    sp = stream_sub.add_parser(
+        "status", help="inspect committed session checkpoints")
+    sp.add_argument("--run-dir", required=True)
+    sp.set_defaults(func=cmd_stream_status)
 
     return parser
 

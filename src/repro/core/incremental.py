@@ -21,6 +21,7 @@ from repro.core.extension import apply_extensions
 from repro.core.interpretation import interpret
 from repro.core.model import K_S_COLUMNS
 from repro.core.preselection import preselect
+from repro.core.reduction import value_order_key
 from repro.core.representation import merge_results
 from repro.core.rules import TRUNCATED
 
@@ -29,12 +30,22 @@ class IncrementalError(ValueError):
     """Raised for out-of-order windows or misuse."""
 
 
+#: Schema tag of :meth:`IncrementalRunner.export_state` payloads.
+STATE_FORMAT = "repro.incremental-state/1"
+
+
 @dataclass
 class _SignalState:
-    """Accumulated per-(signal, channel) reduction state."""
+    """Accumulated per-(signal, channel) reduction state.
+
+    The only cross-window reduction state is :attr:`carries` -- the
+    per-marker-function carry protocol (PR 4) replaced the earlier
+    whole-element ``last_raw`` field, which by then was written every
+    window but never read; it is gone so checkpoint/restore cannot
+    resurrect stale raw elements.
+    """
 
     reduced_rows: list = field(default_factory=list)
-    last_raw: tuple = None  # last raw element seen (any marker's default)
     #: Per-marker-function carry, keyed by position in the signal's
     #: function tuple -- each marker defines its own carry semantics
     #: (see :meth:`MarkerFunction.carry_after`).
@@ -58,6 +69,8 @@ class IncrementalRunner:
     _finalized: bool = False
     #: Truncated-payload rows dropped so far (short_payload="skip").
     short_payload_skipped: int = 0
+    #: TRUNCATED marker rows retained so far (short_payload="keep").
+    short_payload_kept: int = 0
     #: Exact K_s duplicates dropped so far (drop_exact_duplicates).
     exact_duplicates_dropped: int = 0
 
@@ -72,18 +85,28 @@ class IncrementalRunner:
         """
         if self._finalized:
             raise IncrementalError("runner already finalized")
-        on_short = (
-            "keep"
-            if getattr(self.config, "short_payload", "raise") == "skip"
-            else "raise"
-        )
+        mode = getattr(self.config, "short_payload", "raise")
+        if mode not in ("raise", "skip", "keep"):
+            raise IncrementalError(
+                "short_payload must be 'raise', 'skip' or 'keep', "
+                "got {!r}".format(mode)
+            )
+        # Interpret tolerantly for both lossy modes so truncated rows
+        # can be counted; "skip" then drops the markers, "keep" lets
+        # them flow into reduction exactly as the whole-trace pipeline
+        # does (they classify as nominal TRUNCATED evidence downstream).
+        on_short = "raise" if mode == "raise" else "keep"
         k_pre = preselect(k_b_window, self.config.catalog)
         k_s = interpret(k_pre, self.config.catalog, on_short=on_short)
         collected = k_s.collect()
-        if on_short == "keep":
+        if mode == "skip":
             kept = [r for r in collected if r[1] is not TRUNCATED]
             self.short_payload_skipped += len(collected) - len(kept)
             collected = kept
+        elif mode == "keep":
+            self.short_payload_kept += sum(
+                1 for r in collected if r[1] is TRUNCATED
+            )
         if getattr(self.config, "drop_exact_duplicates", True):
             # Exact duplicates share their timestamp, so window
             # assignment puts every copy of a row into the same window:
@@ -97,10 +120,15 @@ class IncrementalRunner:
                 unique.append(row)
             self.exact_duplicates_dropped += len(collected) - len(unique)
             collected = unique
-        # Sort on (t, s_id, b_id) only: comparing whole rows would reach
-        # the value column, whose type varies across signals.
+        # Sort on (t, s_id, b_id, value-order): comparing whole rows
+        # would reach the value column, whose type varies across
+        # signals; value_order_key breaks same-timestamp ties exactly
+        # as the whole-trace reduction's canonical order does.
         rows = sorted(
-            collected, key=lambda r: (r[0], str(r[2]), str(r[3]))
+            collected,
+            key=lambda r: (
+                r[0], str(r[2]), str(r[3]), value_order_key(r[1])
+            ),
         )
         if rows:
             window_start = rows[0][0]
@@ -123,7 +151,6 @@ class IncrementalRunner:
             state = self._states.setdefault(key, _SignalState())
             kept = self._reduce_chunk(key[0], sequence, state)
             state.reduced_rows.extend(kept)
-            state.last_raw = sequence[-1]
             processed += len(sequence)
         return processed
 
@@ -179,6 +206,58 @@ class IncrementalRunner:
         """Accumulated reduced rows of one (signal, channel)."""
         state = self._states.get((signal_id, channel_id))
         return list(state.reduced_rows) if state else []
+
+    # -- checkpoint/restore hooks (streaming ingest) ---------------------
+    def export_state(self):
+        """Picklable snapshot of all cross-window progress.
+
+        The payload captures everything :meth:`process_window` mutates
+        -- accumulated reduced rows, per-marker carries, the in-order
+        watermark and the lossy-trace counters -- so a fresh runner
+        restored from it and fed the *remaining* windows produces
+        byte-identical :meth:`finalize` output to an uninterrupted run.
+        The config is deliberately not part of the payload (it lives in
+        the stream/fleet catalog); the caller reattaches it on restore.
+        """
+        return {
+            "format": STATE_FORMAT,
+            "last_window_end": self._last_window_end,
+            "finalized": self._finalized,
+            "short_payload_skipped": self.short_payload_skipped,
+            "short_payload_kept": self.short_payload_kept,
+            "exact_duplicates_dropped": self.exact_duplicates_dropped,
+            "states": {
+                key: {
+                    "reduced_rows": list(state.reduced_rows),
+                    "carries": dict(state.carries),
+                }
+                for key, state in self._states.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, config, payload):
+        """Rebuild a runner from an :meth:`export_state` payload."""
+        if not isinstance(payload, dict) or payload.get("format") != \
+                STATE_FORMAT:
+            raise IncrementalError(
+                "not an incremental-state payload (format {!r})".format(
+                    payload.get("format") if isinstance(payload, dict)
+                    else type(payload).__name__
+                )
+            )
+        runner = cls(config)
+        runner._last_window_end = payload["last_window_end"]
+        runner._finalized = payload["finalized"]
+        runner.short_payload_skipped = payload["short_payload_skipped"]
+        runner.short_payload_kept = payload.get("short_payload_kept", 0)
+        runner.exact_duplicates_dropped = payload["exact_duplicates_dropped"]
+        for key, entry in payload["states"].items():
+            runner._states[key] = _SignalState(
+                reduced_rows=list(entry["reduced_rows"]),
+                carries=dict(entry["carries"]),
+            )
+        return runner
 
 
 @dataclass

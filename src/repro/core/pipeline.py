@@ -66,10 +66,14 @@ class PipelineConfig:
         ``"fused"`` (broadcast flat-map; same output, fewer stages).
     short_payload:
         ``"raise"`` (default: a truncated payload aborts the run with
-        :class:`~repro.protocols.signalcodec.ShortPayloadError`) or
+        :class:`~repro.protocols.signalcodec.ShortPayloadError`),
         ``"skip"`` (affected signal rows are dropped and counted in the
-        ``pipeline.interpret.short_payload_skipped`` counter) -- the
-        lossy-trace setting.
+        ``pipeline.interpret.short_payload_skipped`` counter) or
+        ``"keep"`` (affected rows stay in ``K_s`` carrying the
+        :data:`~repro.core.rules.TRUNCATED` sentinel -- they classify
+        as nominal evidence downstream -- counted in the
+        ``pipeline.interpret.short_payload_kept`` counter). The latter
+        two are the lossy-trace settings.
     drop_exact_duplicates:
         Drop exact ``K_s`` duplicates -- identical ``(t, v, s_id,
         b_id)`` rows, as produced by store-and-forward gateways
@@ -94,8 +98,10 @@ class PipelineConfig:
             raise PipelineError(
                 "interpretation_strategy must be 'join' or 'fused'"
             )
-        if self.short_payload not in ("raise", "skip"):
-            raise PipelineError("short_payload must be 'raise' or 'skip'")
+        if self.short_payload not in ("raise", "skip", "keep"):
+            raise PipelineError(
+                "short_payload must be 'raise', 'skip' or 'keep'"
+            )
 
 
 @dataclass
@@ -154,9 +160,9 @@ class PreprocessingPipeline:
     def interpret(self, k_pre, on_short=None):
         """Lines 4-6."""
         if on_short is None:
-            on_short = (
-                "skip" if self.config.short_payload == "skip" else "raise"
-            )
+            # short_payload values coincide with interpret's on_short
+            # modes: raise aborts, skip drops, keep retains TRUNCATED.
+            on_short = self.config.short_payload
         return interpret(
             k_pre,
             self.config.catalog,
@@ -219,6 +225,11 @@ class PreprocessingPipeline:
                 registry.counter(
                     "pipeline.interpret.short_payload_skipped"
                 ).inc(truncated)
+            elif self.config.short_payload == "keep":
+                k_s = self.interpret(k_pre).cache()
+                registry.counter(
+                    "pipeline.interpret.short_payload_kept"
+                ).inc(count_truncated(k_s))
             else:
                 k_s = self.interpret(k_pre).cache()
         counts["k_s"] = k_s.count()

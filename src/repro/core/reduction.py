@@ -21,9 +21,52 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.expressions import apply
+
 
 class ReductionError(ValueError):
     """Raised for invalid constraints."""
+
+
+def value_order_key(value):
+    """Canonical tiebreak for rows sharing a timestamp.
+
+    ``repr`` yields a deterministic, comparable string across the
+    mixed value types a sequence can hold (floats, labels, the
+    TRUNCATED sentinel), so every execution path -- whole-trace,
+    windowed, streamed -- orders same-timestamp rows identically.
+    """
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class _ValueOrderKey:
+    """Picklable column body computing :func:`value_order_key`."""
+
+    def __call__(self, v):
+        return value_order_key(v)
+
+    def batch_call(self, values):
+        return [value_order_key(v) for v in values]
+
+
+_TIEBREAK_COLUMN = "__v_order"
+
+
+def order_signal_rows(k_sep, order_by="t", value_column="v"):
+    """Sort one signal's rows into the canonical sequence order.
+
+    Sorting on the timestamp alone is not a total order once transport
+    corruption is in play: a gateway duplicate whose copy lost payload
+    bytes yields two rows of one (s_id, b_id) at the same ``t`` with
+    *different* values, and windowed vs whole-trace runs could then
+    disagree about which one a repeat-removal marker sees first. The
+    value's :func:`value_order_key` breaks such ties deterministically.
+    """
+    keyed = k_sep.with_column(
+        _TIEBREAK_COLUMN, apply(_ValueOrderKey(), value_column)
+    )
+    return keyed.sort([order_by, _TIEBREAK_COLUMN]).drop(_TIEBREAK_COLUMN)
 
 
 class MarkerFunction:
@@ -298,7 +341,7 @@ def reduce_signal(k_sep, constraints, order_by="t", value_column="v"):
     ``e`` is false. With no constraints the sequence passes through
     (sorted), matching the σ over an empty condition set.
     """
-    ordered = k_sep.sort([order_by])
+    ordered = order_signal_rows(k_sep, order_by, value_column)
     functions = tuple(
         f for c in constraints for f in c.functions
     )

@@ -1,0 +1,67 @@
+"""repro.stream -- always-on streaming ingest of live fleet traffic.
+
+The paper's operating point is continuous capture ("500 cars produce
+1.5 TB per day"), yet until this package every entry point was a batch
+caller. Here the windowed-equals-whole guarantee of
+:mod:`repro.core.incremental` is put behind a long-running asyncio
+service in the channel-daemon receive-loop shape:
+
+* :mod:`repro.stream.assembler` -- the online form of
+  :func:`~repro.core.incremental.split_into_windows`: frames are
+  bucketed into fixed event-time windows, a window seals once the
+  watermark passes its end plus a configurable late-arrival grace
+  period, and frames for already-sealed windows are counted as late
+  drops;
+* :mod:`repro.stream.session` -- one :class:`VehicleSession` per
+  vehicle wrapping an :class:`~repro.core.incremental.IncrementalRunner`
+  behind a :class:`WindowAssembler`, with per-channel delivery cursors
+  and a picklable state snapshot;
+* :mod:`repro.stream.receivers` -- per-channel receive loops pulling
+  frames from a :class:`FrameSource` and awaiting the owning session's
+  bounded queue (backpressure stalls only the channels of the slow
+  vehicle, never other receivers);
+* :mod:`repro.stream.checkpoint` -- the session-state codec over
+  :class:`repro.fleet.CheckpointStore`, so a killed service resumes
+  mid-stream and replay of undelivered frames yields byte-identical
+  ``finalize()`` output to an uninterrupted run;
+* :mod:`repro.stream.service` -- :class:`StreamIngestService` wiring
+  receivers, sessions, periodic checkpoints and the ``stream.*``
+  metrics together, plus the drain/finalize path the CLI and tests
+  drive.
+"""
+
+from repro.stream.assembler import WindowAssembler
+from repro.stream.checkpoint import (
+    STREAM_MANIFEST_FILE,
+    STREAM_STATE_FORMAT,
+    StreamCheckpointer,
+    session_job_id,
+)
+from repro.stream.errors import StreamError
+from repro.stream.receivers import (
+    ChannelReceiver,
+    FrameBudget,
+    FrameSource,
+    ReplayPacer,
+    ReplaySource,
+)
+from repro.stream.service import ServeResult, StreamConfig, StreamIngestService
+from repro.stream.session import VehicleSession
+
+__all__ = [
+    "ChannelReceiver",
+    "FrameBudget",
+    "FrameSource",
+    "ReplayPacer",
+    "ReplaySource",
+    "STREAM_MANIFEST_FILE",
+    "STREAM_STATE_FORMAT",
+    "ServeResult",
+    "StreamCheckpointer",
+    "StreamConfig",
+    "StreamError",
+    "StreamIngestService",
+    "VehicleSession",
+    "WindowAssembler",
+    "session_job_id",
+]

@@ -1,0 +1,142 @@
+"""Online time-window assembly with a late-arrival grace period.
+
+The batch pipeline cuts a finished trace with
+:func:`~repro.core.incremental.split_into_windows`; a live stream never
+finishes, so the same window membership -- a pure function of each
+frame's timestamp relative to the first frame seen -- is applied
+*online* here. A window seals once the event-time watermark (the
+maximum timestamp observed so far) passes the window's end plus a
+configurable grace period; sealing in index order preserves the
+in-order-windows contract of
+:meth:`~repro.core.incremental.IncrementalRunner.process_window`.
+Frames that arrive for an already-sealed window are *late*: they are
+counted and dropped, never silently reordered into the past.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.stream.errors import StreamError
+
+#: Schema tag of :meth:`WindowAssembler.export_state` payloads.
+ASSEMBLER_STATE_FORMAT = "repro.stream-assembler/1"
+
+
+class WindowAssembler:
+    """Buckets frames into event-time windows and seals them in order.
+
+    Window ``k`` covers ``[origin + k*W, origin + (k+1)*W)`` where
+    ``origin`` is the timestamp of the first frame ever added. Indices
+    may be negative (a frame older than the origin that arrives within
+    the grace period is still assignable); the *floor* -- one past the
+    highest sealed index -- only rises, and frames whose window lies
+    below it are late drops.
+    """
+
+    def __init__(self, window_seconds, grace_seconds=0.0):
+        if window_seconds <= 0:
+            raise StreamError("window_seconds must be positive")
+        if grace_seconds < 0:
+            raise StreamError("grace_seconds must not be negative")
+        self.window_seconds = float(window_seconds)
+        self.grace_seconds = float(grace_seconds)
+        self._origin = None
+        self._watermark = None
+        self._pending = {}  # window index -> [frames in arrival order]
+        self._floor = None  # lowest assignable index; None = nothing sealed
+        self.late_dropped = 0
+
+    # -- ingestion -------------------------------------------------------
+    def window_index(self, t):
+        """The window a timestamp belongs to (pure, origin-anchored)."""
+        if self._origin is None:
+            raise StreamError("no origin yet: add a frame first")
+        return math.floor((t - self._origin) / self.window_seconds)
+
+    def add(self, frame):
+        """Buffer one frame; returns the windows this arrival sealed.
+
+        The return value is a list of ``(window_index, frames)`` pairs
+        in strictly increasing index order, each holding the window's
+        frames in arrival order (the consumer sorts by timestamp; see
+        ``IncrementalRunner.process_window``).
+        """
+        t = frame[0]
+        if self._origin is None:
+            self._origin = t
+        index = self.window_index(t)
+        if self._floor is not None and index < self._floor:
+            self.late_dropped += 1
+            return []
+        self._pending.setdefault(index, []).append(frame)
+        if self._watermark is None or t > self._watermark:
+            self._watermark = t
+        return self._seal_ready()
+
+    def _window_end(self, index):
+        return self._origin + (index + 1) * self.window_seconds
+
+    def _seal_ready(self):
+        sealed = []
+        for index in sorted(self._pending):
+            if self._watermark < self._window_end(index) + self.grace_seconds:
+                break
+            sealed.append((index, self._pending.pop(index)))
+            self._floor = index + 1
+        return sealed
+
+    def flush(self):
+        """Seal every pending window in index order (drain / shutdown)."""
+        sealed = [
+            (index, self._pending.pop(index))
+            for index in sorted(self._pending)
+        ]
+        if sealed:
+            self._floor = sealed[-1][0] + 1
+        return sealed
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def pending_windows(self):
+        return len(self._pending)
+
+    @property
+    def pending_frames(self):
+        return sum(len(rows) for rows in self._pending.values())
+
+    @property
+    def watermark(self):
+        return self._watermark
+
+    # -- checkpoint ------------------------------------------------------
+    def export_state(self):
+        """Picklable snapshot of buffered frames and sealing progress."""
+        return {
+            "format": ASSEMBLER_STATE_FORMAT,
+            "window_seconds": self.window_seconds,
+            "grace_seconds": self.grace_seconds,
+            "origin": self._origin,
+            "watermark": self._watermark,
+            "floor": self._floor,
+            "late_dropped": self.late_dropped,
+            "pending": {
+                index: list(rows) for index, rows in self._pending.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, payload):
+        if not isinstance(payload, dict) or payload.get("format") != \
+                ASSEMBLER_STATE_FORMAT:
+            raise StreamError("not a window-assembler state payload")
+        assembler = cls(payload["window_seconds"], payload["grace_seconds"])
+        assembler._origin = payload["origin"]
+        assembler._watermark = payload["watermark"]
+        assembler._floor = payload["floor"]
+        assembler.late_dropped = payload["late_dropped"]
+        assembler._pending = {
+            index: list(rows)
+            for index, rows in payload["pending"].items()
+        }
+        return assembler

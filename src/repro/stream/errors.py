@@ -1,0 +1,7 @@
+"""Error taxonomy of the streaming ingest service."""
+
+from __future__ import annotations
+
+
+class StreamError(ValueError):
+    """Raised for stream service misconfiguration or corrupt state."""

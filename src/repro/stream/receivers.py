@@ -1,0 +1,188 @@
+"""Frame sources and per-channel receive loops.
+
+The shape follows the channel-daemon pattern of CAN tooling (one
+receive loop per channel, pulling from the transport and handing frames
+to the application queue): a :class:`ChannelReceiver` is an asyncio
+task bound to one ``(vehicle, channel)`` stream that awaits the owning
+session's bounded queue for every frame. Backpressure is therefore
+scoped exactly as the service requires -- a slow vehicle session fills
+its own queue and stalls only the receivers delivering *to it*;
+receivers of other vehicles' channels never wait on it.
+
+:class:`ReplaySource` is the bundled transport: pre-recorded (or
+simulated) byte records served per channel in timestamp order, with
+cursor-based resume so a restarted service can replay exactly the
+frames no checkpoint had covered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.stream.errors import StreamError
+
+
+class FrameSource:
+    """Transport abstraction: per-channel ordered frame streams.
+
+    Implementations expose the channels they carry and an iterator over
+    one channel's frames starting at a cursor. Frames are byte-record
+    tuples ``(t, l, b_id, m_id, m_info)``; within one channel they must
+    be served in a deterministic order (time order for replays), which
+    is what makes per-channel cursors exact replay positions.
+    """
+
+    def channels(self):
+        raise NotImplementedError
+
+    def frames(self, channel, start=0):
+        raise NotImplementedError
+
+    def frame_count(self, channel):
+        raise NotImplementedError
+
+
+class ReplaySource(FrameSource):
+    """In-memory per-channel replay of a recorded journey."""
+
+    def __init__(self, records):
+        self._by_channel = {}
+        for record in sorted(records, key=lambda r: (r[0],)):
+            self._by_channel.setdefault(record[2], []).append(record)
+
+    def channels(self):
+        return sorted(self._by_channel, key=str)
+
+    def frames(self, channel, start=0):
+        if channel not in self._by_channel:
+            raise StreamError("source carries no channel {!r}".format(channel))
+        if start < 0:
+            raise StreamError("cursor must not be negative")
+        return iter(self._by_channel[channel][start:])
+
+    def frame_count(self, channel):
+        return len(self._by_channel.get(channel, ()))
+
+    def total_frames(self):
+        return sum(len(rows) for rows in self._by_channel.values())
+
+
+#: A registered replay channel that has not yet announced a frame time.
+_UNANNOUNCED = object()
+
+
+class ReplayPacer:
+    """Event-time merge of one vehicle's replayed channels.
+
+    A recorded journey is replayed as fast as the event loop allows, so
+    without coordination the per-channel receive loops drift apart in
+    *event time* by arbitrary amounts -- a low-rate channel finishes
+    its whole recording while a high-rate one is still near the start,
+    racing the session watermark forward and turning scheduler noise
+    into late drops. The pacer restores what a live transport
+    guarantees for free (cross-channel skew bounded by wall-clock
+    arrival): every receiver announces the timestamp of its next frame
+    and delivers only while it holds the global minimum ``(t,
+    channel)`` key. Delivery order thus becomes a pure function of the
+    recorded data, which is also what makes kill-and-resume replay
+    byte-identical for multi-channel sources.
+
+    One pacer spans one vehicle's channels only; vehicles never pace
+    each other.
+    """
+
+    def __init__(self):
+        self._keys = {}  # channel -> (t, str(channel)) or _UNANNOUNCED
+        self._cond = asyncio.Condition()
+
+    def register(self, channel):
+        """Declare a participating channel before any receiver starts."""
+        self._keys[channel] = _UNANNOUNCED
+
+    def _my_turn(self, channel):
+        mine = self._keys[channel]
+        for other, key in self._keys.items():
+            if other == channel:
+                continue
+            if key is _UNANNOUNCED or key < mine:
+                return False
+        return True
+
+    async def turn(self, channel, t):
+        """Announce the next frame's time; wait until it is the minimum."""
+        async with self._cond:
+            self._keys[channel] = (t, str(channel))
+            self._cond.notify_all()
+            await self._cond.wait_for(lambda: self._my_turn(channel))
+
+    async def finish(self, channel):
+        """Withdraw a channel (stream exhausted or receiver stopped)."""
+        async with self._cond:
+            self._keys.pop(channel, None)
+            self._cond.notify_all()
+
+
+class ChannelReceiver:
+    """Receive loop of one (vehicle, channel) stream.
+
+    ``run`` pulls frames from the source starting at the session's
+    checkpointed cursor and awaits ``queue.put`` per frame -- the
+    bounded queue is the backpressure boundary. The receiver stops when
+    its stream is exhausted or the shared *budget* (a kill switch used
+    to stop a service mid-stream) runs out. With a *pacer* the receiver
+    additionally waits for its event-time turn before each delivery.
+    """
+
+    def __init__(self, vehicle_id, channel, source, queue, start=0,
+                 budget=None, pacer=None):
+        self.vehicle_id = vehicle_id
+        self.channel = channel
+        self.source = source
+        self.queue = queue
+        self.start = start
+        self.budget = budget
+        self.pacer = pacer
+        self.delivered = 0
+        self.exhausted = False
+
+    async def run(self):
+        try:
+            for frame in self.source.frames(self.channel, self.start):
+                if self.pacer is not None:
+                    await self.pacer.turn(self.channel, frame[0])
+                if self.budget is not None and not self.budget.take():
+                    return
+                await self.queue.put((self.channel, frame))
+                self.delivered += 1
+            self.exhausted = True
+        finally:
+            if self.pacer is not None:
+                await self.pacer.finish(self.channel)
+
+
+class FrameBudget:
+    """A shared, decrementing frame allowance (the mid-stream kill).
+
+    ``take`` grants one frame until the budget is spent; afterwards
+    every receiver stops before delivering another frame, emulating a
+    service killed part-way through the day's traffic.
+    """
+
+    def __init__(self, limit):
+        if limit is not None and limit < 0:
+            raise StreamError("frame budget must not be negative")
+        self.limit = limit
+        self.spent = 0
+
+    def take(self):
+        if self.limit is None:
+            self.spent += 1
+            return True
+        if self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+    @property
+    def exhausted(self):
+        return self.limit is not None and self.spent >= self.limit

@@ -1,0 +1,240 @@
+"""The always-on asyncio ingest service.
+
+:class:`StreamIngestService` wires the pieces of this package into the
+long-running shape the paper's fleet capture implies: one bounded
+asyncio queue and worker per vehicle session, one receive loop per
+(vehicle, channel) stream, periodic state checkpoints through
+:class:`repro.fleet.CheckpointStore`, and ``stream.*`` metrics for all
+of it.
+
+Durability contract
+-------------------
+A checkpoint is a consistent snapshot *between* frame ingests: it names
+the per-channel replay cursors and carries every byte of runner and
+assembler state those cursors imply. Killing the service at an
+arbitrary committed checkpoint, restarting, and replaying each
+channel's undelivered frames therefore yields ``finalize()`` output
+byte-identical to a run that was never interrupted. Frames ingested
+after the last commit are simply re-delivered on resume -- the source's
+per-channel ordering makes the replay exact, and
+``stream.resume.frames_skipped`` / ``stream.frames_received`` make the
+re-delivery count observable.
+
+Backpressure
+------------
+Receivers ``await queue.put`` on the owning session's bounded queue. A
+slow session stalls exactly the receivers feeding it; every other
+vehicle's receive loops keep draining their channels.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.obs import MetricsRegistry
+from repro.stream.checkpoint import StreamCheckpointer
+from repro.stream.errors import StreamError
+from repro.stream.receivers import ChannelReceiver, FrameBudget, ReplayPacer
+from repro.stream.session import VehicleSession
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Operating knobs of one service instance.
+
+    ``checkpoint_every`` is the per-session checkpoint cadence in
+    ingested frames (0 disables periodic snapshots; the drain snapshot
+    is always taken). ``queue_capacity`` bounds each session queue --
+    the backpressure boundary.
+    """
+
+    window_seconds: float = 1.0
+    grace_seconds: float = 0.5
+    queue_capacity: int = 64
+    checkpoint_every: int = 200
+
+    def __post_init__(self):
+        if self.window_seconds <= 0:
+            raise StreamError("window_seconds must be positive")
+        if self.grace_seconds < 0:
+            raise StreamError("grace_seconds must not be negative")
+        if self.queue_capacity < 1:
+            raise StreamError("queue_capacity must be at least 1")
+        if self.checkpoint_every < 0:
+            raise StreamError("checkpoint_every must not be negative")
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one :meth:`StreamIngestService.serve` call."""
+
+    killed: bool
+    frames_delivered: int
+    sessions: dict = field(default_factory=dict)  # vehicle_id -> summary
+
+
+class StreamIngestService:
+    """Per-channel receivers feeding checkpointed per-vehicle sessions."""
+
+    def __init__(self, run_dir, stream_config=None, metrics=None):
+        self.config = stream_config or StreamConfig()
+        self.checkpointer = StreamCheckpointer(run_dir)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.sessions = {}  # vehicle_id -> VehicleSession
+        self._sources = {}  # vehicle_id -> FrameSource
+        self.resumed = {}  # vehicle_id -> frames skipped via checkpoint
+
+    # -- topology --------------------------------------------------------
+    def add_vehicle(self, vehicle_id, source, pipeline_config, context):
+        """Register one vehicle's source + pipeline parameterization.
+
+        When the run directory holds a committed snapshot for this
+        vehicle the session resumes from it: receivers will start at
+        the checkpointed per-channel cursors and the skipped-frame
+        count is recorded in ``stream.resume.frames_skipped``.
+        """
+        if vehicle_id in self.sessions:
+            raise StreamError(
+                "vehicle {!r} already registered".format(vehicle_id)
+            )
+        session = self.checkpointer.load_session(
+            vehicle_id, pipeline_config, context, metrics=self.metrics
+        )
+        if session is None:
+            session = VehicleSession(
+                vehicle_id,
+                pipeline_config,
+                context,
+                self.config.window_seconds,
+                self.config.grace_seconds,
+                metrics=self.metrics,
+            )
+        else:
+            skipped = sum(session.channel_cursors.values())
+            self.resumed[vehicle_id] = skipped
+            self.metrics.inc("stream.resume.sessions")
+            self.metrics.inc("stream.resume.frames_skipped", skipped)
+        self.sessions[vehicle_id] = session
+        self._sources[vehicle_id] = source
+        self.metrics.set_gauge("stream.sessions.active", len(self.sessions))
+        return session
+
+    # -- the receive/ingest loops ----------------------------------------
+    async def serve(self, max_frames=None):
+        """Run until every source drains (or *max_frames* kills it).
+
+        *max_frames*, when given, is a shared delivery budget across
+        all receivers: once spent, every receive loop stops before
+        delivering another frame -- the controlled stand-in for a
+        service process killed mid-stream. No drain or final checkpoint
+        happens for killed sessions; their last *committed* periodic
+        snapshot is the resume point, exactly as after a real crash.
+        """
+        if not self.sessions:
+            raise StreamError("no vehicles registered")
+        budget = FrameBudget(max_frames)
+        workers = []
+        all_receivers = []
+        for vehicle_id, session in sorted(
+            self.sessions.items(), key=lambda kv: str(kv[0])
+        ):
+            source = self._sources[vehicle_id]
+            queue = asyncio.Queue(maxsize=self.config.queue_capacity)
+            # One pacer per vehicle: its channels replay in event-time
+            # merge order (deterministic), while different vehicles
+            # stay completely unsynchronized.
+            pacer = ReplayPacer()
+            for channel in source.channels():
+                pacer.register(channel)
+            receivers = [
+                ChannelReceiver(
+                    vehicle_id,
+                    channel,
+                    source,
+                    queue,
+                    start=session.cursor(channel),
+                    budget=budget,
+                    pacer=pacer,
+                )
+                for channel in source.channels()
+            ]
+            all_receivers.extend(receivers)
+            workers.append(
+                self._run_vehicle(vehicle_id, session, queue, receivers)
+            )
+        await asyncio.gather(*workers)
+        killed = budget.exhausted and not all(
+            r.exhausted for r in all_receivers
+        )
+        result = ServeResult(
+            killed=killed,
+            frames_delivered=budget.spent,
+            sessions={
+                vehicle_id: self._session_summary(session)
+                for vehicle_id, session in sorted(
+                    self.sessions.items(), key=lambda kv: str(kv[0])
+                )
+            },
+        )
+        return result
+
+    async def _run_vehicle(self, vehicle_id, session, queue, receivers):
+        """One vehicle: receiver tasks + the queue-draining ingest loop."""
+
+        async def _deliver_all():
+            await asyncio.gather(*(r.run() for r in receivers))
+            await queue.put(None)  # all channels done (or killed)
+
+        delivery = asyncio.ensure_future(_deliver_all())
+        depth_gauge = "stream.queue.depth.{}".format(vehicle_id)
+        high_water = "stream.queue.high_water.{}".format(vehicle_id)
+        cadence = self.config.checkpoint_every
+        while True:
+            item = await queue.get()
+            if item is None:
+                break
+            channel, frame = item
+            self.metrics.gauge(high_water).set_max(queue.qsize() + 1)
+            session.ingest(channel, frame)
+            self.metrics.set_gauge(depth_gauge, queue.qsize())
+            if cadence and session.frames_ingested % cadence == 0:
+                self.checkpointer.save_session(session, self.metrics)
+        await delivery
+        if all(r.exhausted for r in receivers):
+            # Clean end of stream: seal whatever the grace period was
+            # still holding back, then commit the drained snapshot.
+            session.drain()
+            self.checkpointer.save_session(session, self.metrics)
+        self.metrics.set_gauge(depth_gauge, queue.qsize())
+
+    # -- terminal --------------------------------------------------------
+    def finalize_all(self):
+        """Finalize every drained session; {vehicle_id: IncrementalResult}.
+
+        Only valid after a clean (non-killed) :meth:`serve`; a killed
+        service must be resumed first so no delivered-but-uncommitted
+        frames are lost.
+        """
+        out = {}
+        for vehicle_id, session in sorted(
+            self.sessions.items(), key=lambda kv: str(kv[0])
+        ):
+            if not session.drained:
+                raise StreamError(
+                    "session {!r} not drained; resume the stream before "
+                    "finalizing".format(vehicle_id)
+                )
+            out[vehicle_id] = session.finalize()
+        return out
+
+    def _session_summary(self, session):
+        return {
+            "frames_ingested": session.frames_ingested,
+            "windows_sealed": session.windows_sealed,
+            "late_dropped": session.late_dropped,
+            "pending_windows": session.assembler.pending_windows,
+            "pending_frames": session.assembler.pending_frames,
+            "drained": session.drained,
+            "resumed_from": self.resumed.get(session.vehicle_id, 0),
+        }

@@ -307,8 +307,9 @@ class _Run:
 
 def lossy_config(config):
     """*config* hardened for corrupted input: truncated payloads are
-    skipped (and counted) instead of aborting the run."""
-    if config.short_payload == "skip":
+    skipped (and counted) instead of aborting the run. A config already
+    in a lossy mode (skip or keep) passes through unchanged."""
+    if config.short_payload in ("skip", "keep"):
         return config
     return dataclasses.replace(config, short_payload="skip")
 

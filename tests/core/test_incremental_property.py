@@ -19,6 +19,7 @@ from repro.core.incremental import IncrementalRunner, split_into_windows
 from repro.core.params import config_from_dict
 from repro.core.pipeline import PreprocessingPipeline
 from repro.engine import EngineContext
+from repro.protocols import ShortPayloadError
 from repro.protocols.frames import BYTE_RECORD_COLUMNS
 from repro.testing.generator import generate_journey_case
 
@@ -99,6 +100,70 @@ def test_lossy_window_size_is_irrelevant(seed):
     small = _windowed_rows(ctx, config, case.records, 0.4)
     large = _windowed_rows(ctx, config, case.records, 3.0)
     assert small == large
+
+
+def _short_payload_outcome(fn):
+    """Run a pipeline path; a ShortPayloadError anywhere in the cause
+    chain becomes a comparable sentinel, everything else propagates."""
+    try:
+        return fn()
+    except Exception as exc:
+        seen = set()
+        cause = exc
+        while cause is not None and id(cause) not in seen:
+            seen.add(id(cause))
+            if isinstance(cause, ShortPayloadError):
+                return "short-payload-raise"
+            cause = getattr(cause, "cause", None) or cause.__cause__ \
+                or cause.__context__
+        raise
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    window=st.sampled_from((0.3, 0.7, 1.1, 2.5)),
+    mode=st.sampled_from(("raise", "skip", "keep")),
+)
+@settings(max_examples=30, deadline=None)
+def test_lossy_short_payload_mode_parity(seed, window, mode):
+    """Satellite bugfix regression: every short_payload mode must give
+    windowed == whole-trace on lossy journeys. Pre-fix,
+    ``IncrementalRunner.process_window`` mapped "keep" to interpret's
+    raise mode and then filtered TRUNCATED rows -- i.e. windowed "keep"
+    silently implemented "skip" (and could abort where the whole-trace
+    run kept rows). In raise mode parity means both paths surface a
+    ShortPayloadError for the same trace."""
+    case = generate_journey_case(random.Random(seed), lossy=True)
+    params = dict(case.params)
+    params["short_payload"] = mode
+    ctx = EngineContext.serial(default_parallelism=3)
+    config = config_from_dict(params, case.database)
+    whole = _short_payload_outcome(
+        lambda: _whole_trace_rows(ctx, config, case.records)
+    )
+    windowed = _short_payload_outcome(
+        lambda: _windowed_rows(ctx, config, case.records, window)
+    )
+    assert windowed == whole
+
+
+def test_keep_mode_is_not_skip_in_disguise():
+    """On a journey with truncated frames (seed 0 is known to carry
+    them), "keep" must produce *more* evidence than "skip": the
+    TRUNCATED sentinel rows survive into the merged output instead of
+    being silently filtered."""
+    case = generate_journey_case(random.Random(0), lossy=True)
+    ctx = EngineContext.serial(default_parallelism=3)
+    rows = {}
+    for mode in ("skip", "keep"):
+        params = dict(case.params)
+        params["short_payload"] = mode
+        config = config_from_dict(params, case.database)
+        rows[mode] = _windowed_rows(ctx, config, case.records, 0.7)
+        assert rows[mode] == _whole_trace_rows(ctx, config, case.records)
+    assert rows["keep"] != rows["skip"]
+    assert any("TRUNCATED" in repr(r) for r in rows["keep"])
+    assert not any("TRUNCATED" in repr(r) for r in rows["skip"])
 
 
 def test_generated_journeys_are_deterministic():

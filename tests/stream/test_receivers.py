@@ -1,0 +1,176 @@
+"""Receive loops: sources, budget kills, pacing and backpressure scope."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.stream import (
+    ChannelReceiver,
+    FrameBudget,
+    ReplayPacer,
+    ReplaySource,
+    StreamError,
+)
+
+
+def rec(t, channel="FC"):
+    return (t, b"\x00", channel, 1, ())
+
+
+class TestReplaySource:
+    def test_channels_are_sorted(self):
+        src = ReplaySource([rec(0.0, "B"), rec(0.1, "A")])
+        assert src.channels() == ["A", "B"]
+
+    def test_frames_are_time_ordered_per_channel(self):
+        src = ReplaySource([rec(0.2), rec(0.0), rec(0.1)])
+        assert [f[0] for f in src.frames("FC")] == [0.0, 0.1, 0.2]
+
+    def test_cursor_slices_the_stream(self):
+        src = ReplaySource([rec(0.0), rec(0.1), rec(0.2)])
+        assert [f[0] for f in src.frames("FC", start=2)] == [0.2]
+        assert src.frame_count("FC") == 3
+        assert src.total_frames() == 3
+
+    def test_unknown_channel_and_bad_cursor(self):
+        src = ReplaySource([rec(0.0)])
+        with pytest.raises(StreamError):
+            src.frames("nope")
+        with pytest.raises(StreamError):
+            src.frames("FC", start=-1)
+
+
+class TestFrameBudget:
+    def test_unlimited_budget_always_grants(self):
+        budget = FrameBudget(None)
+        assert all(budget.take() for _ in range(10))
+        assert not budget.exhausted
+
+    def test_budget_denies_after_limit(self):
+        budget = FrameBudget(2)
+        assert budget.take() and budget.take()
+        assert not budget.take()
+        assert budget.exhausted
+        assert budget.spent == 2
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(StreamError):
+            FrameBudget(-1)
+
+
+class TestChannelReceiver:
+    def test_delivers_all_frames_and_marks_exhausted(self):
+        src = ReplaySource([rec(0.0), rec(0.1)])
+        queue = asyncio.Queue()
+        receiver = ChannelReceiver("v", "FC", src, queue)
+        asyncio.run(receiver.run())
+        assert receiver.exhausted
+        assert receiver.delivered == 2
+        assert queue.qsize() == 2
+
+    def test_budget_stops_delivery_mid_stream(self):
+        src = ReplaySource([rec(t / 10.0) for t in range(5)])
+        queue = asyncio.Queue()
+        receiver = ChannelReceiver("v", "FC", src, queue,
+                                   budget=FrameBudget(3))
+        asyncio.run(receiver.run())
+        assert not receiver.exhausted
+        assert receiver.delivered == 3
+
+    def test_start_cursor_resumes_mid_channel(self):
+        src = ReplaySource([rec(t / 10.0) for t in range(4)])
+        queue = asyncio.Queue()
+        receiver = ChannelReceiver("v", "FC", src, queue, start=3)
+        asyncio.run(receiver.run())
+        assert receiver.delivered == 1
+        channel, frame = queue.get_nowait()
+        assert (channel, frame[0]) == ("FC", 0.3)
+
+
+class TestReplayPacer:
+    def test_delivery_is_global_event_time_order(self):
+        """Unequal channel rates must not let one receiver race ahead:
+        the pacer merges per-channel replays into one deterministic
+        time-ordered delivery, whatever the task scheduling does."""
+        fast = [rec(t / 100.0, "fast") for t in range(50)]
+        slow = [rec(t / 10.0, "slow") for t in range(5)]
+        src = ReplaySource(fast + slow)
+        queue = asyncio.Queue()
+        pacer = ReplayPacer()
+        for channel in src.channels():
+            pacer.register(channel)
+        receivers = [
+            ChannelReceiver("v", channel, src, queue, pacer=pacer)
+            for channel in src.channels()
+        ]
+
+        async def drive():
+            await asyncio.gather(*(r.run() for r in receivers))
+
+        asyncio.run(drive())
+        delivered = []
+        while not queue.empty():
+            channel, frame = queue.get_nowait()
+            delivered.append((frame[0], str(channel)))
+        assert delivered == sorted(delivered)
+        assert len(delivered) == 55
+
+    def test_budget_kill_does_not_deadlock_peers(self):
+        src = ReplaySource(
+            [rec(t / 10.0, "a") for t in range(10)]
+            + [rec(t / 10.0 + 0.01, "b") for t in range(10)]
+        )
+        queue = asyncio.Queue()
+        pacer = ReplayPacer()
+        for channel in src.channels():
+            pacer.register(channel)
+        budget = FrameBudget(7)
+        receivers = [
+            ChannelReceiver("v", channel, src, queue, budget=budget,
+                            pacer=pacer)
+            for channel in src.channels()
+        ]
+
+        async def drive():
+            await asyncio.wait_for(
+                asyncio.gather(*(r.run() for r in receivers)), timeout=5
+            )
+
+        asyncio.run(drive())
+        assert sum(r.delivered for r in receivers) == 7
+
+
+class TestBackpressureScope:
+    def test_slow_vehicle_does_not_stall_other_receivers(self):
+        """The load-bearing isolation property: vehicle A's full queue
+        blocks only A's receiver; vehicle B's receiver finishes its
+        whole stream meanwhile."""
+        frames = [rec(t / 10.0) for t in range(20)]
+        src_a, src_b = ReplaySource(frames), ReplaySource(frames)
+        queue_a = asyncio.Queue(maxsize=2)  # nobody consumes this one
+        queue_b = asyncio.Queue(maxsize=2)
+        receiver_a = ChannelReceiver("a", "FC", src_a, queue_a)
+        receiver_b = ChannelReceiver("b", "FC", src_b, queue_b)
+
+        async def consume_b():
+            for _ in range(20):
+                await queue_b.get()
+
+        async def drive():
+            task_a = asyncio.ensure_future(receiver_a.run())
+            await asyncio.wait_for(
+                asyncio.gather(receiver_b.run(), consume_b()), timeout=5
+            )
+            assert not task_a.done()  # still blocked on its own queue
+            task_a.cancel()
+            try:
+                await task_a
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(drive())
+        assert receiver_b.exhausted
+        assert not receiver_a.exhausted
+        assert receiver_a.delivered == 2  # queue capacity; then stalled

@@ -1,0 +1,125 @@
+"""VehicleSession: streaming ingest equals batch windowing, and state
+snapshots restore it exactly."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.incremental import IncrementalRunner, split_into_windows
+from repro.core.params import config_from_dict
+from repro.engine import EngineContext
+from repro.obs import MetricsRegistry
+from repro.protocols.frames import BYTE_RECORD_COLUMNS
+from repro.stream import StreamError, VehicleSession
+from repro.testing.generator import generate_journey_case
+
+
+def journey(seed=7, lossy=False):
+    case = generate_journey_case(random.Random(seed), lossy=lossy)
+    ctx = EngineContext.serial(default_parallelism=3)
+    config = config_from_dict(case.params, case.database)
+    return case, ctx, config
+
+
+def sorted_rows(table):
+    return sorted(table.collect(), key=repr)
+
+
+def batch_rows(ctx, config, records, window_seconds):
+    runner = IncrementalRunner(config)
+    for window in split_into_windows(list(records), window_seconds):
+        runner.process_window(
+            ctx.table_from_rows(list(BYTE_RECORD_COLUMNS), window)
+        )
+    return sorted_rows(runner.finalize(ctx).r_out)
+
+
+def ingest_all(session, records):
+    for record in records:
+        session.ingest(record[2], record)
+
+
+class TestStreamingEqualsBatch:
+    @pytest.mark.parametrize("seed,lossy", [(7, False), (11, True)])
+    def test_finalize_matches_split_into_windows(self, seed, lossy):
+        case, ctx, config = journey(seed, lossy)
+        session = VehicleSession("v", config, ctx, 1.0, grace_seconds=5.0)
+        ingest_all(session, case.records)
+        streamed = sorted_rows(session.finalize().r_out)
+        assert streamed == batch_rows(ctx, config, case.records, 1.0)
+
+    def test_metrics_are_recorded(self):
+        case, ctx, config = journey()
+        metrics = MetricsRegistry()
+        session = VehicleSession("v", config, ctx, 1.0, grace_seconds=5.0,
+                                 metrics=metrics)
+        ingest_all(session, case.records)
+        session.drain()
+        counters = metrics.counters()
+        assert counters["stream.frames_received"] == len(case.records)
+        channel = case.records[0][2]
+        assert counters[
+            "stream.frames_received.{}".format(channel)
+        ] == len(case.records)
+        assert counters["stream.windows_sealed"] == session.windows_sealed
+
+
+class TestCursors:
+    def test_cursor_counts_delivered_frames_per_channel(self):
+        case, ctx, config = journey()
+        session = VehicleSession("v", config, ctx, 1.0)
+        channel = case.records[0][2]
+        ingest_all(session, case.records[:5])
+        assert session.cursor(channel) == 5
+        assert session.cursor("other") == 0
+
+    def test_late_drops_still_advance_the_cursor(self):
+        """The cursor tracks transport delivery, not window acceptance:
+        a resumed receiver must never re-deliver an adjudicated frame."""
+        _case, ctx, config = journey()
+        session = VehicleSession("v", config, ctx, 1.0)
+        session.ingest("FC", (0.0, b"\x00", "FC", 999, ()))
+        session.ingest("FC", (2.5, b"\x00", "FC", 999, ()))  # seals w0
+        session.ingest("FC", (0.1, b"\x00", "FC", 999, ()))  # late drop
+        assert session.late_dropped == 1
+        assert session.cursor("FC") == 3
+
+
+class TestDrain:
+    def test_ingest_after_drain_is_an_error(self):
+        _case, ctx, config = journey()
+        session = VehicleSession("v", config, ctx, 1.0)
+        session.ingest("FC", (0.0, b"\x00", "FC", 999, ()))
+        session.drain()
+        with pytest.raises(StreamError):
+            session.ingest("FC", (5.0, b"\x00", "FC", 999, ()))
+
+    def test_drain_is_idempotent(self):
+        _case, ctx, config = journey()
+        session = VehicleSession("v", config, ctx, 1.0)
+        session.ingest("FC", (0.0, b"\x00", "FC", 999, ()))
+        assert session.drain() == 1
+        assert session.drain() == 0
+
+
+class TestState:
+    def test_roundtrip_mid_stream_is_exact(self):
+        case, ctx, config = journey(seed=13, lossy=True)
+        half = len(case.records) // 2
+        session = VehicleSession("v", config, ctx, 1.0, grace_seconds=5.0)
+        ingest_all(session, case.records[:half])
+        restored = VehicleSession.from_state(
+            session.export_state(), config, ctx
+        )
+        assert restored.channel_cursors == session.channel_cursors
+        ingest_all(session, case.records[half:])
+        ingest_all(restored, case.records[half:])
+        assert sorted_rows(session.finalize().r_out) == \
+            sorted_rows(restored.finalize().r_out)
+
+    def test_rejects_foreign_payloads(self):
+        _case, ctx, config = journey()
+        with pytest.raises(StreamError):
+            VehicleSession.from_state({"format": "nope"}, config, ctx)

@@ -192,3 +192,78 @@ class TestShowParams:
             c["type"] == "unchanged_within_cycle"
             for c in document["constraints"]
         )
+
+
+class TestStream:
+    @pytest.fixture(scope="class")
+    def short_trace(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("stream") / "v0.trc"
+        code, _out = run_cli(
+            "simulate", "--dataset", "SYN", "--duration", "3",
+            "--out", str(path),
+        )
+        assert code == 0
+        return path
+
+    def test_serve_drains_and_finalizes(self, short_trace, tmp_path):
+        code, out = run_cli(
+            "stream", "serve", "--dataset", "SYN",
+            "--run-dir", str(tmp_path / "run"),
+            "--traces", str(short_trace), "--finalize",
+        )
+        assert code == 0
+        assert "session v0:" in out
+        assert "drained=yes" in out
+        assert "final  : v0 ->" in out
+
+    def test_kill_and_resume_roundtrip(self, short_trace, tmp_path):
+        run_dir = tmp_path / "run"
+        code, out = run_cli(
+            "stream", "serve", "--dataset", "SYN",
+            "--run-dir", str(run_dir), "--traces", str(short_trace),
+            "--max-frames", "200", "--checkpoint-every", "50",
+        )
+        assert code == 1
+        assert "killed" in out
+        assert "drained=no" in out
+
+        code, out = run_cli("stream", "status", "--run-dir", str(run_dir))
+        assert code == 0
+        assert "session v0:" in out
+        assert "drained=no" in out
+
+        code, out = run_cli(
+            "stream", "serve", "--dataset", "SYN",
+            "--run-dir", str(run_dir), "--traces", str(short_trace),
+            "--checkpoint-every", "50", "--finalize",
+        )
+        assert code == 0
+        assert "resumed: 1 sessions from checkpoints" in out
+        assert "drained=yes" in out
+
+        code, out = run_cli("stream", "status", "--run-dir", str(run_dir))
+        assert code == 0
+        assert "drained=yes" in out
+
+    def test_status_on_non_stream_directory_errors(self, tmp_path, capsys):
+        code, _out = run_cli("stream", "status", "--run-dir", str(tmp_path))
+        assert code == 2
+        assert "error: stream:" in capsys.readouterr().err
+
+    def test_serve_missing_trace_errors(self, tmp_path, capsys):
+        code, _out = run_cli(
+            "stream", "serve", "--dataset", "SYN",
+            "--run-dir", str(tmp_path / "run"),
+            "--traces", str(tmp_path / "ghost.trc"),
+        )
+        assert code == 2
+        assert "error: trace:" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_window(self, short_trace, tmp_path, capsys):
+        code, _out = run_cli(
+            "stream", "serve", "--dataset", "SYN",
+            "--run-dir", str(tmp_path / "run"),
+            "--traces", str(short_trace), "--window", "0",
+        )
+        assert code == 2
+        assert "error: stream:" in capsys.readouterr().err
