@@ -14,6 +14,9 @@ Subcommands
 ``degrade``   corruption severity sweep: perfect vs corrupted pipeline runs
 ``fleet``     checkpointed multi-trace sweeps: prepare / run / resume / status
 ``stream``    always-on windowed ingest: serve / status (kill-resumable)
+``discover``  DBC-less signal discovery: raw trace in, recovered DBC +
+              ``repro.discovery/1`` report out
+``dbc``       database tooling: ``diff`` two DBC files structurally
 
 Operational errors (a missing or corrupt catalog, an unreadable trace
 file) exit with status 2 and a single structured ``error: <kind>: ...``
@@ -518,23 +521,6 @@ def cmd_fleet_status(args, out=sys.stdout):
 # ---------------------------------------------------------------------------
 
 
-def _load_records(path):
-    """Trace file -> byte-record list, with structured error lines."""
-    from repro.tracefile import BinaryTraceError, TraceFormatError
-
-    try:
-        return _trace_module(path).load_records(path)
-    except FileNotFoundError:
-        raise CliError("trace", "trace file {!r} does not exist".format(
-            str(path)))
-    except IsADirectoryError:
-        raise CliError("trace", "{!r} is a directory, not a trace "
-                       "file".format(str(path)))
-    except (TraceFormatError, BinaryTraceError) as exc:
-        raise CliError("trace", "trace file {!r} is corrupt: {}".format(
-            str(path), exc))
-
-
 def _stream_pipeline_config(args, bundle):
     """The per-vehicle pipeline parameterization (same rules as
     ``pipeline``: a params file when given, else per-signal
@@ -695,6 +681,162 @@ def cmd_stream_status(args, out=sys.stdout):
             file=out,
         )
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Discovery subcommands
+# ---------------------------------------------------------------------------
+
+
+def _load_dbc(path):
+    """DBC file -> NetworkDatabase, with structured error lines."""
+    from repro.network.dbcio import DbcError, load_database
+
+    try:
+        return load_database(path)
+    except FileNotFoundError:
+        raise CliError("dbc", "database file {!r} does not exist".format(
+            str(path)))
+    except IsADirectoryError:
+        raise CliError("dbc", "{!r} is a directory, not a database "
+                       "file".format(str(path)))
+    except (DbcError, ValueError) as exc:
+        raise CliError("dbc", "database file {!r} is invalid: {}".format(
+            str(path), exc))
+
+
+def _load_partial(paths):
+    """Combine --partial-dbc files into one documented database."""
+    from repro.network.database import DatabaseError, NetworkDatabase
+
+    if not paths:
+        return None
+    messages = []
+    for path in paths:
+        messages.extend(_load_dbc(path).messages)
+    try:
+        return NetworkDatabase(tuple(messages))
+    except DatabaseError as exc:
+        raise CliError(
+            "dbc", "conflicting partial databases: {}".format(exc)
+        )
+
+
+def cmd_discover(args, out=sys.stdout):
+    from repro.discovery import (
+        DiscoveryConfig,
+        DiscoveryError,
+        discover,
+        pipeline_coverage,
+        score_discovery,
+        unscored_report,
+    )
+
+    records = _load_records(args.trace)
+    partial = _load_partial(args.partial_dbc)
+    try:
+        config = DiscoveryConfig(min_frames=args.min_frames)
+    except DiscoveryError as exc:
+        raise CliError("params", str(exc))
+    if not records:
+        raise CliError(
+            "trace", "trace file {!r} is empty; nothing to "
+            "discover".format(str(args.trace))
+        )
+    result = discover(records=records, partial=partial, config=config)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for channel in result.database.channels():
+        safe = str(channel).replace("/", "_")
+        path = out_dir / "recovered_{}.dbc".format(safe)
+        dump_database(result.database, path, channels=[channel])
+        print("wrote {}".format(path), file=out)
+    classes = {
+        name.rsplit(".", 1)[1]: value
+        for name, value in result.metrics.counters().items()
+        if name.startswith("discovery.tokens.")
+    }
+    print(
+        "discovered {} signals in {} messages ({} translation "
+        "tuples){}".format(
+            sum(len(d.signals) for d in result.messages.values()),
+            len(result.messages),
+            len(result.catalog),
+            " [{}]".format(
+                ", ".join(
+                    "{} {}".format(value, name)
+                    for name, value in sorted(classes.items())
+                )
+            ) if classes else "",
+        ),
+        file=out,
+    )
+    if partial is not None:
+        print(
+            "merged partial database: {} documented signals kept, {} "
+            "recovered added, {} overlapping tokens dropped".format(
+                result.merge_stats["documented_signals"],
+                result.merge_stats["recovered_signals"],
+                result.merge_stats["overlap_dropped"],
+            ),
+            file=out,
+        )
+    report = None
+    if args.dataset:
+        bundle = _bundle(args)
+        report = score_discovery(bundle.database, result)
+        totals = report.totals
+        print(
+            "vs {} ground truth: precision {:.3f}, recall {:.3f}, "
+            "F1 {:.3f}, encoding accuracy {:.3f}".format(
+                args.dataset, totals["precision"], totals["recall"],
+                totals["f1"], totals["encoding_accuracy"],
+            ),
+            file=out,
+        )
+        if args.coverage:
+            coverage, _detail = pipeline_coverage(
+                bundle.database, result, records
+            )
+            print(
+                "pipeline coverage: {:.3f} of discoverable signals "
+                "interpreted end to end".format(coverage),
+                file=out,
+            )
+    if args.report:
+        if report is None:
+            report = unscored_report(result)
+        report.set_meta(
+            trace=str(args.trace),
+            partial_databases=[str(p) for p in args.partial_dbc],
+        )
+        report.write(args.report)
+        print("wrote {}".format(args.report), file=out)
+    return 0
+
+
+def cmd_dbc_diff(args, out=sys.stdout):
+    from repro.network.dbcio import diff_databases
+
+    actual = _load_dbc(args.actual)
+    recovered = _load_dbc(args.recovered)
+    diff = diff_databases(actual, recovered)
+    for line in diff.describe():
+        print(line, file=out)
+    counts = diff.counts()
+    print(
+        "diff: {}".format(
+            ", ".join(
+                "{} {}".format(value, name)
+                for name, value in sorted(counts.items())
+            )
+        ),
+        file=out,
+    )
+    if diff.is_empty():
+        print("databases are structurally identical", file=out)
+        return 0
+    return 1
 
 
 # ---------------------------------------------------------------------------
@@ -860,6 +1002,45 @@ def build_parser():
         "status", help="inspect committed session checkpoints")
     sp.add_argument("--run-dir", required=True)
     sp.set_defaults(func=cmd_stream_status)
+
+    p = sub.add_parser(
+        "discover",
+        help="recover signal boundaries and a DBC from a raw trace "
+             "(no database needed)",
+    )
+    p.add_argument("--trace", required=True,
+                   help="raw trace file (.trc text, .btrc binary)")
+    p.add_argument("--out-dir", required=True,
+                   help="directory for per-channel recovered DBC files")
+    p.add_argument("--partial-dbc", action="append", default=[],
+                   help="documented partial DBC to merge (documented "
+                        "signals win; repeatable)")
+    p.add_argument("--report",
+                   help="write the repro.discovery/1 report (JSON) here")
+    p.add_argument("--dataset", choices=sorted(SPECS),
+                   help="score against this data set's ground-truth "
+                        "database")
+    p.add_argument("--journey", type=int, default=0,
+                   help="journey index (with --dataset)")
+    p.add_argument("--coverage", action="store_true",
+                   help="with --dataset: also run the pipeline on the "
+                        "synthesized catalog and report coverage")
+    p.add_argument("--min-frames", type=int, default=8,
+                   help="minimum frames per message before tokenizing")
+    p.set_defaults(func=cmd_discover)
+
+    p = sub.add_parser(
+        "dbc", help="communication-database tooling")
+    dbc_sub = p.add_subparsers(dest="dbc_command", required=True)
+
+    dp = dbc_sub.add_parser(
+        "diff",
+        help="structurally compare two DBC files (exit 1 on deltas)")
+    dp.add_argument("--actual", required=True,
+                    help="the reference (ground truth) DBC file")
+    dp.add_argument("--recovered", required=True,
+                    help="the DBC file to compare against it")
+    dp.set_defaults(func=cmd_dbc_diff)
 
     return parser
 

@@ -1,0 +1,197 @@
+"""Encoding inference: tokens -> signed/classified/scaled signals.
+
+Given a token's geometry, this stage re-reads the payload stream
+through a compiled raw extractor and decides, from the raw value
+series alone:
+
+* **signedness** -- two's-complement values near zero keep their top
+  bits equal to the sign bit; a *plateau* of >= 2 identical top-bit
+  series marks a signed signal (an unsigned counter's top bits diverge);
+* **data class** -- ``counter`` when nearly all consecutive deltas equal
+  one modal nonzero step (mod ``2**L``, so wraps count), ``constant``
+  for a single distinct raw, ``checksum`` for wide tokens whose *every*
+  bit flips near-independently (no significance gradient -- CRC-like),
+  else ``sensor``;
+* **scale/offset** -- identity unless a ``range_hints`` entry maps the
+  observed raw range onto a known physical range.
+
+Short payloads surface as
+:class:`~repro.protocols.signalcodec.ShortPayloadError` during
+extraction and are *counted*, not fatal -- truncated frames simply
+contribute no sample, mirroring the pipeline's ``short_payload=skip``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.discovery.observations import DiscoveryConfig
+from repro.protocols.signalcodec import ShortPayloadError
+
+SENSOR = "sensor"
+COUNTER = "counter"
+CONSTANT = "constant"
+CHECKSUM = "checksum"
+
+DATA_CLASSES = (SENSOR, COUNTER, CONSTANT, CHECKSUM)
+
+
+@dataclass(frozen=True)
+class DiscoveredSignal:
+    """One fully inferred signal: geometry + encoding semantics."""
+
+    token: object
+    signed: bool = False
+    data_class: str = SENSOR
+    scale: float = 1.0
+    offset: float = 0.0
+    samples: int = 0
+    distinct: int = 0
+    short_payload_skipped: int = 0
+
+    @property
+    def first_bit(self):
+        return self.token.first_bit
+
+    @property
+    def bit_length(self):
+        return self.token.bit_length
+
+    def encoding(self, **kwargs):
+        kwargs.setdefault("signed", self.signed)
+        kwargs.setdefault("scale", self.scale)
+        kwargs.setdefault("offset", self.offset)
+        return self.token.encoding(**kwargs)
+
+
+def infer_signals(observations, tokens, config=None):
+    """Infer a :class:`DiscoveredSignal` for each token of one message."""
+    if config is None:
+        config = DiscoveryConfig()
+    stats = observations.stats()
+    signals = []
+    for token in tokens:
+        signals.append(
+            _infer_one(observations, token, stats, config)
+        )
+    return signals
+
+
+def _infer_one(observations, token, stats, config):
+    extractor = token.encoding(signed=False).compile_raw_extractor()
+    raws = []
+    skipped = 0
+    for payload in observations.payloads:
+        try:
+            raws.append(extractor(payload))
+        except ShortPayloadError:
+            skipped += 1
+    distinct = len(set(raws))
+    if token.constant or distinct <= 1:
+        return _scaled(
+            DiscoveredSignal(
+                token=token,
+                data_class=CONSTANT,
+                samples=len(raws),
+                distinct=distinct,
+                short_payload_skipped=skipped,
+            ),
+            observations, token, raws, config,
+        )
+    signed = _looks_signed(raws, token.bit_length)
+    data_class = _classify(token, raws, stats, config)
+    return _scaled(
+        DiscoveredSignal(
+            token=token,
+            signed=signed,
+            data_class=data_class,
+            samples=len(raws),
+            distinct=distinct,
+            short_payload_skipped=skipped,
+        ),
+        observations, token, raws, config,
+    )
+
+
+def _looks_signed(raws, bit_length):
+    """Two's-complement detection via the top-bit plateau.
+
+    In a signed signal whose values stay near zero, every bit above the
+    value's magnitude equals the sign bit -- so the bit series at
+    positions L-1, L-2, ... are *identical* until magnitude bits begin.
+    A plateau of length >= 2 only happens for signed data (an unsigned
+    ramp's top two bit series differ as soon as the range is exercised).
+    """
+    if bit_length < 2:
+        return False
+    top = bit_length - 1
+    sign_series = [(r >> top) & 1 for r in raws]
+    if not any(sign_series):
+        return False  # never negative: indistinguishable from unsigned
+    plateau = 1
+    for j in range(bit_length - 2, -1, -1):
+        if all(((r >> j) & 1) == s for r, s in zip(raws, sign_series)):
+            plateau += 1
+        else:
+            break
+    return plateau >= 2
+
+
+def _classify(token, raws, stats, config):
+    if _is_counter(raws, token.bit_length, config):
+        return COUNTER
+    if _is_checksum(token, stats, config):
+        return CHECKSUM
+    return SENSOR
+
+
+def _is_counter(raws, bit_length, config):
+    if len(raws) < 3:
+        return False
+    modulus = 1 << bit_length
+    deltas = Counter(
+        (b - a) % modulus for a, b in zip(raws, raws[1:])
+    )
+    deltas.pop(0, None)  # repeats don't vote either way
+    if not deltas:
+        return False
+    step, count = deltas.most_common(1)[0]
+    total = sum(deltas.values())
+    return count / total >= config.counter_fraction
+
+
+def _is_checksum(token, stats, config):
+    """CRC-like tokens: wide, and every bit flips like an independent coin."""
+    if token.bit_length < config.checksum_min_width:
+        return False
+    rates = [stats.flip_rate(p) for p in token.positions]
+    if min(rates) < config.checksum_min_flip_rate:
+        return False
+    return sum(rates) / len(rates) >= config.checksum_mean_flip_rate
+
+
+def _scaled(signal, observations, token, raws, config):
+    hints = config.range_hints
+    if not hints or not raws:
+        return signal
+    key = (observations.channel, observations.message_id, token.first_bit)
+    hint = hints.get(key)
+    if hint is None:
+        return signal
+    lo, hi = hint
+    raw_lo, raw_hi = min(raws), max(raws)
+    if raw_hi == raw_lo or hi <= lo:
+        return signal
+    scale = (hi - lo) / (raw_hi - raw_lo)
+    offset = lo - scale * raw_lo
+    return DiscoveredSignal(
+        token=signal.token,
+        signed=signal.signed,
+        data_class=signal.data_class,
+        scale=scale,
+        offset=offset,
+        samples=signal.samples,
+        distinct=signal.distinct,
+        short_payload_skipped=signal.short_payload_skipped,
+    )

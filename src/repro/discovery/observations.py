@@ -1,0 +1,254 @@
+"""Per-message payload observation streams for DBC-less discovery.
+
+Discovery consumes the same raw byte records ``(t, l, b_id, m_id,
+m_info)`` the pipeline's preselection stage does, but with no catalog to
+preselect against: *every* message type is a candidate. This module
+groups a trace into one :class:`MessageObservations` stream per
+``(channel, message_id)`` and computes the per-bit statistics the
+tokenizer cuts boundaries from:
+
+* **flips** -- how often bit ``p`` differs between consecutive payloads
+  of the same message (the ACTT/ByCAN signal: flip rate falls with bit
+  significance, so a rate *increase* marks a new signal's LSB);
+* **ones** / **covered** -- how often bit ``p`` is set vs how often a
+  payload was long enough to contain it (stuck-at-one runs become
+  constant tokens; truncated payloads simply cover fewer bits);
+* **pairs** -- how many consecutive-payload comparisons covered bit
+  ``p`` (the flip-rate denominator under variable payload lengths).
+
+Collection is single-pass and integer-only: each payload folds into an
+``int`` once and flip/one counts iterate set bits of sparse XOR masks.
+For ``.ctrc`` columnar traces, :func:`collect_observations_file` scans
+the time/id/channel columns directly and decodes one ``m_info`` cell per
+message type -- the same column-scan contract preselection uses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+
+class DiscoveryError(ValueError):
+    """Raised for invalid discovery configuration or input."""
+
+
+#: Protocols a :class:`~repro.network.MessageDefinition` accepts; frames
+#: announcing anything else are synthesized as CAN.
+_KNOWN_PROTOCOLS = ("CAN", "LIN", "SOMEIP", "FLEXRAY")
+
+
+@dataclass(frozen=True)
+class DiscoveryConfig:
+    """Knobs of the tokenizer and inference stages.
+
+    ``flip_tolerance`` and ``flip_epsilon`` govern the boundary rule: a
+    cut happens where the flip rate *rises* beyond ``previous * (1 +
+    tolerance) + epsilon`` -- the relative term absorbs sampling noise
+    on busy bits, the absolute term protects rarely-flipping high bits
+    from Poisson jitter. ``cut_tail_rate`` adds the boundary's second
+    requirement: the bit *below* the rise must have decayed into tail
+    territory (a finished signal's MSB barely flips). A rise from a
+    still-busy bit is arithmetic structure inside one signal -- e.g. a
+    sensor stepping by ~(2**k - 1) per frame makes bit k flip like a
+    fresh LSB while bits below it count *down* -- not a new signal.
+    """
+
+    min_frames: int = 8
+    min_bit_pairs: int = 4
+    flip_tolerance: float = 0.35
+    flip_epsilon: float = 0.02
+    cut_tail_rate: float = 0.12
+    counter_fraction: float = 0.9
+    checksum_min_width: int = 8
+    checksum_min_flip_rate: float = 0.2
+    checksum_mean_flip_rate: float = 0.35
+    emit_constants: bool = True
+    #: Optional {(channel, message_id, first_bit): (lo, hi)} physical
+    #: value ranges to fit scale/offset against.
+    range_hints: object = None
+
+    def __post_init__(self):
+        if self.min_frames < 2:
+            raise DiscoveryError("min_frames must be >= 2")
+        if self.min_bit_pairs < 1:
+            raise DiscoveryError("min_bit_pairs must be >= 1")
+        if self.flip_tolerance < 0 or self.flip_epsilon < 0:
+            raise DiscoveryError(
+                "flip_tolerance and flip_epsilon must be >= 0"
+            )
+        if not 0.0 <= self.cut_tail_rate <= 1.0:
+            raise DiscoveryError("cut_tail_rate must be in [0, 1]")
+        if not 0.0 < self.counter_fraction <= 1.0:
+            raise DiscoveryError("counter_fraction must be in (0, 1]")
+
+
+class BitStats:
+    """Per-bit flip/one/coverage counts of one message's payload stream."""
+
+    __slots__ = ("num_bits", "flips", "ones", "covered", "pairs", "samples")
+
+    def __init__(self, num_bits):
+        self.num_bits = num_bits
+        self.flips = [0] * num_bits
+        self.ones = [0] * num_bits
+        self.covered = [0] * num_bits
+        self.pairs = [0] * num_bits
+        self.samples = 0
+
+    def flip_rate(self, position):
+        pairs = self.pairs[position]
+        return self.flips[position] / pairs if pairs else 0.0
+
+
+def bit_statistics(payloads):
+    """Single-pass :class:`BitStats` over a payload sequence."""
+    num_bits = max((len(p) for p in payloads), default=0) * 8
+    stats = BitStats(num_bits)
+    length_counts = Counter()
+    pair_counts = Counter()
+    ones = stats.ones
+    flips = stats.flips
+    previous = None
+    previous_bits = 0
+    for payload in payloads:
+        bits = len(payload) * 8
+        length_counts[bits] += 1
+        x = int.from_bytes(payload, "little")
+        y = x
+        while y:
+            low = y & -y
+            ones[low.bit_length() - 1] += 1
+            y ^= low
+        if previous is not None:
+            common = min(bits, previous_bits)
+            pair_counts[common] += 1
+            if common:
+                diff = (x ^ previous) & ((1 << common) - 1)
+                while diff:
+                    low = diff & -diff
+                    flips[low.bit_length() - 1] += 1
+                    diff ^= low
+        previous, previous_bits = x, bits
+        stats.samples += 1
+    # covered[p] = payloads with more than p bits; pairs[p] likewise for
+    # consecutive-payload comparisons (suffix sums of the histograms).
+    _accumulate_coverage(stats.covered, length_counts)
+    _accumulate_coverage(stats.pairs, pair_counts)
+    return stats
+
+
+def _accumulate_coverage(out, histogram):
+    running = 0
+    boundaries = sorted(histogram, reverse=True)
+    position = len(out)
+    for bits in boundaries:
+        while position > bits:
+            position -= 1
+            out[position] = running
+        running += histogram[bits]
+    while position > 0:
+        position -= 1
+        out[position] = running
+
+
+class MessageObservations:
+    """All observed payloads of one ``(channel, message_id)`` stream."""
+
+    __slots__ = (
+        "channel", "message_id", "protocol", "timestamps", "payloads",
+        "_stats",
+    )
+
+    def __init__(self, channel, message_id, protocol="CAN"):
+        self.channel = channel
+        self.message_id = message_id
+        self.protocol = protocol if protocol in _KNOWN_PROTOCOLS else "CAN"
+        self.timestamps = []
+        self.payloads = []
+        self._stats = None
+
+    @property
+    def key(self):
+        return (self.channel, self.message_id)
+
+    def append(self, timestamp, payload):
+        self.timestamps.append(timestamp)
+        self.payloads.append(bytes(payload))
+        self._stats = None
+
+    def __len__(self):
+        return len(self.payloads)
+
+    def max_payload_length(self):
+        return max((len(p) for p in self.payloads), default=0)
+
+    def stats(self):
+        if self._stats is None:
+            self._stats = bit_statistics(self.payloads)
+        return self._stats
+
+    def cycle_time(self):
+        """Median inter-arrival time, or None below three frames."""
+        if len(self.timestamps) < 3:
+            return None
+        deltas = sorted(
+            b - a for a, b in zip(self.timestamps, self.timestamps[1:])
+        )
+        median = deltas[len(deltas) // 2]
+        return median if median > 0 else None
+
+
+def _protocol_of(m_info):
+    for key, value in m_info or ():
+        if key == "protocol":
+            return value
+    return "CAN"
+
+
+def collect_observations(records):
+    """Group byte records into per-message observation streams.
+
+    Returns ``{(channel, message_id): MessageObservations}`` in first-
+    appearance order. Records are ``(t, l, b_id, m_id, m_info)`` tuples
+    as produced by every trace codec and corruption model.
+    """
+    streams = {}
+    for t, payload, b_id, m_id, m_info in records:
+        key = (b_id, m_id)
+        obs = streams.get(key)
+        if obs is None:
+            obs = MessageObservations(b_id, m_id, _protocol_of(m_info))
+            streams[key] = obs
+        obs.append(t, payload)
+    return streams
+
+
+def collect_observations_file(path):
+    """Column-scan a ``.ctrc`` columnar trace into observation streams.
+
+    Grouping reads only the time / message-id / channel-index columns;
+    payload cells materialize straight into the per-message streams and
+    exactly one ``m_info`` cell is decoded per message type (to learn
+    its protocol) -- the rest of the info plane is never touched.
+    """
+    from repro.tracefile.colbin import ColumnarTraceReader
+
+    reader = ColumnarTraceReader(path)
+    times = reader.times()
+    m_ids = reader.message_ids()
+    channel_indices = reader.channel_indices()
+    channels = reader.channels
+    payloads = reader.payload_column()
+    info = reader.info_column()
+    streams = {}
+    for index in range(len(reader)):
+        key = (channels[channel_indices[index]], m_ids[index])
+        obs = streams.get(key)
+        if obs is None:
+            obs = MessageObservations(
+                key[0], key[1], _protocol_of(info[index])
+            )
+            streams[key] = obs
+        obs.append(times[index], payloads[index])
+    return streams

@@ -1,0 +1,291 @@
+"""Synthesis: discovered signals -> NetworkDatabase + RuleCatalog.
+
+The output of discovery is deliberately *ordinary*: a
+:class:`~repro.network.NetworkDatabase` whose messages carry synthetic
+names (``DISC_<channel>_<id>`` / ``disc_<channel>_<id>_b<bit>``) and
+whose catalog the existing preselect/interpret/reduce pipeline consumes
+unchanged. Nothing downstream knows the tuples were reverse-engineered.
+
+When a *partial* database is supplied, documented knowledge wins:
+
+* a documented message keeps **all** its documented signals; recovered
+  tokens overlapping any documented fixed signal are dropped (counted
+  as ``merge.overlap_dropped``), non-overlapping recovered tokens fill
+  the gaps;
+* documented messages with a conditional :class:`ConditionalLayout` are
+  kept entirely as-is -- section semantics cannot be safely merged with
+  flat recovered geometry;
+* documented messages absent from the trace survive wholesale;
+* payload length and cycle time take the max/documented value so
+  documented encodings always stay in bounds.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.discovery.inference import (
+    CHECKSUM,
+    CONSTANT,
+    COUNTER,
+    infer_signals,
+)
+from repro.discovery.observations import (
+    DiscoveryConfig,
+    DiscoveryError,
+    collect_observations,
+)
+from repro.discovery.tokenizer import tokenize
+from repro.network.database import (
+    MessageDefinition,
+    NetworkDatabase,
+    NUMERIC,
+    ORDINAL,
+    SignalDefinition,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.protocols.signalcodec import overlaps
+
+_SANITIZE_RE = re.compile(r"\W+")
+
+#: Inferred data class -> database data class. Counters are ordinal
+#: (ordered raws, no physical unit); everything else is numeric.
+_DATA_CLASS_MAP = {
+    COUNTER: ORDINAL,
+}
+
+
+def _sanitize(channel):
+    return _SANITIZE_RE.sub("_", str(channel)).strip("_").lower()
+
+
+def signal_name(channel, message_id, first_bit):
+    return "disc_{}_{:x}_b{}".format(
+        _sanitize(channel), message_id, first_bit
+    )
+
+
+def message_name(channel, message_id):
+    return "DISC_{}_{:X}".format(_sanitize(channel).upper(), message_id)
+
+
+@dataclass(frozen=True)
+class MessageDiscovery:
+    """Everything discovery learned about one message stream."""
+
+    channel: str
+    message_id: int
+    protocol: str
+    frames: int
+    payload_length: int
+    cycle_time: object
+    signals: tuple  # DiscoveredSignal, ...
+
+
+@dataclass(frozen=True)
+class DiscoveryResult:
+    """Discovery output: per-message findings + pipeline-ready catalog."""
+
+    observations: dict        # {(channel, id): MessageObservations}
+    messages: dict            # {(channel, id): MessageDiscovery}
+    database: object          # NetworkDatabase
+    catalog: object           # RuleCatalog
+    merge_stats: dict = field(default_factory=dict)
+    metrics: object = None
+
+    def message_keys(self):
+        return tuple(self.messages)
+
+
+def discover_message(observations, config=None):
+    """Tokenize + infer one observation stream into a MessageDiscovery."""
+    if config is None:
+        config = DiscoveryConfig()
+    tokens = tokenize(observations.stats(), config)
+    signals = tuple(infer_signals(observations, tokens, config))
+    return MessageDiscovery(
+        channel=observations.channel,
+        message_id=observations.message_id,
+        protocol=observations.protocol,
+        frames=len(observations),
+        payload_length=observations.max_payload_length(),
+        cycle_time=observations.cycle_time(),
+        signals=signals,
+    )
+
+
+def discover(records=None, observations=None, partial=None, config=None,
+             metrics=None):
+    """Run the full discovery front end over a trace.
+
+    Exactly one of *records* (an iterable of byte records) or
+    *observations* (pre-grouped streams, e.g. from
+    :func:`collect_observations_file`) must be given. *partial* is an
+    optional documented :class:`NetworkDatabase` to merge with.
+    """
+    if (records is None) == (observations is None):
+        raise DiscoveryError(
+            "exactly one of records= or observations= is required"
+        )
+    if config is None:
+        config = DiscoveryConfig()
+    if metrics is None:
+        metrics = MetricsRegistry()
+    if observations is None:
+        observations = collect_observations(records)
+    messages = {}
+    for key, stream in observations.items():
+        discovery = discover_message(stream, config)
+        messages[key] = discovery
+        metrics.inc("discovery.frames", discovery.frames)
+        metrics.inc("discovery.messages")
+        for signal in discovery.signals:
+            metrics.inc("discovery.tokens")
+            metrics.inc("discovery.tokens." + signal.data_class)
+            metrics.inc(
+                "discovery.short_payload_skipped",
+                signal.short_payload_skipped,
+            )
+            metrics.observe(
+                "discovery.token_width_bits", signal.bit_length
+            )
+    database, merge_stats = synthesize_database(
+        messages, partial=partial, config=config
+    )
+    catalog = database.translation_catalog()
+    metrics.inc("discovery.synthesis.tuples", len(catalog))
+    for name, value in merge_stats.items():
+        metrics.inc("discovery.merge." + name, value)
+    return DiscoveryResult(
+        observations=observations,
+        messages=messages,
+        database=database,
+        catalog=catalog,
+        merge_stats=merge_stats,
+        metrics=metrics,
+    )
+
+
+def synthesize_database(messages, partial=None, config=None):
+    """Build a NetworkDatabase from MessageDiscovery findings.
+
+    Returns ``(database, merge_stats)``. With *partial* given,
+    documented signals win per the module docstring.
+    """
+    if config is None:
+        config = DiscoveryConfig()
+    documented = {}
+    if partial is not None:
+        documented = {
+            (m.channel, m.message_id): m for m in partial.messages
+        }
+    stats = {
+        "documented_messages": 0,
+        "documented_only_messages": 0,
+        "recovered_messages": 0,
+        "documented_signals": 0,
+        "recovered_signals": 0,
+        "overlap_dropped": 0,
+        "layout_locked": 0,
+    }
+    out = []
+    seen = set()
+    for key, discovery in messages.items():
+        doc = documented.get(key)
+        if doc is None:
+            message = _recovered_message(discovery, config)
+            if message is not None:
+                stats["recovered_messages"] += 1
+                stats["recovered_signals"] += len(message.signals)
+                out.append(message)
+        else:
+            seen.add(key)
+            stats["documented_messages"] += 1
+            stats["documented_signals"] += len(doc.signals)
+            out.append(_merged_message(doc, discovery, config, stats))
+    for key, doc in documented.items():
+        if key not in seen:
+            stats["documented_only_messages"] += 1
+            stats["documented_signals"] += len(doc.signals)
+            out.append(doc)
+    return NetworkDatabase(tuple(out)), stats
+
+
+def _recovered_message(discovery, config):
+    definitions = _signal_definitions(discovery, config)
+    if not definitions and discovery.payload_length == 0:
+        return None
+    return MessageDefinition(
+        name=message_name(discovery.channel, discovery.message_id),
+        message_id=discovery.message_id,
+        channel=discovery.channel,
+        protocol=discovery.protocol,
+        payload_length=discovery.payload_length,
+        signals=tuple(definitions),
+        cycle_time=discovery.cycle_time,
+    )
+
+
+def _merged_message(doc, discovery, config, stats):
+    if doc.layout is not None:
+        # Conditional sections: recovered flat geometry cannot be
+        # reconciled with mask-gated sections -- keep the documented
+        # message untouched.
+        stats["layout_locked"] += 1
+        return doc
+    fixed = [
+        s.encoding for s in doc.signals if s.section_bit is None
+    ]
+    added = []
+    for signal in discovery.signals:
+        if not _eligible(signal, config):
+            continue
+        encoding = signal.encoding()
+        if any(overlaps(encoding, other) for other in fixed):
+            stats["overlap_dropped"] += 1
+            continue
+        added.append(
+            _definition(discovery, signal, encoding)
+        )
+        stats["recovered_signals"] += 1
+    payload_length = max(doc.payload_length, discovery.payload_length)
+    cycle_time = doc.cycle_time
+    if cycle_time is None:
+        cycle_time = discovery.cycle_time
+    return MessageDefinition(
+        name=doc.name,
+        message_id=doc.message_id,
+        channel=doc.channel,
+        protocol=doc.protocol,
+        payload_length=payload_length,
+        signals=tuple(doc.signals) + tuple(added),
+        cycle_time=cycle_time,
+        layout=doc.layout,
+        multiplexor=doc.multiplexor,
+    )
+
+
+def _eligible(signal, config):
+    if signal.data_class == CONSTANT and not config.emit_constants:
+        return False
+    return True
+
+
+def _signal_definitions(discovery, config):
+    return [
+        _definition(discovery, signal, signal.encoding())
+        for signal in discovery.signals
+        if _eligible(signal, config)
+    ]
+
+
+def _definition(discovery, signal, encoding):
+    return SignalDefinition(
+        name=signal_name(
+            discovery.channel, discovery.message_id, signal.first_bit
+        ),
+        encoding=encoding,
+        data_class=_DATA_CLASS_MAP.get(signal.data_class, NUMERIC),
+        comment="discovered " + signal.data_class,
+    )

@@ -20,15 +20,26 @@ industry's on-disk representation:
   deployments encode in separate files per channel
 * ``CM_ SG_ <id> <signal> "<comment>";`` — signal comments; the markers
   ``[validity]``, ``[ordinal]``, ``[nominal]``, ``[binary]`` in comments
-  preserve this library's signal kind / data-class metadata.
+  preserve this library's signal kind / data-class metadata, and
+  ``[section<N>]`` marks a signal as living in the presence-conditional
+  section gated by mask bit ``N``.
 
-SOME/IP presence-conditional layouts have no DBC equivalent and are
-rejected on write (export such messages to code instead).
+SOME/IP presence-conditional layouts have no standard DBC equivalent;
+they round-trip through the custom ``SectionLayout`` message attribute
+(``"mask_bit:length,..."``) plus the ``[section<N>]`` comment markers,
+the same mechanism ``BusChannel`` / ``BusProtocol`` use for multi-bus
+metadata.
+
+:func:`diff_databases` structurally compares two databases (an OEM
+ground truth vs a reverse-engineered recovery, two DBC revisions, ...)
+into per-message and per-signal deltas; the discovery validation
+harness and the ``repro dbc diff`` CLI build on it.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.model import FUNCTIONAL, VALIDITY
@@ -91,11 +102,6 @@ def dumps_database(database, version="repro-1.0", channels=None):
     lines.append("BU_: {}".format(" ".join(_node_names(database))))
     lines.append("")
     for message in database.messages:
-        if message.layout is not None:
-            raise DbcError(
-                "message {!r} uses a presence-conditional layout; DBC "
-                "cannot express it".format(message.name)
-            )
         lines.append(
             "BO_ {} {}: {} {}".format(
                 message.message_id,
@@ -113,9 +119,11 @@ def dumps_database(database, version="repro-1.0", channels=None):
     lines.append('BA_DEF_ BO_ "GenMsgCycleTime" INT 0 3600000;')
     lines.append('BA_DEF_ BO_ "BusChannel" STRING;')
     lines.append('BA_DEF_ BO_ "BusProtocol" STRING;')
+    lines.append('BA_DEF_ BO_ "SectionLayout" STRING;')
     lines.append('BA_DEF_DEF_ "GenMsgCycleTime" 0;')
     lines.append('BA_DEF_DEF_ "BusChannel" "";')
     lines.append('BA_DEF_DEF_ "BusProtocol" "CAN";')
+    lines.append('BA_DEF_DEF_ "SectionLayout" "";')
     for message in database.messages:
         if message.cycle_time is not None:
             lines.append(
@@ -133,6 +141,16 @@ def dumps_database(database, version="repro-1.0", channels=None):
                 message.message_id, message.protocol
             )
         )
+        if message.layout is not None:
+            lines.append(
+                'BA_ "SectionLayout" BO_ {} "{}";'.format(
+                    message.message_id,
+                    ",".join(
+                        "{}:{}".format(sec.mask_bit, sec.length)
+                        for sec in message.layout.sections
+                    ),
+                )
+            )
     lines.append("")
     # Value tables.
     for message in database.messages:
@@ -151,9 +169,12 @@ def dumps_database(database, version="repro-1.0", channels=None):
     # Comments carrying kind / data class metadata.
     for message in database.messages:
         for signal in message.signals:
-            markers = "[{}]{}".format(
+            markers = "[{}]{}{}".format(
                 signal.data_class,
                 "[validity]" if signal.kind == VALIDITY else "",
+                "[section{}]".format(signal.section_bit)
+                if signal.section_bit is not None
+                else "",
             )
             comment = "{} {}".format(markers, signal.comment).strip()
             lines.append(
@@ -247,6 +268,7 @@ def loads_database(text):
                 "value_tables": {},
                 "comments": {},
                 "multiplexor": None,
+                "layout_spec": None,
             }
             messages[message_id] = current
             continue
@@ -305,6 +327,10 @@ def loads_database(text):
                 messages[message_id]["channel"] = value.strip('"')
             elif name == "BusProtocol":
                 messages[message_id]["protocol"] = value.strip('"')
+            elif name == "SectionLayout":
+                messages[message_id]["layout_spec"] = _parse_layout(
+                    value.strip('"'), line_number
+                )
             continue
         cm = _CM_SG_RE.match(line)
         if cm:
@@ -319,12 +345,49 @@ def loads_database(text):
     )
 
 
+def _parse_layout(value, line_number):
+    """Parse a ``SectionLayout`` attribute value ("mask_bit:length,...")."""
+    sections = []
+    for part in value.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        match = re.match(r"^(\d+):(\d+)$", part)
+        if match is None:
+            raise DbcError(
+                "malformed SectionLayout entry {!r} on line {}".format(
+                    part, line_number
+                )
+            )
+        sections.append((int(match.group(1)), int(match.group(2))))
+    if not sections:
+        raise DbcError(
+            "empty SectionLayout on line {}".format(line_number)
+        )
+    return tuple(sections)
+
+
+def _build_layout(layout_spec):
+    if layout_spec is None:
+        return None
+    from repro.protocols.someip import ConditionalLayout, OptionalSection
+
+    return ConditionalLayout(
+        tuple(
+            OptionalSection(mask_bit, length)
+            for mask_bit, length in layout_spec
+        )
+    )
+
+
 def _build_message(spec):
     signals = []
     for s in spec["signals"]:
         value_table = spec["value_tables"].get(s["name"], ())
         comment = spec["comments"].get(s["name"], "")
-        data_class, kind, clean_comment = _parse_markers(comment, value_table)
+        data_class, kind, section_bit, clean_comment = _parse_markers(
+            comment, value_table
+        )
         encoding = SignalEncoding(
             start_bit=s["start_bit"],
             bit_length=s["bit_length"],
@@ -341,6 +404,7 @@ def _build_message(spec):
                 unit=s["unit"],
                 kind=kind,
                 data_class=data_class,
+                section_bit=section_bit,
                 comment=clean_comment,
                 mux_value=s.get("mux_value"),
             )
@@ -355,20 +419,26 @@ def _build_message(spec):
         cycle_time=(
             spec["cycle_ms"] / 1000.0 if spec["cycle_ms"] else None
         ),
+        layout=_build_layout(spec.get("layout_spec")),
         multiplexor=spec.get("multiplexor"),
     )
 
 
 def _parse_markers(comment, value_table):
-    """Extract [data_class] / [validity] markers from a signal comment."""
+    """Extract [data_class] / [validity] / [sectionN] comment markers."""
     kind = FUNCTIONAL
     data_class = None
+    section_bit = None
     rest = comment
     for marker in re.findall(r"\[(\w+)\]", comment):
         if marker == "validity":
             kind = VALIDITY
         elif marker in _DATA_CLASSES:
             data_class = marker
+        else:
+            section = re.match(r"^section(\d+)$", marker)
+            if section:
+                section_bit = int(section.group(1))
         rest = rest.replace("[{}]".format(marker), "")
     if data_class is None:
         # Sensible default: tabled signals are categorical, others numeric.
@@ -376,4 +446,225 @@ def _parse_markers(comment, value_table):
             data_class = BINARY if len(value_table) == 2 else NOMINAL
         else:
             data_class = NUMERIC
-    return data_class, kind, rest.strip()
+    return data_class, kind, section_bit, rest.strip()
+
+
+# ---------------------------------------------------------------------------
+# Structural diffing
+# ---------------------------------------------------------------------------
+
+#: Signal delta kinds, in severity order.
+SIGNAL_DELTA_KINDS = (
+    "missing", "spurious", "geometry_mismatch", "scaling_mismatch",
+)
+MESSAGE_DELTA_KINDS = ("missing", "spurious")
+
+
+@dataclass(frozen=True)
+class MessageDelta:
+    """A message present in only one of the two databases."""
+
+    kind: str  # "missing" (actual only) | "spurious" (recovered only)
+    channel: str
+    message_id: int
+    name: str
+
+    def describe(self):
+        return "{} message {} 0x{:X} ({})".format(
+            self.kind, self.channel, self.message_id, self.name
+        )
+
+
+@dataclass(frozen=True)
+class SignalDelta:
+    """A per-signal discrepancy inside a message both databases share."""
+
+    kind: str  # one of SIGNAL_DELTA_KINDS
+    channel: str
+    message_id: int
+    actual: str = None     # signal name in the actual database
+    recovered: str = None  # signal name in the recovered database
+    detail: str = ""
+
+    def describe(self):
+        name = self.actual if self.actual is not None else self.recovered
+        out = "{} signal {} 0x{:X} {}".format(
+            self.kind, self.channel, self.message_id, name
+        )
+        if self.recovered is not None and self.actual is not None \
+                and self.recovered != self.actual:
+            out += " (recovered as {})".format(self.recovered)
+        if self.detail:
+            out += ": " + self.detail
+        return out
+
+
+@dataclass(frozen=True)
+class DatabaseDiff:
+    """Structured delta between an actual and a recovered database."""
+
+    message_deltas: tuple = ()
+    signal_deltas: tuple = ()
+
+    def is_empty(self):
+        return not self.message_deltas and not self.signal_deltas
+
+    def counts(self):
+        """{kind: count} over both delta planes (zero-filled)."""
+        out = {
+            "messages.missing": 0,
+            "messages.spurious": 0,
+        }
+        for kind in SIGNAL_DELTA_KINDS:
+            out["signals." + kind] = 0
+        for delta in self.message_deltas:
+            out["messages." + delta.kind] += 1
+        for delta in self.signal_deltas:
+            out["signals." + delta.kind] += 1
+        return out
+
+    def describe(self):
+        """One human-readable line per delta, messages first."""
+        return [d.describe() for d in self.message_deltas] + [
+            d.describe() for d in self.signal_deltas
+        ]
+
+
+def _geometry(encoding):
+    return tuple(encoding.bit_positions())
+
+
+def _scaling(signal):
+    encoding = signal.encoding
+    return (
+        encoding.signed,
+        encoding.scale,
+        encoding.offset,
+        tuple(encoding.value_table),
+    )
+
+
+def _scaling_detail(actual, recovered):
+    parts = []
+    for label, a, r in (
+        ("signed", actual.encoding.signed, recovered.encoding.signed),
+        ("scale", actual.encoding.scale, recovered.encoding.scale),
+        ("offset", actual.encoding.offset, recovered.encoding.offset),
+        (
+            "value_table",
+            tuple(actual.encoding.value_table),
+            tuple(recovered.encoding.value_table),
+        ),
+    ):
+        if a != r:
+            parts.append("{} {!r} != {!r}".format(label, a, r))
+    return ", ".join(parts)
+
+
+def diff_databases(actual, recovered):
+    """Structurally compare *recovered* against the *actual* database.
+
+    Messages pair by ``(channel, message_id)``. Within a shared
+    message, signals pair by name first, then -- since recovered
+    databases use synthetic names -- by identical bit-position sets
+    among the still-unpaired. Each pair is then checked for
+    ``geometry_mismatch`` (different absolute bit positions or
+    significance order; single-byte Intel/Motorola equivalents compare
+    equal because their position walks are identical) and
+    ``scaling_mismatch`` (same geometry, different
+    signed/scale/offset/value-table). Unpaired actual signals are
+    ``missing``, unpaired recovered ones ``spurious``; whole messages
+    present on one side only become :class:`MessageDelta` s.
+    """
+    actual_by_key = {(m.channel, m.message_id): m for m in actual.messages}
+    recovered_by_key = {
+        (m.channel, m.message_id): m for m in recovered.messages
+    }
+    message_deltas = []
+    signal_deltas = []
+    for key, message in actual_by_key.items():
+        if key not in recovered_by_key:
+            message_deltas.append(
+                MessageDelta("missing", message.channel,
+                             message.message_id, message.name)
+            )
+    for key, message in recovered_by_key.items():
+        if key not in actual_by_key:
+            message_deltas.append(
+                MessageDelta("spurious", message.channel,
+                             message.message_id, message.name)
+            )
+    for key in actual_by_key:
+        if key not in recovered_by_key:
+            continue
+        signal_deltas.extend(
+            _diff_message(actual_by_key[key], recovered_by_key[key])
+        )
+    return DatabaseDiff(tuple(message_deltas), tuple(signal_deltas))
+
+
+def _diff_message(actual, recovered):
+    channel, message_id = actual.channel, actual.message_id
+    recovered_by_name = {s.name: s for s in recovered.signals}
+    pairs = []
+    unpaired_actual = []
+    paired_recovered = set()
+    for signal in actual.signals:
+        twin = recovered_by_name.get(signal.name)
+        if twin is not None:
+            pairs.append((signal, twin))
+            paired_recovered.add(signal.name)
+        else:
+            unpaired_actual.append(signal)
+    remaining = [
+        s for s in recovered.signals if s.name not in paired_recovered
+    ]
+    by_bits = {}
+    for signal in remaining:
+        by_bits.setdefault(
+            frozenset(_geometry(signal.encoding)), []
+        ).append(signal)
+    still_missing = []
+    for signal in unpaired_actual:
+        bucket = by_bits.get(frozenset(_geometry(signal.encoding)))
+        if bucket:
+            pairs.append((signal, bucket.pop(0)))
+        else:
+            still_missing.append(signal)
+    spurious = [s for bucket in by_bits.values() for s in bucket]
+    deltas = []
+    for signal in still_missing:
+        deltas.append(
+            SignalDelta(
+                "missing", channel, message_id, actual=signal.name,
+                detail="bits {}".format(_geometry(signal.encoding)),
+            )
+        )
+    for signal in spurious:
+        deltas.append(
+            SignalDelta(
+                "spurious", channel, message_id, recovered=signal.name,
+                detail="bits {}".format(_geometry(signal.encoding)),
+            )
+        )
+    for signal, twin in pairs:
+        if _geometry(signal.encoding) != _geometry(twin.encoding):
+            deltas.append(
+                SignalDelta(
+                    "geometry_mismatch", channel, message_id,
+                    actual=signal.name, recovered=twin.name,
+                    detail="bits {} != {}".format(
+                        _geometry(signal.encoding),
+                        _geometry(twin.encoding),
+                    ),
+                )
+            )
+        elif _scaling(signal) != _scaling(twin):
+            deltas.append(
+                SignalDelta(
+                    "scaling_mismatch", channel, message_id,
+                    actual=signal.name, recovered=twin.name,
+                    detail=_scaling_detail(signal, twin),
+                )
+            )
+    return deltas

@@ -104,6 +104,35 @@ class SignalEncoding:
         if self.scale == 0:
             raise CodecError("scale must be non-zero")
 
+    @classmethod
+    def from_bit_positions(cls, positions, byte_order=INTEL, **kwargs):
+        """Build an encoding from explicit bit positions.
+
+        *positions* lists absolute payload bit positions in significance
+        order (least significant first), as :meth:`bit_positions`
+        returns them. The DBC start bit is derived per byte order (LSB
+        for Intel, MSB for Motorola) and the result is verified to walk
+        exactly the given positions -- a gap or an order inconsistent
+        with *byte_order* raises :class:`CodecError`.
+        """
+        positions = list(positions)
+        if not positions:
+            raise CodecError("positions must be non-empty")
+        start_bit = positions[0] if byte_order == INTEL else positions[-1]
+        encoding = cls(
+            start_bit=start_bit,
+            bit_length=len(positions),
+            byte_order=byte_order,
+            **kwargs
+        )
+        if encoding.bit_positions() != positions:
+            raise CodecError(
+                "bit positions {} are not a contiguous {} layout".format(
+                    positions, byte_order
+                )
+            )
+        return encoding
+
     # -- geometry ----------------------------------------------------------
     def bit_positions(self):
         """Absolute payload bit positions, least-significant first."""

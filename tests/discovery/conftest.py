@@ -1,0 +1,40 @@
+"""Shared discovery fixtures: SYN traces and payload-stream builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import SYN_SPEC, build_dataset
+from repro.discovery import MessageObservations, discover
+
+
+@pytest.fixture(scope="session")
+def syn_bundle():
+    return build_dataset(SYN_SPEC)
+
+
+@pytest.fixture(scope="session")
+def syn_records(syn_bundle):
+    """A 60 s SYN trace: long enough that every active signal bit is
+    exercised and the slowest messages clear ``min_frames``."""
+    return list(syn_bundle.byte_records(60.0))
+
+
+@pytest.fixture(scope="session")
+def syn_truth(syn_bundle):
+    return syn_bundle.database
+
+
+@pytest.fixture(scope="session")
+def syn_result(syn_records):
+    return discover(records=syn_records)
+
+
+def stream(values, channel="FC", message_id=0x10, width=1, period=0.01):
+    """A MessageObservations over one payload per value (little-endian)."""
+    observations = MessageObservations(channel, message_id)
+    for index, value in enumerate(values):
+        observations.append(
+            index * period, int(value).to_bytes(width, "little")
+        )
+    return observations

@@ -1,0 +1,123 @@
+"""Inference: signedness, data class and scaling from raw value series."""
+
+from repro.discovery import DiscoveryConfig, Token, infer_signals
+from tests.discovery.conftest import stream
+
+
+def infer_one(observations, token, config=None):
+    (signal,) = infer_signals(observations, [token], config)
+    return signal
+
+
+class TestDataClass:
+    def test_ramp_is_a_counter(self):
+        observations = stream([i % 256 for i in range(300)])
+        signal = infer_one(observations, Token(tuple(range(8))))
+        assert signal.data_class == "counter"
+        assert signal.samples == 300
+        assert signal.distinct == 256
+
+    def test_counter_survives_repeats(self):
+        # Oversampled counter: repeated raws don't vote either way.
+        observations = stream([(i // 3) % 16 for i in range(200)])
+        signal = infer_one(observations, Token(tuple(range(4))))
+        assert signal.data_class == "counter"
+
+    def test_irregular_steps_are_a_sensor(self):
+        values = []
+        v = 0
+        for i in range(300):
+            v = (v + (3 if i % 2 else 11)) % 256
+            values.append(v)
+        signal = infer_one(stream(values), Token(tuple(range(8))))
+        assert signal.data_class == "sensor"
+
+    def test_single_value_is_constant(self):
+        observations = stream([42] * 50)
+        signal = infer_one(observations, Token(tuple(range(8))))
+        assert signal.data_class == "constant"
+        assert signal.distinct == 1
+
+    def test_crc_like_byte_is_a_checksum(self):
+        values = []
+        state = 1
+        for _ in range(300):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            values.append((state >> 16) & 0xFF)
+        signal = infer_one(stream(values), Token(tuple(range(8))))
+        assert signal.data_class == "checksum"
+
+    def test_narrow_random_token_is_not_a_checksum(self):
+        # Checksum needs width >= checksum_min_width.
+        values = []
+        state = 1
+        for _ in range(300):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            values.append((state >> 16) & 0x0F)
+        signal = infer_one(stream(values), Token(tuple(range(4))))
+        assert signal.data_class == "sensor"
+
+
+class TestSignedness:
+    def test_triangle_around_zero_is_signed(self):
+        values = []
+        v, step = 0, 1
+        for _ in range(400):
+            values.append(v % 256)
+            if v == 4:
+                step = -1
+            elif v == -4:
+                step = 1
+            v += step
+        signal = infer_one(stream(values), Token(tuple(range(8))))
+        assert signal.signed is True
+        assert signal.data_class == "sensor"
+
+    def test_unsigned_ramp_is_not_signed(self):
+        observations = stream([i % 256 for i in range(300)])
+        signal = infer_one(observations, Token(tuple(range(8))))
+        assert signal.signed is False
+
+    def test_never_negative_defaults_to_unsigned(self):
+        # Top bit never set: indistinguishable from unsigned, so keep
+        # the unsigned reading.
+        observations = stream([i % 64 for i in range(200)])
+        signal = infer_one(observations, Token(tuple(range(8))))
+        assert signal.signed is False
+
+
+class TestShortPayloads:
+    def test_truncated_frames_are_counted_not_fatal(self):
+        from repro.discovery import MessageObservations
+
+        observations = MessageObservations("FC", 0x10)
+        for i in range(100):
+            if i % 4 == 0:
+                observations.append(i * 0.01, bytes([i % 256]))
+            else:
+                observations.append(
+                    i * 0.01, bytes([i % 256, (i // 2) % 256])
+                )
+        signal = infer_one(observations, Token(tuple(range(8, 16))))
+        assert signal.short_payload_skipped == 25
+        assert signal.samples == 75
+
+
+class TestScaling:
+    def test_range_hint_fits_scale_and_offset(self):
+        config = DiscoveryConfig(
+            range_hints={("FC", 0x10, 0): (-40.0, 215.0)}
+        )
+        observations = stream([i % 256 for i in range(300)])
+        signal = infer_one(observations, Token(tuple(range(8))), config)
+        assert signal.scale == (215.0 + 40.0) / 255
+        assert signal.offset == -40.0
+        encoding = signal.encoding()
+        assert encoding.scale == signal.scale
+        assert encoding.offset == signal.offset
+
+    def test_without_hint_scale_is_identity(self):
+        observations = stream([i % 256 for i in range(300)])
+        signal = infer_one(observations, Token(tuple(range(8))))
+        assert signal.scale == 1.0
+        assert signal.offset == 0.0

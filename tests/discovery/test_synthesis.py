@@ -1,0 +1,180 @@
+"""Synthesis: databases and catalogs from discovered signals."""
+
+import pytest
+
+from repro.discovery import (
+    DiscoveryError,
+    discover,
+    discover_message,
+    message_name,
+    signal_name,
+)
+from repro.network.database import MessageDefinition, NetworkDatabase, SignalDefinition
+from repro.protocols.signalcodec import SignalEncoding
+from repro.protocols.someip import ConditionalLayout, OptionalSection
+from tests.discovery.conftest import stream
+
+
+def counter_records(channel="FC", message_id=0x10, width=2, count=300):
+    return [
+        (
+            i * 0.01,
+            (i % (1 << (8 * width))).to_bytes(width, "little"),
+            channel,
+            message_id,
+            (("protocol", "CAN"),),
+        )
+        for i in range(count)
+    ]
+
+
+class TestNames:
+    def test_signal_name(self):
+        assert signal_name("FC", 0x100, 5) == "disc_fc_100_b5"
+
+    def test_message_name_sanitizes_channel(self):
+        assert message_name("K-LIN", 0x11) == "DISC_K_LIN_11"
+
+
+class TestDiscover:
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(DiscoveryError):
+            discover()
+        with pytest.raises(DiscoveryError):
+            discover(records=[], observations={})
+
+    def test_records_to_catalog(self):
+        result = discover(records=counter_records())
+        assert result.message_keys() == (("FC", 0x10),)
+        message = result.database.message("FC", 0x10)
+        assert message.name == "DISC_FC_10"
+        assert len(result.catalog) >= 1
+        counters = result.metrics.counters()
+        assert counters["discovery.frames"] == 300
+        assert counters["discovery.messages"] == 1
+        assert counters["discovery.tokens"] >= 1
+        assert counters["discovery.synthesis.tuples"] == len(result.catalog)
+
+    def test_message_metadata(self):
+        result = discover(records=counter_records())
+        discovery = result.messages[("FC", 0x10)]
+        assert discovery.frames == 300
+        assert discovery.payload_length == 2
+        assert discovery.cycle_time == pytest.approx(0.01)
+
+    def test_discover_message_alone(self):
+        observations = stream([i % 256 for i in range(100)])
+        discovery = discover_message(observations)
+        assert discovery.channel == "FC"
+        assert [s.data_class for s in discovery.signals] == ["counter"]
+
+
+class TestMerge:
+    def doc_message(self, **kwargs):
+        defaults = dict(
+            name="DOC",
+            message_id=0x10,
+            channel="FC",
+            protocol="CAN",
+            payload_length=1,
+            signals=(
+                SignalDefinition("doc_low", SignalEncoding(0, 8)),
+            ),
+            cycle_time=0.5,
+        )
+        defaults.update(kwargs)
+        return MessageDefinition(**defaults)
+
+    def test_documented_signals_win_on_overlap(self):
+        partial = NetworkDatabase((self.doc_message(),))
+        result = discover(records=counter_records(), partial=partial)
+        merged = result.database.message("FC", 0x10)
+        # The recovered 16-bit token overlaps doc_low and is dropped;
+        # the documented signal survives untouched.
+        assert [s.name for s in merged.signals] == ["doc_low"]
+        assert result.merge_stats["overlap_dropped"] == 1
+        assert result.merge_stats["documented_messages"] == 1
+        assert merged.cycle_time == 0.5
+        # Payload length grows to cover what the trace actually showed.
+        assert merged.payload_length == 2
+
+    def test_recovered_tokens_fill_undocumented_gaps(self):
+        partial = NetworkDatabase(
+            (self.doc_message(payload_length=3,
+                              signals=(SignalDefinition(
+                                  "doc_high", SignalEncoding(16, 8)),)),)
+        )
+        result = discover(records=counter_records(), partial=partial)
+        merged = result.database.message("FC", 0x10)
+        names = [s.name for s in merged.signals]
+        assert names[0] == "doc_high"
+        assert "disc_fc_10_b0" in names
+        assert result.merge_stats["overlap_dropped"] == 0
+        assert result.merge_stats["recovered_signals"] >= 1
+
+    def test_conditional_layout_locks_the_message(self):
+        layout = ConditionalLayout((OptionalSection(0, 2),))
+        doc = MessageDefinition(
+            name="SECTIONED",
+            message_id=0x10,
+            channel="FC",
+            protocol="SOMEIP",
+            payload_length=3,
+            signals=(
+                SignalDefinition(
+                    "sec", SignalEncoding(0, 8), section_bit=0
+                ),
+            ),
+            layout=layout,
+        )
+        partial = NetworkDatabase((doc,))
+        result = discover(records=counter_records(), partial=partial)
+        merged = result.database.message("FC", 0x10)
+        assert merged is doc
+        assert result.merge_stats["layout_locked"] == 1
+
+    def test_documented_only_messages_survive(self):
+        partial = NetworkDatabase((self.doc_message(message_id=0x99),))
+        result = discover(records=counter_records(), partial=partial)
+        assert result.database.message("FC", 0x99).name == "DOC"
+        assert result.merge_stats["documented_only_messages"] == 1
+
+    def test_documented_cycle_time_fills_from_trace(self):
+        partial = NetworkDatabase((self.doc_message(cycle_time=None),))
+        result = discover(records=counter_records(), partial=partial)
+        merged = result.database.message("FC", 0x10)
+        assert merged.cycle_time == pytest.approx(0.01)
+
+
+class TestSynthesizedDatabase:
+    def test_constant_tokens_become_documented_constants(self):
+        records = [
+            (i * 0.01, bytes([0x80 | (i % 8)]), "FC", 0x20, ())
+            for i in range(100)
+        ]
+        result = discover(records=records)
+        message = result.database.message("FC", 0x20)
+        comments = {s.name: s.comment for s in message.signals}
+        assert comments["disc_fc_20_b7"] == "discovered constant"
+
+    def test_counters_are_ordinal_in_the_database(self):
+        result = discover(records=counter_records())
+        message = result.database.message("FC", 0x10)
+        assert [s.data_class for s in message.signals] == ["ordinal"]
+
+    def test_catalog_feeds_the_pipeline(self):
+        from repro.core.pipeline import PipelineConfig, PreprocessingPipeline
+        from repro.engine.context import EngineContext
+        from repro.protocols.frames import BYTE_RECORD_COLUMNS
+
+        records = counter_records()
+        result = discover(records=records)
+        context = EngineContext.serial()
+        k_b = context.table_from_rows(
+            list(BYTE_RECORD_COLUMNS), list(records)
+        )
+        pipeline = PreprocessingPipeline(
+            PipelineConfig(catalog=result.catalog, short_payload="skip")
+        )
+        k_s = pipeline.extract_signals(k_b)
+        assert "disc_fc_10_b0" in set(k_s.column_values("s_id"))

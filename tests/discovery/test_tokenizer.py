@@ -1,0 +1,156 @@
+"""Tokenizer: flip-statistics boundary cuts and cross-byte chains."""
+
+import pytest
+
+from repro.discovery import DiscoveryConfig, Token, bit_statistics, tokenize
+from repro.discovery.tokenizer import _is_boundary
+from repro.protocols.signalcodec import INTEL, MOTOROLA
+
+
+def positions(tokens):
+    return [t.positions for t in tokens if not t.constant]
+
+
+class TestBitStatistics:
+    def test_counts_flips_ones_and_coverage(self):
+        stats = bit_statistics([b"\x01", b"\x00", b"\x01"])
+        assert stats.samples == 3
+        assert stats.flips[0] == 2
+        assert stats.ones[0] == 2
+        assert stats.covered[0] == 3
+        assert stats.pairs[0] == 2
+        assert stats.flip_rate(0) == 1.0
+
+    def test_variable_payload_lengths_cover_fewer_bits(self):
+        stats = bit_statistics([b"\xff\xff", b"\xff", b"\xff\xff"])
+        assert stats.covered[0] == 3
+        assert stats.covered[8] == 2
+        # Consecutive comparisons only cover the common prefix.
+        assert stats.pairs[8] == 0
+        assert stats.flips[8] == 0
+
+    def test_empty_stream(self):
+        stats = bit_statistics([])
+        assert stats.num_bits == 0
+        assert stats.samples == 0
+
+
+class TestByteCuts:
+    def test_single_byte_counter_is_one_token(self):
+        payloads = [bytes([i % 256]) for i in range(258)]
+        tokens = tokenize(bit_statistics(payloads))
+        assert positions(tokens) == [tuple(range(8))]
+        assert tokens[0].byte_order == INTEL
+
+    def test_two_nibble_signals_split_on_rate_rise(self):
+        # Slow counter in the low nibble, fast counter in the high one:
+        # bit 4 flips far more often than bit 3, from a decayed tail.
+        payloads = [
+            bytes([((i // 4) % 16) | ((i % 16) << 4)]) for i in range(256)
+        ]
+        tokens = tokenize(bit_statistics(payloads))
+        assert positions(tokens) == [(0, 1, 2, 3), (4, 5, 6, 7)]
+
+    def test_sawtooth_step_does_not_cut(self):
+        # A sensor stepping by 7 makes bit 3 flip like a fresh LSB while
+        # bits 0..2 count down (7 == -1 mod 8). The rate *rises* at bit 3
+        # but from a still-busy bit -- the tail rule must refuse the cut.
+        payloads = [bytes([(i * 7) % 256]) for i in range(512)]
+        tokens = tokenize(bit_statistics(payloads))
+        assert positions(tokens) == [tuple(range(8))]
+
+    def test_inactive_bits_split_runs(self):
+        # Counter in bits 0..2, counter in bits 6..7, dead gap between.
+        payloads = [
+            bytes([(i % 8) | (((i // 2) % 4) << 6)]) for i in range(64)
+        ]
+        tokens = tokenize(bit_statistics(payloads))
+        assert positions(tokens) == [(0, 1, 2), (6, 7)]
+
+    def test_below_min_frames_yields_no_tokens(self):
+        payloads = [bytes([i]) for i in range(4)]
+        assert tokenize(bit_statistics(payloads)) == []
+
+
+class TestCrossByteChains:
+    def test_intel_counter_spans_bytes(self):
+        payloads = [
+            (i % 65536).to_bytes(2, "little") for i in range(65538)
+        ]
+        tokens = tokenize(bit_statistics(payloads))
+        assert len(tokens) == 1
+        assert tokens[0].positions == tuple(range(16))
+        assert tokens[0].byte_order == INTEL
+
+    def test_motorola_counter_spans_bytes(self):
+        payloads = [(i % 65536).to_bytes(2, "big") for i in range(65538)]
+        tokens = tokenize(bit_statistics(payloads))
+        assert len(tokens) == 1
+        assert tokens[0].positions == tuple(
+            list(range(8, 16)) + list(range(8))
+        )
+        assert tokens[0].byte_order == MOTOROLA
+
+    def test_independent_byte_signals_stay_separate(self):
+        # Two identical one-byte counters: each byte's bottom bit fires
+        # from the other's decayed top -- a boundary signature on both
+        # candidate links, so the bytes must not chain.
+        payloads = [bytes([i % 256, i % 256]) for i in range(1024)]
+        tokens = tokenize(bit_statistics(payloads))
+        assert positions(tokens) == [tuple(range(8)), tuple(range(8, 16))]
+
+
+class TestConstantTokens:
+    def test_stuck_at_one_run_becomes_constant_token(self):
+        payloads = [bytes([0x80 | (i % 8)]) for i in range(64)]
+        tokens = tokenize(bit_statistics(payloads))
+        constants = [t for t in tokens if t.constant]
+        assert [t.positions for t in constants] == [(7,)]
+        assert positions(tokens) == [(0, 1, 2)]
+
+    def test_never_set_bits_produce_nothing(self):
+        payloads = [bytes([i % 8]) for i in range(64)]
+        tokens = tokenize(bit_statistics(payloads))
+        assert positions(tokens) == [(0, 1, 2)]
+        assert not any(t.constant for t in tokens)
+
+    def test_emit_constants_off(self):
+        payloads = [bytes([0x80 | (i % 8)]) for i in range(64)]
+        config = DiscoveryConfig(emit_constants=False)
+        tokens = tokenize(bit_statistics(payloads), config)
+        assert not any(t.constant for t in tokens)
+
+
+class TestBoundaryRule:
+    def test_rise_from_tail_is_a_boundary(self):
+        config = DiscoveryConfig()
+        assert _is_boundary(0.01, 0.5, config)
+
+    def test_rise_from_busy_bit_is_not(self):
+        config = DiscoveryConfig()
+        assert not _is_boundary(0.4, 0.9, config)
+
+    def test_fall_is_never_a_boundary(self):
+        config = DiscoveryConfig()
+        assert not _is_boundary(0.5, 0.25, config)
+        assert not _is_boundary(0.05, 0.05, config)
+
+
+class TestToken:
+    def test_geometry_accessors(self):
+        token = Token((4, 5, 6))
+        assert token.first_bit == 4
+        assert token.bit_length == 3
+        assert token.bit_set() == frozenset({4, 5, 6})
+
+    def test_encoding_round_trips_positions(self):
+        token = Token(tuple(range(8, 16)) + tuple(range(8)), MOTOROLA)
+        encoding = token.encoding()
+        assert tuple(encoding.bit_positions()) == token.positions
+        assert encoding.byte_order == MOTOROLA
+
+    def test_encoding_rejects_non_contiguous_positions(self):
+        from repro.protocols.signalcodec import CodecError
+
+        with pytest.raises(CodecError):
+            Token((0, 2)).encoding()

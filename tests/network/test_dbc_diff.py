@@ -1,0 +1,173 @@
+"""Structural database diffing (repro dbc diff's engine)."""
+
+from repro.network.database import (
+    MessageDefinition,
+    NetworkDatabase,
+    SignalDefinition,
+)
+from repro.network.dbcio import (
+    MESSAGE_DELTA_KINDS,
+    SIGNAL_DELTA_KINDS,
+    diff_databases,
+)
+from repro.protocols.signalcodec import INTEL, MOTOROLA, SignalEncoding
+
+
+def message(name="M", message_id=1, channel="FC", signals=(), length=8):
+    return MessageDefinition(
+        name=name,
+        message_id=message_id,
+        channel=channel,
+        protocol="CAN",
+        payload_length=length,
+        signals=tuple(signals),
+    )
+
+
+def database(*messages):
+    return NetworkDatabase(tuple(messages))
+
+
+def signal(name="a", start=0, length=8, **kwargs):
+    return SignalDefinition(
+        name, SignalEncoding(start, length, **kwargs)
+    )
+
+
+class TestMessagePairing:
+    def test_identical_databases_diff_empty(self):
+        db = database(message(signals=(signal(),)))
+        diff = diff_databases(db, db)
+        assert diff.is_empty()
+        assert all(v == 0 for v in diff.counts().values())
+
+    def test_missing_and_spurious_messages(self):
+        actual = database(message("ONLY_ACTUAL", 1))
+        recovered = database(message("ONLY_RECOVERED", 2))
+        diff = diff_databases(actual, recovered)
+        kinds = {(d.kind, d.name) for d in diff.message_deltas}
+        assert kinds == {
+            ("missing", "ONLY_ACTUAL"), ("spurious", "ONLY_RECOVERED"),
+        }
+        counts = diff.counts()
+        assert counts["messages.missing"] == 1
+        assert counts["messages.spurious"] == 1
+
+    def test_same_id_on_different_channels_does_not_pair(self):
+        actual = database(message("A", 1, channel="FC"))
+        recovered = database(message("A", 1, channel="BC"))
+        diff = diff_databases(actual, recovered)
+        assert diff.counts()["messages.missing"] == 1
+        assert diff.counts()["messages.spurious"] == 1
+
+
+class TestSignalPairing:
+    def test_missing_and_spurious_signals(self):
+        actual = database(message(signals=(signal("a", 0), signal("b", 8))))
+        recovered = database(message(signals=(signal("a", 0),
+                                              signal("c", 16))))
+        diff = diff_databases(actual, recovered)
+        by_kind = {d.kind: d for d in diff.signal_deltas}
+        assert by_kind["missing"].actual == "b"
+        assert by_kind["spurious"].recovered == "c"
+
+    def test_synthetic_names_pair_by_bit_set(self):
+        # Recovered databases use synthetic names: identical geometry
+        # pairs the signals, so neither side counts as missing.
+        actual = database(message(signals=(signal("speed", 0, 12),)))
+        recovered = database(
+            message("DISC_FC_1",
+                    signals=(signal("disc_fc_1_b0", 0, 12),))
+        )
+        diff = diff_databases(actual, recovered)
+        assert diff.is_empty()
+
+    def test_single_byte_byte_orders_compare_equal(self):
+        # Within one byte, Intel and Motorola walk the same positions
+        # in the same significance order: not a geometry mismatch.
+        actual = database(message(signals=(
+            SignalDefinition("a", SignalEncoding(0, 8, byte_order=INTEL)),
+        )))
+        recovered = database(message(signals=(
+            SignalDefinition(
+                "a", SignalEncoding(7, 8, byte_order=MOTOROLA)
+            ),
+        )))
+        assert diff_databases(actual, recovered).is_empty()
+
+
+class TestMismatchKinds:
+    def test_geometry_mismatch(self):
+        actual = database(message(signals=(signal("a", 0, 12),)))
+        recovered = database(message(signals=(signal("a", 0, 8),)))
+        (delta,) = diff_databases(actual, recovered).signal_deltas
+        assert delta.kind == "geometry_mismatch"
+        assert "bits" in delta.detail
+
+    def test_cross_byte_order_is_a_geometry_mismatch(self):
+        actual = database(message(signals=(
+            SignalDefinition(
+                "a", SignalEncoding(0, 16, byte_order=INTEL)
+            ),
+        )))
+        recovered = database(message(signals=(
+            SignalDefinition(
+                "a", SignalEncoding(7, 16, byte_order=MOTOROLA)
+            ),
+        )))
+        (delta,) = diff_databases(actual, recovered).signal_deltas
+        assert delta.kind == "geometry_mismatch"
+
+    def test_scaling_mismatch(self):
+        actual = database(message(signals=(signal("a", 0, scale=0.1),)))
+        recovered = database(message(signals=(signal("a", 0),)))
+        (delta,) = diff_databases(actual, recovered).signal_deltas
+        assert delta.kind == "scaling_mismatch"
+        assert "scale 0.1 != 1.0" in delta.detail
+
+    def test_signedness_is_a_scaling_mismatch(self):
+        actual = database(message(signals=(signal("a", 0, signed=True),)))
+        recovered = database(message(signals=(signal("a", 0),)))
+        (delta,) = diff_databases(actual, recovered).signal_deltas
+        assert delta.kind == "scaling_mismatch"
+        assert "signed" in delta.detail
+
+    def test_value_table_is_a_scaling_mismatch(self):
+        actual = database(message(signals=(
+            signal("a", 0, 2, value_table=((0, "off"), (1, "on"))),
+        )))
+        recovered = database(message(signals=(signal("a", 0, 2),)))
+        (delta,) = diff_databases(actual, recovered).signal_deltas
+        assert delta.kind == "scaling_mismatch"
+        assert "value_table" in delta.detail
+
+
+class TestDescribe:
+    def test_lines_cover_every_delta(self):
+        actual = database(
+            message("GONE", 9),
+            message(signals=(signal("a", 0, scale=0.5), signal("b", 8))),
+        )
+        recovered = database(
+            message(signals=(signal("a", 0), signal("c", 16))),
+        )
+        diff = diff_databases(actual, recovered)
+        lines = diff.describe()
+        assert len(lines) == len(diff.message_deltas) + len(
+            diff.signal_deltas
+        )
+        assert any(l.startswith("missing message FC 0x9") for l in lines)
+        assert any("scaling_mismatch signal FC 0x1 a" in l for l in lines)
+
+    def test_renamed_pair_mentions_both_names(self):
+        actual = database(message(signals=(signal("speed", 0, scale=0.5),)))
+        recovered = database(
+            message(signals=(signal("disc_fc_1_b0", 0),))
+        )
+        (line,) = diff_databases(actual, recovered).describe()
+        assert "speed" in line
+        assert "(recovered as disc_fc_1_b0)" in line
+
+    def test_kind_tuples_are_exported(self):
+        assert "geometry_mismatch" in SIGNAL_DELTA_KINDS
+        assert MESSAGE_DELTA_KINDS == ("missing", "spurious")

@@ -37,18 +37,38 @@ class TestDump:
         text = dumps_database(wiper_database)
         assert 'CM_ SG_ 17 heat "[ordinal]";' in text
 
-    def test_conditional_layout_rejected(self):
+    def test_conditional_layout_round_trips(self):
         from repro.network.database import NetworkDatabase
         from repro.protocols.someip import ConditionalLayout, OptionalSection
 
-        layout = ConditionalLayout((OptionalSection(0, 1),))
+        layout = ConditionalLayout(
+            (OptionalSection(0, 1), OptionalSection(3, 2))
+        )
         msg = MessageDefinition(
             "S", 1, "ETH", "SOMEIP", 4,
             (SignalDefinition("x", SignalEncoding(0, 8), section_bit=0),),
             layout=layout,
         )
+        text = dumps_database(NetworkDatabase((msg,)))
+        assert 'BA_ "SectionLayout" BO_ 1 "0:1,3:2";' in text
+        assert 'CM_ SG_ 1 x "[numeric][section0]";' in text
+        clone = loads_database(text).message("ETH", 1)
+        assert clone.layout == layout
+        assert clone.signal("x").section_bit == 0
+
+    def test_malformed_section_layout_rejected(self):
+        from repro.network.database import NetworkDatabase
+        from repro.protocols.someip import ConditionalLayout, OptionalSection
+
+        layout = ConditionalLayout((OptionalSection(0, 1),))
+        msg = MessageDefinition(
+            "S", 1, "ETH", "SOMEIP", 2,
+            (SignalDefinition("x", SignalEncoding(0, 8), section_bit=0),),
+            layout=layout,
+        )
+        text = dumps_database(NetworkDatabase((msg,)))
         with pytest.raises(DbcError):
-            dumps_database(NetworkDatabase((msg,)))
+            loads_database(text.replace('"0:1"', '"0:1,bogus"'))
 
 
 class TestRoundTrip:

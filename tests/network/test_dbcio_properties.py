@@ -66,6 +66,107 @@ def test_property_dbc_round_trip_preserves_encodings(message):
         assert clone.signal(signal.name).encoding == signal.encoding
 
 
+@st.composite
+def mux_message_strategy(draw):
+    """Messages with a selector and value-multiplexed signals."""
+    selector = SignalDefinition(
+        "selector", SignalEncoding(start_bit=0, bit_length=4)
+    )
+    signals = [selector]
+    encodings = [selector.encoding]
+    count = draw(st.integers(min_value=1, max_value=4))
+    for i in range(count):
+        encoding = draw(encoding_strategy)
+        if any(overlaps(encoding, e) for e in encodings):
+            continue
+        encodings.append(encoding)
+        signals.append(
+            SignalDefinition(
+                "mux_{}".format(i),
+                encoding,
+                mux_value=draw(st.integers(min_value=0, max_value=15)),
+            )
+        )
+    assume(len(signals) > 1)
+    return MessageDefinition(
+        name="MUXED",
+        message_id=draw(st.integers(min_value=1, max_value=0x7FF)),
+        channel="FC",
+        protocol="CAN",
+        payload_length=8,
+        signals=tuple(signals),
+        multiplexor="selector",
+    )
+
+
+@st.composite
+def sectioned_message_strategy(draw):
+    """SOME/IP messages with presence-conditional sections."""
+    from repro.protocols.someip import ConditionalLayout, OptionalSection
+
+    mask_bits = sorted(
+        draw(st.sets(st.integers(min_value=0, max_value=7),
+                     min_size=1, max_size=3))
+    )
+    sections = []
+    signals = []
+    for index, mask_bit in enumerate(mask_bits):
+        length = draw(st.integers(min_value=1, max_value=3))
+        sections.append(OptionalSection(mask_bit, length))
+        width = draw(st.integers(min_value=1, max_value=8))
+        order = draw(st.sampled_from([INTEL, MOTOROLA]))
+        byte = draw(st.integers(min_value=0, max_value=length - 1))
+        start = byte * 8 + (width - 1 if order == MOTOROLA else 0)
+        signals.append(
+            SignalDefinition(
+                "sec_{}".format(index),
+                SignalEncoding(
+                    start_bit=start,
+                    bit_length=width,
+                    byte_order=order,
+                    signed=draw(st.booleans()),
+                ),
+                section_bit=mask_bit,
+            )
+        )
+    layout = ConditionalLayout(tuple(sections))
+    return MessageDefinition(
+        name="SECTIONED",
+        message_id=draw(st.integers(min_value=1, max_value=0x7FF)),
+        channel="ETH",
+        protocol="SOMEIP",
+        payload_length=1 + sum(s.length for s in sections),
+        signals=tuple(signals),
+        layout=layout,
+    )
+
+
+@given(message=mux_message_strategy())
+@settings(max_examples=60, deadline=None)
+def test_property_dbc_round_trip_preserves_multiplexing(message):
+    database = NetworkDatabase((message,))
+    loaded = loads_database(dumps_database(database))
+    clone = loaded.message("FC", message.message_id)
+    assert clone.multiplexor == "selector"
+    for signal in message.signals:
+        twin = clone.signal(signal.name)
+        assert twin.mux_value == signal.mux_value
+        assert twin.encoding == signal.encoding
+
+
+@given(message=sectioned_message_strategy())
+@settings(max_examples=60, deadline=None)
+def test_property_dbc_round_trip_preserves_sections(message):
+    database = NetworkDatabase((message,))
+    loaded = loads_database(dumps_database(database))
+    clone = loaded.message("ETH", message.message_id)
+    assert clone.layout == message.layout
+    for signal in message.signals:
+        twin = clone.signal(signal.name)
+        assert twin.section_bit == signal.section_bit
+        assert twin.encoding == signal.encoding
+
+
 @given(
     message=message_strategy(),
     raws=st.lists(st.integers(min_value=0), min_size=4, max_size=4),

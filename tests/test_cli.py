@@ -194,6 +194,149 @@ class TestShowParams:
         )
 
 
+class TestDiscover:
+    def test_happy_path_writes_loadable_dbc_and_valid_report(
+        self, trace_file, tmp_path
+    ):
+        out_dir = tmp_path / "recovered"
+        report_path = tmp_path / "report.json"
+        code, out = run_cli(
+            "discover", "--trace", str(trace_file),
+            "--out-dir", str(out_dir),
+            "--dataset", "SYN", "--report", str(report_path),
+        )
+        assert code == 0
+        assert "discovered" in out
+        assert "translation tuples" in out
+        assert "vs SYN ground truth" in out
+        from repro.network.dbcio import load_database
+
+        dbc_files = sorted(out_dir.glob("recovered_*.dbc"))
+        assert dbc_files
+        db = load_database(dbc_files[0])
+        assert len(db) > 0
+        from repro.discovery import validate_discovery_report
+
+        payload = validate_discovery_report(report_path.read_text())
+        assert payload["meta"]["trace"] == str(trace_file)
+        assert payload["counters"]["discovery.messages"] > 0
+
+    def test_coverage_flag_runs_the_pipeline(self, trace_file, tmp_path):
+        code, out = run_cli(
+            "discover", "--trace", str(trace_file),
+            "--out-dir", str(tmp_path / "d"),
+            "--dataset", "SYN", "--coverage",
+        )
+        assert code == 0
+        assert "pipeline coverage:" in out
+
+    def test_report_without_dataset_is_unscored(
+        self, trace_file, tmp_path
+    ):
+        report_path = tmp_path / "report.json"
+        code, out = run_cli(
+            "discover", "--trace", str(trace_file),
+            "--out-dir", str(tmp_path / "d"),
+            "--report", str(report_path),
+        )
+        assert code == 0
+        from repro.discovery import validate_discovery_report
+
+        payload = validate_discovery_report(report_path.read_text())
+        assert payload["messages"] == []
+        assert payload["totals"]["f1"] == 0.0
+
+    def test_partial_database_merges(self, trace_file, tmp_path):
+        truth_dir = tmp_path / "truth"
+        run_cli("export-dbc", "--dataset", "SYN",
+                "--out-dir", str(truth_dir))
+        code, out = run_cli(
+            "discover", "--trace", str(trace_file),
+            "--out-dir", str(tmp_path / "d"),
+            "--partial-dbc", str(truth_dir / "syn_FC.dbc"),
+        )
+        assert code == 0
+        assert "merged partial database" in out
+
+    def test_missing_trace_errors(self, tmp_path, capsys):
+        code, _out = run_cli(
+            "discover", "--trace", str(tmp_path / "ghost.trc"),
+            "--out-dir", str(tmp_path / "d"),
+        )
+        assert code == 2
+        assert "error: trace:" in capsys.readouterr().err
+
+    def test_corrupt_trace_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trc"
+        bad.write_text("this is not a trace\n")
+        code, _out = run_cli(
+            "discover", "--trace", str(bad),
+            "--out-dir", str(tmp_path / "d"),
+        )
+        assert code == 2
+        assert "error: trace:" in capsys.readouterr().err
+
+    def test_conflicting_partial_databases_error(
+        self, trace_file, tmp_path, capsys
+    ):
+        truth_dir = tmp_path / "truth"
+        run_cli("export-dbc", "--dataset", "SYN",
+                "--out-dir", str(truth_dir))
+        fc = str(truth_dir / "syn_FC.dbc")
+        code, _out = run_cli(
+            "discover", "--trace", str(trace_file),
+            "--out-dir", str(tmp_path / "d"),
+            "--partial-dbc", fc, "--partial-dbc", fc,
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: dbc: conflicting partial databases" in err
+
+    def test_bad_min_frames_errors(self, trace_file, tmp_path, capsys):
+        code, _out = run_cli(
+            "discover", "--trace", str(trace_file),
+            "--out-dir", str(tmp_path / "d"), "--min-frames", "1",
+        )
+        assert code == 2
+        assert "error: params:" in capsys.readouterr().err
+
+
+class TestDbcDiff:
+    @pytest.fixture(scope="class")
+    def truth_dir(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("dbc")
+        code, _out = run_cli(
+            "export-dbc", "--dataset", "SYN", "--out-dir", str(out_dir)
+        )
+        assert code == 0
+        return out_dir
+
+    def test_identical_databases_exit_zero(self, truth_dir):
+        fc = str(truth_dir / "syn_FC.dbc")
+        code, out = run_cli("dbc", "diff", "--actual", fc,
+                            "--recovered", fc)
+        assert code == 0
+        assert "databases are structurally identical" in out
+
+    def test_differing_databases_exit_one(self, truth_dir):
+        code, out = run_cli(
+            "dbc", "diff",
+            "--actual", str(truth_dir / "syn_FC.dbc"),
+            "--recovered", str(truth_dir / "syn_BC.dbc"),
+        )
+        assert code == 1
+        assert "diff:" in out
+
+    def test_missing_file_errors(self, truth_dir, tmp_path, capsys):
+        code, _out = run_cli(
+            "dbc", "diff",
+            "--actual", str(truth_dir / "syn_FC.dbc"),
+            "--recovered", str(tmp_path / "ghost.dbc"),
+        )
+        assert code == 2
+        assert "error: dbc:" in capsys.readouterr().err
+
+
 class TestStream:
     @pytest.fixture(scope="class")
     def short_trace(self, tmp_path_factory):
