@@ -126,6 +126,14 @@ def join_rules(k_pre, catalog_table):
     *catalog_table* must have the ``U_REL_COLUMNS`` layout (built by
     :meth:`RuleCatalog.to_table`). Every trace row is replicated once per
     signal to extract from it.
+
+    Physically this is a broadcast join (the catalog always fits in
+    memory), and under the columnar exchange it runs as a columnar
+    broadcast join: the (b_id, m_id) keys hash straight off the trace's
+    key columns and matching rows are index-gathered, never transposed
+    to row tuples. The executor falls back to the row join per task
+    when a key column holds non-scalar objects or NaN floats (NaN keys
+    would depend on object identity in the row path's dict probe).
     """
     missing = [c for c in ("b_id", "m_id") if c not in catalog_table.schema]
     if missing:

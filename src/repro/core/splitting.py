@@ -78,9 +78,12 @@ def equality_split(k_s_sid, signal_id):
     # One routed pass yields every channel's table; each inherits the
     # (b_id, t) sort, so its value column is already time-ordered.
     per_channel = ordered.split_by_key("b_id")
-    v_index = ordered.schema.index_of("v")
+    # Only the value column matters for ``e``: projecting to it keeps
+    # the comparison a narrow single-column read of each split group
+    # (which arrives as a columnar partition under the columnar
+    # exchange) instead of materializing every full row.
     sequences = {
-        b_id: [row[v_index] for row in table.collect()]
+        b_id: table.column_values("v")
         for b_id, table in per_channel.items()
     }
     if not sequences:

@@ -105,6 +105,13 @@ KERNELS_ENV = "REPRO_KERNELS"
 #: kernels; ``off`` restores row kernels everywhere.
 COLUMNAR_ENV = "REPRO_COLUMNAR"
 
+#: Environment variable selecting the columnar wide-stage exchange:
+#: whether partitions cross broadcast-join and shuffle boundaries as
+#: :class:`~repro.engine.columnar.ColumnarPartition` buffers. ``off``
+#: restores the row exchange; unset defers to the executor's default
+#: (columnar kernels enabled implies columnar exchange).
+EXCHANGE_ENV = "REPRO_COLUMNAR_EXCHANGE"
+
 #: Python operator symbols for :data:`repro.engine.expressions._BINARY_OPS`.
 _BINARY_SYMBOLS = {
     "eq": "==",
@@ -149,6 +156,23 @@ def columnar_enabled(value=None):
     """
     if value is None:
         value = os.environ.get(COLUMNAR_ENV, "columnar")
+    off = ("row", "rows", "off", "0", "false", "no")
+    return str(value).strip().lower() not in off
+
+
+def exchange_enabled(value=None, default=True):
+    """Resolve the columnar wide-stage exchange flag.
+
+    *value* overrides everything when given; otherwise the
+    ``REPRO_COLUMNAR_EXCHANGE`` environment variable decides, and an
+    unset environment resolves to *default* (executors pass their
+    kernel-layer default through here, so a row-kernel executor keeps a
+    row exchange unless explicitly asked otherwise).
+    """
+    if value is None:
+        value = os.environ.get(EXCHANGE_ENV)
+        if value is None:
+            return bool(default)
     off = ("row", "rows", "off", "0", "false", "no")
     return str(value).strip().lower() not in off
 
@@ -622,16 +646,21 @@ class ColumnarPartitionTask:
 
     Accepts either a :class:`~repro.engine.columnar.ColumnarPartition`
     (columnar sources pass their buffers straight through) or a row
-    list (transposed on entry), and always returns a row list so wide
-    stages, fault poisoning and result collection are layout-agnostic.
-    Pickles as (steps, width, kernel_id) like
-    :class:`CompiledPartitionTask`; workers recompile lazily through
-    the structural cache.
+    list (transposed on entry). ``emit`` selects the output boundary:
+    ``"rows"`` transposes back to a row list (collect/storage edges,
+    where wide stages and result collection expect row tuples);
+    ``"partition"`` wraps the kernel's output columns in a
+    ``ColumnarPartition`` so a downstream wide stage -- the columnar
+    broadcast join or shuffle -- consumes the buffers without a
+    transpose round-trip. Pickles as (steps, width, kernel_id, emit)
+    like :class:`CompiledPartitionTask`; workers recompile lazily
+    through the structural cache.
     """
 
     steps: tuple
     width: int
     kernel_id: str = ""
+    emit: str = "rows"
 
     def __call__(self, partition):
         kernel = getattr(self, "_ckernel", None)
@@ -655,19 +684,22 @@ class ColumnarPartitionTask:
             else:
                 columns = [()] * self.width
         columns, length = kernel(columns, length)
+        if self.emit == "partition":
+            return ColumnarPartition(columns, length)
         return columns_to_rows(columns, length)
 
     def __getstate__(self):
-        return (self.steps, self.width, self.kernel_id)
+        return (self.steps, self.width, self.kernel_id, self.emit)
 
     def __setstate__(self, state):
-        steps, width, kernel_id = state
+        steps, width, kernel_id, emit = state
         object.__setattr__(self, "steps", steps)
         object.__setattr__(self, "width", width)
         object.__setattr__(self, "kernel_id", kernel_id)
+        object.__setattr__(self, "emit", emit)
 
 
-def compile_columnar_task(steps, width, registry=None):
+def compile_columnar_task(steps, width, registry=None, emit="rows"):
     """Compile a narrow-step chain into a :class:`ColumnarPartitionTask`.
 
     Returns None when the chain has no Filter or Project (mirroring
@@ -685,6 +717,6 @@ def compile_columnar_task(steps, width, registry=None):
     kernel, kernel_id = _build_columnar_kernel(
         steps, width, registry=registry
     )
-    task = ColumnarPartitionTask(steps, width, kernel_id)
+    task = ColumnarPartitionTask(steps, width, kernel_id, emit)
     object.__setattr__(task, "_ckernel", kernel)
     return task

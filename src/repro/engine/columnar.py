@@ -18,13 +18,16 @@ is an identity: ``True`` never comes back as ``1``, ``1`` never as
 ``1.0``, big ints that overflow 64 bits stay objects. The property
 tests in ``tests/engine/test_columnar.py`` pin this.
 
-Executors keep exchanging row lists between wide stages; columnar
-partitions appear in two places only: inside :class:`~repro.engine.plan.Source`
-nodes (built by :meth:`EngineContext.table_from_columnar` or the
-columnar tracefile reader) and inside the generated columnar batch
-kernels of :mod:`repro.engine.codegen`, which consume them natively and
-emit row lists. Everything else converts through
-:func:`as_row_partition`.
+Columnar partitions are the engine's inter-stage currency: they appear
+inside :class:`~repro.engine.plan.Source` nodes (built by
+:meth:`EngineContext.table_from_columnar` or the columnar tracefile
+reader), inside the generated columnar batch kernels of
+:mod:`repro.engine.codegen`, and -- since the wide-stage lowering --
+crossing shuffle and broadcast-join boundaries between stages, where
+:meth:`ColumnarPartition.gather` reassembles buckets and join outputs
+by index without materializing intermediate row tuples. Rows are
+materialized only at storage/collect edges (and per task wherever a
+chain or stage cannot run columnar), via :func:`as_row_partition`.
 
 Instances are treated as read-only once built; kernels always allocate
 fresh column lists instead of mutating buffers, so a partition can be
@@ -40,6 +43,8 @@ __all__ = [
     "ColumnarPartition",
     "as_row_partition",
     "columns_to_rows",
+    "concat_partitions",
+    "gather_column",
 ]
 
 
@@ -121,6 +126,99 @@ def _build_column(values):
     return list(values)
 
 
+def gather_column(column, indices):
+    """Select ``column[i] for i in indices`` preserving the buffer kind.
+
+    Typed buffers stay typed (``array('q')`` gathers into ``array('q')``,
+    mmap'ed ``memoryview`` columns into an equivalent ``array``,
+    :class:`BytesColumn` into a fresh blob+offsets plane); everything
+    else -- object lists, tuple columns from row transposes, lazy
+    decoded columns -- gathers into a plain object list. Cell values are
+    exactly what indexing the source column yields, so a gather composes
+    with :func:`columns_to_rows` into the same row tuples a row-level
+    selection would build.
+    """
+    if isinstance(column, array):
+        return array(column.typecode, map(column.__getitem__, indices))
+    if isinstance(column, memoryview):
+        return array(column.format, map(column.__getitem__, indices))
+    if isinstance(column, BytesColumn):
+        offsets = column.offsets
+        blob = column.blob
+        out_offsets = array("Q", [0])
+        chunks = []
+        total = 0
+        for i in indices:
+            chunk = blob[offsets[i] : offsets[i + 1]]
+            total += len(chunk)
+            out_offsets.append(total)
+            chunks.append(chunk)
+        # bytes() flattens memoryview chunks from mmap-backed blobs.
+        return BytesColumn(out_offsets, bytes(b"".join(chunks)))
+    return [column[i] for i in indices]
+
+
+def _concat_column(columns):
+    """Concatenate per-partition buffers of one column, preserving kind.
+
+    All-``array`` runs of one typecode stay a single array (memoryviews
+    count as arrays of their format); all-:class:`BytesColumn` runs
+    splice blobs and rebase offsets. Mixed kinds fall back to one object
+    list, which keeps exact cell types because iterating any column kind
+    yields the original cell values.
+    """
+    kinds = set()
+    for column in columns:
+        if isinstance(column, array):
+            kinds.add(("array", column.typecode))
+        elif isinstance(column, memoryview):
+            kinds.add(("array", column.format))
+        elif isinstance(column, BytesColumn):
+            kinds.add(("bytes", ""))
+        else:
+            kinds.add(("object", ""))
+    if len(kinds) == 1:
+        kind, code = next(iter(kinds))
+        if kind == "array":
+            out = array(code)
+            for column in columns:
+                out.extend(column)
+            return out
+        if kind == "bytes":
+            offsets = array("Q", [0])
+            chunks = []
+            total = 0
+            for column in columns:
+                base = column.offsets[0]
+                for end in column.offsets[1:]:
+                    offsets.append(total + end - base)
+                chunks.append(column.blob[base : column.offsets[-1]])
+                total += column.offsets[-1] - base
+            return BytesColumn(offsets, bytes(b"".join(chunks)))
+    out = []
+    for column in columns:
+        out.extend(column)
+    return out
+
+
+def concat_partitions(partitions, width):
+    """Concatenate columnar partitions into one, column by column.
+
+    *width* disambiguates the zero-partition case. Row order is
+    partition order then intra-partition order -- the same order a
+    row-level ``[r for p in partitions for r in p]`` flatten yields.
+    """
+    partitions = list(partitions)
+    if not partitions:
+        return ColumnarPartition([[] for _unused in range(width)], 0)
+    length = sum(len(p) for p in partitions)
+    columns = [
+        _concat_column([p.column(i) for p in partitions])
+        for i in range(width)
+    ]
+    return ColumnarPartition(columns, length)
+
+
 def columns_to_rows(columns, length):
     """Transpose column sequences back into a list of row tuples.
 
@@ -182,6 +280,21 @@ class ColumnarPartition:
 
     def column(self, index):
         return self.columns[index]
+
+    def gather(self, indices):
+        """A new partition holding rows ``indices``, in that order.
+
+        The index-level equivalent of selecting rows from
+        :meth:`to_rows`: every column is gathered independently through
+        :func:`gather_column`, so no intermediate row tuples exist.
+        *indices* may be any re-iterable of in-range row positions
+        (list, array, range).
+        """
+        indices = indices if isinstance(indices, (list, range)) else list(indices)
+        return ColumnarPartition(
+            [gather_column(c, indices) for c in self.columns],
+            len(indices),
+        )
 
     def nbytes(self):
         """Approximate buffer footprint (feeds the partition_bytes gauge).

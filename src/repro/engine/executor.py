@@ -22,9 +22,16 @@ import time
 import zlib
 from dataclasses import dataclass, field
 
+from array import array
+
 from repro.engine import codegen
 from repro.engine import plan as logical
-from repro.engine.columnar import ColumnarPartition, as_row_partition
+from repro.engine.columnar import (
+    BytesColumn,
+    ColumnarPartition,
+    as_row_partition,
+    concat_partitions,
+)
 from repro.engine.errors import (
     ExecutionError,
     InjectedFaultError,
@@ -36,6 +43,9 @@ from repro.engine.operations import (
     BucketAggregateTask,
     BucketJoinTask,
     CarryMapTask,
+    ColumnarBroadcastJoinTask,
+    ColumnarSplitRouteTask,
+    _key_tuples,
     FilterStep,
     FlatMapStep,
     MapPartitionStep,
@@ -44,6 +54,8 @@ from repro.engine.operations import (
     SortPartitionTask,
     SplitRouteTask,
     hash_partition,
+    hash_partition_columnar,
+    split_columnar_evenly,
     split_evenly,
 )
 from repro.obs import MetricsRegistry, RuleFireCounter, stopwatch
@@ -73,6 +85,9 @@ _EXECUTOR_COUNTERS = (
     "kernel_fallbacks",
     "columnar_tasks",
     "columnar_fallbacks",
+    "columnar_join_tasks",
+    "columnar_shuffle_tasks",
+    "columnar_exchange_bytes",
 )
 
 #: Entries kept in the per-executor split cache (materialized routings
@@ -158,6 +173,18 @@ class ExecutorMetrics:
     def columnar_fallbacks(self):
         return self._value("columnar_fallbacks")
 
+    @property
+    def columnar_join_tasks(self):
+        return self._value("columnar_join_tasks")
+
+    @property
+    def columnar_shuffle_tasks(self):
+        return self._value("columnar_shuffle_tasks")
+
+    @property
+    def columnar_exchange_bytes(self):
+        return self._value("columnar_exchange_bytes")
+
     def reset(self):
         for name in _EXECUTOR_COUNTERS:
             self.registry.counter("executor." + name).value = 0
@@ -222,8 +249,15 @@ class FaultPolicy:
         if self.should_delay(stage, partition):
             time.sleep(self.delay_seconds)
         out = task(x)
-        if self.should_poison(stage, partition) and isinstance(out, list) and out:
-            out = out[:-1]
+        if self.should_poison(stage, partition):
+            # Silent row loss must corrupt either layout: list outputs
+            # drop their last element, columnar outputs their last row
+            # -- so the differential oracle's poison-mutant detection
+            # holds on the columnar wide path too.
+            if isinstance(out, list) and out:
+                out = out[:-1]
+            elif isinstance(out, ColumnarPartition) and len(out):
+                out = out.gather(range(len(out) - 1))
         return out
 
 
@@ -275,11 +309,22 @@ class Executor:
         that loop over column buffers; chains that do not lower fall
         back to the row path (counted as ``executor.columnar_fallbacks``).
         Requires ``compile_kernels``; None resolves from the environment.
+    columnar_exchange:
+        Whether partitions cross wide-stage boundaries (broadcast join,
+        shuffle routing, repartition -- including the process-pool
+        pickle boundary) as :class:`~repro.engine.columnar.ColumnarPartition`
+        buffers instead of row lists. None resolves from
+        ``REPRO_COLUMNAR_EXCHANGE``, defaulting to on exactly when both
+        kernel layers are on (so interpreted/row-kernel executors keep
+        a pure row exchange). Stages whose inputs are mixed-layout or
+        whose key columns are not scalar-typed fall back to the row
+        path per stage, counted as ``executor.columnar_fallbacks``.
     """
 
     def __init__(self, default_parallelism=4, optimize_plans=True,
                  fault_policy=None, max_task_retries=2, retry_backoff=0.01,
-                 compile_kernels=None, columnar_kernels=None):
+                 compile_kernels=None, columnar_kernels=None,
+                 columnar_exchange=None):
         if default_parallelism < 1:
             raise ValueError("default_parallelism must be >= 1")
         if max_task_retries < 0:
@@ -291,6 +336,10 @@ class Executor:
         self.retry_backoff = retry_backoff
         self.compile_kernels = codegen.kernels_enabled(compile_kernels)
         self.columnar_kernels = codegen.columnar_enabled(columnar_kernels)
+        self.columnar_exchange = codegen.exchange_enabled(
+            columnar_exchange,
+            default=self.compile_kernels and self.columnar_kernels,
+        )
         self.obs = MetricsRegistry()
         self.metrics = ExecutorMetrics(self.obs)
         self._stage_seq = 0
@@ -385,7 +434,27 @@ class Executor:
 
     # -- physical planning -----------------------------------------------
     def execute(self, node):
-        """Materialize a plan node into a list of row-tuple partitions."""
+        """Materialize a plan node into a list of row-tuple partitions.
+
+        This is the collect/storage edge: whatever layout the stages
+        used internally, callers receive row lists. Wide stages recurse
+        through :meth:`_execute_partitions` instead, which preserves
+        the columnar layout across stage boundaries.
+        """
+        partitions = self._execute_partitions(node, to_rows=True)
+        return [as_row_partition(p) for p in partitions]
+
+    def _execute_partitions(self, node, to_rows=False):
+        """Execute *node*, preserving partition layout.
+
+        Returns a list of partitions that may mix row lists and
+        :class:`~repro.engine.columnar.ColumnarPartition` buffers --
+        whichever layout each stage produced. With ``to_rows`` the
+        trailing narrow chain emits row lists directly (saving the
+        final transpose for the caller-facing :meth:`execute` edge);
+        without it, columnar-lowered chains emit columnar partitions so
+        downstream wide stages consume buffers.
+        """
         from repro.engine.optimizer import optimize
 
         if self.optimize_plans:
@@ -399,14 +468,15 @@ class Executor:
         if columnar_bytes:
             self.obs.set_gauge("executor.partition_bytes", columnar_bytes)
         if steps:
-            task = self._narrow_task(steps, input_width=len(base.schema))
+            emit = "rows" if to_rows or not self.columnar_exchange \
+                else "partition"
+            task = self._narrow_task(
+                steps, input_width=len(base.schema), emit=emit
+            )
             partitions = self._run(task, partitions, "narrow")
-        # Row lists are the engine's output (and inter-stage) currency;
-        # columnar partitions surface unconverted only when a bare
-        # columnar Source reaches this point.
-        return [as_row_partition(p) for p in partitions]
+        return partitions
 
-    def _narrow_task(self, steps, input_width=None):
+    def _narrow_task(self, steps, input_width=None, emit="rows"):
         """Build the fused per-partition task for a narrow chain.
 
         Columnar batch kernels are tried first (pure Filter/Project
@@ -414,7 +484,10 @@ class Executor:
         :class:`PartitionTask` serves as the explicit fallback
         (``compile_kernels=False`` / ``REPRO_KERNELS=interpret``), for
         chains with nothing to compile, and -- counted as
-        ``executor.kernel_fallbacks`` -- when lowering fails.
+        ``executor.kernel_fallbacks`` -- when lowering fails. *emit*
+        selects the columnar task's output boundary (row lists or a
+        columnar partition for a downstream wide stage); the row paths
+        always emit rows.
         """
         steps = tuple(steps)
         if (
@@ -424,7 +497,7 @@ class Executor:
         ):
             try:
                 task = codegen.compile_columnar_task(
-                    steps, input_width, registry=self.obs
+                    steps, input_width, registry=self.obs, emit=emit
                 )
             except codegen.CodegenError:
                 self.obs.inc("executor.columnar_fallbacks")
@@ -481,7 +554,12 @@ class Executor:
         if isinstance(node, logical.Join):
             return self._execute_join(node)
         if isinstance(node, logical.Union):
-            return self.execute(node.left) + self.execute(node.right)
+            # Layout-preserving: each side keeps whatever layout its
+            # stages produced; consumers handle mixed partition lists.
+            return (
+                self._execute_partitions(node.left)
+                + self._execute_partitions(node.right)
+            )
         if isinstance(node, logical.GroupBy):
             return self._execute_group_by(node)
         if isinstance(node, logical.Sort):
@@ -497,32 +575,98 @@ class Executor:
             parts = groups.get(node.group)
             if parts is None:
                 return [[] for _unused in range(num_partitions)]
-            return [list(p) for p in parts]
+            # Columnar group partitions are read-only by contract and
+            # safe to share with the split cache; row lists are copied
+            # so tasks can never alias cached state.
+            return [
+                p if isinstance(p, ColumnarPartition) else list(p)
+                for p in parts
+            ]
         raise PlanError("unknown plan node {!r}".format(type(node).__name__))
 
+    # -- columnar wide-stage gating --------------------------------------
+    def _columnar_stage_ok(self, parts, key_indices, reject_nan=False):
+        """True when a wide stage can run columnar over *parts*.
+
+        Requires the columnar exchange to be on, every input partition
+        columnar (mixed-layout stages fall back whole) and every key
+        column scalar-typed, so key tuples built from buffers hash and
+        compare exactly like the row path's. ``reject_nan``
+        additionally routes float key columns containing NaN to the row
+        path: dict-based join matching on NaN keys is object-identity
+        dependent, and gathering a buffer materializes fresh float
+        objects.
+        """
+        if not self.columnar_exchange or not parts:
+            return False
+        if not all(isinstance(p, ColumnarPartition) for p in parts):
+            return False
+        for part in parts:
+            for i in key_indices:
+                column = part.column(i)
+                if not _scalar_key_column(column):
+                    return False
+                if reject_nan and _column_has_nan(column):
+                    return False
+        return True
+
+    def _note_columnar_fallback(self, parts):
+        """Count a wide stage that had columnar inputs but ran rows."""
+        if self.columnar_exchange and any(
+            isinstance(p, ColumnarPartition) for p in parts
+        ):
+            self.obs.inc("executor.columnar_fallbacks")
+
+    def _count_columnar_exchange(self, parts, counter, tasks):
+        """Account a columnar wide stage: task count plus buffer bytes.
+
+        ``executor.columnar_exchange_bytes`` accumulates the
+        :meth:`~repro.engine.columnar.ColumnarPartition.nbytes` of
+        every partition entering a wide stage in columnar form -- the
+        bytes that crossed a stage boundary (and, under the
+        multiprocessing executor, the process-pool pickle boundary)
+        without a row detour.
+        """
+        self.obs.inc("executor." + counter, tasks)
+        nbytes = sum(
+            p.nbytes() for p in parts if isinstance(p, ColumnarPartition)
+        )
+        if nbytes:
+            self.obs.inc("executor.columnar_exchange_bytes", nbytes)
+
     def _execute_join(self, node):
-        left_parts = self.execute(node.left)
-        right_parts = self.execute(node.right)
+        left_parts = self._execute_partitions(node.left)
+        right_parts = self._execute_partitions(node.right)
         left_schema = node.left.schema
         right_schema = node.right.schema
         left_keys = tuple(left_schema.index_of(k) for k in node.left_keys)
         right_keys = tuple(right_schema.index_of(k) for k in node.right_keys)
         right_width = len(right_schema) - len(right_keys)
-        right_rows = [r for p in right_parts for r in p]
-        if len(right_rows) <= BROADCAST_THRESHOLD:
+        right_count = sum(len(p) for p in right_parts)
+        if right_count <= BROADCAST_THRESHOLD:
             self.obs.inc("executor.broadcast_joins")
-            index = {}
-            drop = set(right_keys)
-            for row in right_rows:
-                key = tuple(row[i] for i in right_keys)
-                rem = tuple(v for i, v in enumerate(row) if i not in drop)
-                index.setdefault(key, []).append(rem)
+            index = _broadcast_index(right_parts, right_keys)
+            if self._columnar_stage_ok(left_parts, left_keys,
+                                       reject_nan=True):
+                self._count_columnar_exchange(
+                    left_parts, "columnar_join_tasks", len(left_parts)
+                )
+                task = ColumnarBroadcastJoinTask(
+                    left_keys, index, node.how, right_width
+                )
+                return self._run(task, left_parts, "broadcast-join")
+            self._note_columnar_fallback(left_parts)
+            left_parts = [as_row_partition(p) for p in left_parts]
             task = BroadcastJoinTask(left_keys, index, node.how, right_width)
             return self._run(task, left_parts, "broadcast-join")
-        # Large right side: hash-shuffle both sides into aligned buckets.
+        # Large right side: hash-shuffle both sides into aligned buckets
+        # (row path: bucket pairs interleave both sides' rows, which has
+        # no columnar layout to preserve).
         self.obs.inc("executor.shuffles")
+        self._note_columnar_fallback(left_parts + right_parts)
         buckets = max(self.default_parallelism, 1)
-        left_rows = [r for p in left_parts for r in p]
+        left_rows = [r for p in left_parts for r in as_row_partition(p)]
+        right_rows = [r for p in right_parts for r in as_row_partition(p)]
         self.obs.inc("executor.rows_shuffled", len(left_rows) + len(right_rows))
         left_buckets = hash_partition(left_rows, left_keys, buckets)
         right_buckets = hash_partition(right_rows, right_keys, buckets)
@@ -569,26 +713,59 @@ class Executor:
         return split_evenly(ordered, self.default_parallelism)
 
     def _execute_repartition(self, node):
-        child_parts = self.execute(node.child)
-        rows = [r for p in child_parts for r in p]
-        self.obs.inc("executor.shuffles")
-        self.obs.inc("executor.rows_shuffled", len(rows))
+        child_parts = self._execute_partitions(node.child)
+        key_indices = ()
         if node.keys:
             schema = node.child.schema
             key_indices = tuple(schema.index_of(k) for k in node.keys)
+        self.obs.inc("executor.shuffles")
+        total = sum(len(p) for p in child_parts)
+        self.obs.inc("executor.rows_shuffled", total)
+        if self._columnar_stage_ok(child_parts, key_indices):
+            width = len(node.child.schema)
+            self._count_columnar_exchange(
+                child_parts, "columnar_shuffle_tasks", len(child_parts)
+            )
+            if node.keys:
+                # Per-partition bucketing then per-bucket concatenation
+                # in partition order reproduces the row path's
+                # flatten-then-bucket order exactly.
+                routed = [
+                    hash_partition_columnar(p, key_indices,
+                                            node.num_partitions)
+                    for p in child_parts
+                ]
+                return [
+                    concat_partitions(
+                        [buckets[i] for buckets in routed], width
+                    )
+                    for i in range(node.num_partitions)
+                ]
+            return split_columnar_evenly(
+                concat_partitions(child_parts, width), node.num_partitions
+            )
+        self._note_columnar_fallback(child_parts)
+        rows = [r for p in child_parts for r in as_row_partition(p)]
+        if node.keys:
             return hash_partition(rows, key_indices, node.num_partitions)
         return split_evenly(rows, node.num_partitions)
 
     def _execute_limit(self, node):
-        child_parts = self.execute(node.child)
+        child_parts = self._execute_partitions(node.child)
         remaining = node.n
         out = []
         for part in child_parts:
             if remaining <= 0:
                 out.append([])
             elif len(part) <= remaining:
-                out.append(list(part))
+                out.append(
+                    part if isinstance(part, ColumnarPartition)
+                    else list(part)
+                )
                 remaining -= len(part)
+            elif isinstance(part, ColumnarPartition):
+                out.append(part.gather(range(remaining)))
+                remaining = 0
             else:
                 out.append(list(part[:remaining]))
                 remaining = 0
@@ -634,21 +811,48 @@ class Executor:
             if cached is not None:
                 self.obs.inc("executor.split_cache_hits")
                 return cached
-        child_parts = self.execute(child)
+        child_parts = self._execute_partitions(child)
         key_index = child.schema.index_of(key)
-        routed = self._run(SplitRouteTask(key_index), child_parts, "split")
         num_partitions = len(child_parts)
         groups = {}
         total_rows = 0
-        for part_index, pairs in enumerate(routed):
-            total_rows += len(pairs)
-            for group, row in pairs:
-                parts = groups.get(group)
-                if parts is None:
-                    parts = groups[group] = [
-                        [] for _unused in range(num_partitions)
-                    ]
-                parts[part_index].append(row)
+        if self._columnar_stage_ok(child_parts, (key_index,)):
+            self._count_columnar_exchange(
+                child_parts, "columnar_shuffle_tasks", len(child_parts)
+            )
+            routed = self._run(
+                ColumnarSplitRouteTask(key_index), child_parts, "split"
+            )
+            # Group partitions stay columnar; slots for partitions that
+            # hold no rows of a group share one empty partition (all
+            # read-only by contract).
+            empty = ColumnarPartition(
+                [[] for _unused in range(len(child.schema))], 0
+            )
+            for part_index, pairs in enumerate(routed):
+                for group, sub in pairs:
+                    total_rows += len(sub)
+                    parts = groups.get(group)
+                    if parts is None:
+                        parts = groups[group] = [
+                            empty for _unused in range(num_partitions)
+                        ]
+                    parts[part_index] = sub
+        else:
+            self._note_columnar_fallback(child_parts)
+            child_parts = [as_row_partition(p) for p in child_parts]
+            routed = self._run(
+                SplitRouteTask(key_index), child_parts, "split"
+            )
+            for part_index, pairs in enumerate(routed):
+                total_rows += len(pairs)
+                for group, row in pairs:
+                    parts = groups.get(group)
+                    if parts is None:
+                        parts = groups[group] = [
+                            [] for _unused in range(num_partitions)
+                        ]
+                    parts[part_index].append(row)
         self.obs.inc("executor.shuffles")
         self.obs.inc("executor.rows_shuffled", total_rows)
         self.obs.inc("executor.splits")
@@ -688,6 +892,65 @@ class Executor:
                 previous = (previous + list(part))[-tail:]
         task = CarryMapTask(node.func)
         return self._run(task, list(zip(child_parts, carries)), "sorted-map")
+
+
+#: Cell types a key column may hold for the columnar key-tuple build to
+#: hash and compare exactly like the row path (hashable scalars only).
+_SCALAR_CELL_TYPES = frozenset(
+    (int, float, bool, str, bytes, type(None))
+)
+
+
+def _scalar_key_column(column):
+    """True when every cell of a key column is a hashable scalar.
+
+    Typed buffers (``array``, ``memoryview``, ``BytesColumn``)
+    guarantee it by construction; object columns get one C-speed type
+    scan. Object-typed keys -- tuples, dicts, lazily decoded structures
+    -- fail the scan and route their stage down the row path, where the
+    row task's semantics are the single source of truth.
+    """
+    if isinstance(column, (array, memoryview, BytesColumn)):
+        return True
+    return set(map(type, column)) <= _SCALAR_CELL_TYPES
+
+
+def _column_has_nan(column):
+    """True when a key column holds a NaN cell (floats only)."""
+    if isinstance(column, BytesColumn):
+        return False
+    if isinstance(column, array) and column.typecode not in ("f", "d"):
+        return False
+    if isinstance(column, memoryview) and column.format not in ("f", "d"):
+        return False
+    return any(v != v for v in column)
+
+
+def _broadcast_index(right_parts, right_keys):
+    """Build the broadcast hash map: key tuple -> right row remainders.
+
+    Columnar right partitions are consumed straight from their key and
+    remainder columns (no row materialization); row partitions use the
+    classic per-row build. Cell values, and therefore dict hashing and
+    equality, are identical either way.
+    """
+    index = {}
+    drop = set(right_keys)
+    for part in right_parts:
+        if isinstance(part, ColumnarPartition):
+            keep = [i for i in range(part.width) if i not in drop]
+            if keep:
+                rems = zip(*(part.column(i) for i in keep))
+            else:
+                rems = iter([()] * len(part))
+            for key, rem in zip(_key_tuples(part, right_keys), rems):
+                index.setdefault(key, []).append(rem)
+            continue
+        for row in part:
+            key = tuple(row[i] for i in right_keys)
+            rem = tuple(v for i, v in enumerate(row) if i not in drop)
+            index.setdefault(key, []).append(rem)
+    return index
 
 
 def _narrow_step(node):

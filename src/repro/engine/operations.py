@@ -13,7 +13,11 @@ import zlib
 from dataclasses import dataclass
 from operator import itemgetter
 
-from repro.engine.columnar import as_row_partition
+from repro.engine.columnar import (
+    ColumnarPartition,
+    as_row_partition,
+    gather_column,
+)
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,76 @@ class BroadcastJoinTask:
             elif left_outer:
                 out.append(row + empty)
         return out
+
+
+def _key_tuples(partition, key_indices):
+    """Iterate the key tuple of every row of a columnar partition.
+
+    Matches ``tuple(row[i] for i in key_indices)`` on :meth:`to_rows`
+    output cell for cell, without building the rows.
+    """
+    if not key_indices:
+        n = len(partition)
+        return iter([()] * n)
+    return zip(*(partition.column(i) for i in key_indices))
+
+
+@dataclass(frozen=True)
+class ColumnarBroadcastJoinTask:
+    """Broadcast join over a columnar left partition, column-wise.
+
+    Same ``right_index`` (key -> right row remainders) as
+    :class:`BroadcastJoinTask`, but the left partition is consumed as
+    column buffers: one pass over the key columns computes, per output
+    row, the left row index to gather and the right remainder to
+    append. Left output columns are then built by
+    :func:`~repro.engine.columnar.gather_column` and right output
+    columns by transposing the matched remainders -- no intermediate
+    row tuples. Output rows are ``left row + remainder`` in left scan
+    order, identical row for row to the row task.
+
+    Emits a :class:`~repro.engine.columnar.ColumnarPartition`; row
+    inputs (mixed-layout stages, re-routed fallbacks) delegate to the
+    row task unchanged.
+    """
+
+    left_key_indices: tuple
+    right_index: dict
+    how: str
+    right_width: int
+
+    def __call__(self, partition):
+        if not isinstance(partition, ColumnarPartition):
+            return BroadcastJoinTask(
+                self.left_key_indices, self.right_index, self.how,
+                self.right_width,
+            )(partition)
+        idx = self.right_index
+        empty = (None,) * self.right_width
+        left_outer = self.how == "left"
+        gather_indices = []
+        append_index = gather_indices.append
+        remainders = []
+        append_rem = remainders.append
+        for i, key in enumerate(
+            _key_tuples(partition, self.left_key_indices)
+        ):
+            matches = idx.get(key)
+            if matches:
+                for rem in matches:
+                    append_index(i)
+                    append_rem(rem)
+            elif left_outer:
+                append_index(i)
+                append_rem(empty)
+        columns = [
+            gather_column(c, gather_indices) for c in partition.columns
+        ]
+        if remainders:
+            columns.extend(list(c) for c in zip(*remainders))
+        else:
+            columns.extend([] for _unused in range(self.right_width))
+        return ColumnarPartition(columns, len(gather_indices))
 
 
 @dataclass(frozen=True)
@@ -210,6 +284,37 @@ class SplitRouteTask:
 
 
 @dataclass(frozen=True)
+class ColumnarSplitRouteTask:
+    """Route one columnar partition's rows into named split groups.
+
+    The columnar sibling of :class:`SplitRouteTask`: one pass over the
+    key column buckets row indices by key value (first-appearance
+    order), then each group is materialized as a gathered
+    :class:`~repro.engine.columnar.ColumnarPartition`. Emits a list of
+    ``(group, partition)`` pairs -- a flat list, like the row task's
+    pair stream, so fault-injection poisoning (dropping the last
+    element) silently loses a whole group and stays visible to the
+    differential oracle. Row inputs delegate to the row task.
+    """
+
+    key_index: int
+
+    def __call__(self, partition):
+        if not isinstance(partition, ColumnarPartition):
+            return SplitRouteTask(self.key_index)(partition)
+        groups = {}
+        for i, value in enumerate(partition.column(self.key_index)):
+            indices = groups.get(value)
+            if indices is None:
+                groups[value] = indices = []
+            indices.append(i)
+        return [
+            (value, partition.gather(indices))
+            for value, indices in groups.items()
+        ]
+
+
+@dataclass(frozen=True)
 class CarryMapTask:
     """Run a windowed partition function with carry rows from predecessor."""
 
@@ -280,6 +385,40 @@ def hash_partition(rows, key_indices, num_buckets):
         key = tuple(row[i] for i in key_indices)
         buckets[stable_hash(key) % num_buckets].append(row)
     return buckets
+
+
+def hash_partition_columnar(partition, key_indices, num_buckets):
+    """Columnar :func:`hash_partition`: bucket by index-gather.
+
+    One pass over the key columns assigns every row index a
+    :func:`stable_hash` bucket; each bucket is then gathered into a
+    fresh :class:`~repro.engine.columnar.ColumnarPartition`. Because
+    the scan order and the hash are exactly the row path's, bucket
+    contents and intra-bucket row order are identical to
+    ``hash_partition(partition.to_rows(), ...)`` -- the Hypothesis
+    property in ``tests/engine/test_columnar_wide.py`` pins this,
+    including the ``1 == 1.0 == True`` and NaN canonicalization cases
+    that :func:`stable_hash` folds into one bucket.
+    """
+    index_buckets = [[] for _unused in range(num_buckets)]
+    for i, key in enumerate(_key_tuples(partition, key_indices)):
+        index_buckets[stable_hash(key) % num_buckets].append(i)
+    return [partition.gather(indices) for indices in index_buckets]
+
+
+def split_columnar_evenly(partition, num_partitions):
+    """Columnar :func:`split_evenly`: contiguous gather slices."""
+    n = len(partition)
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    base, extra = divmod(n, num_partitions)
+    out = []
+    start = 0
+    for i in range(num_partitions):
+        size = base + (1 if i < extra else 0)
+        out.append(partition.gather(range(start, start + size)))
+        start += size
+    return out
 
 
 def split_evenly(rows, num_partitions):

@@ -63,12 +63,15 @@ class TableStore:
             # Stored partitions are always row lists, even if a bare
             # columnar Source flows straight into a write: one on-disk
             # layout keeps every manifest reloadable by older readers.
+            # as_row_partition already returns a fresh list for
+            # columnar partitions and the partition itself otherwise;
+            # copying only non-lists avoids duplicating every row
+            # partition just to pickle it.
+            rows = as_row_partition(part)
+            if not isinstance(rows, list):
+                rows = list(rows)
             with open(path, "wb") as fh:
-                pickle.dump(
-                    list(as_row_partition(part)),
-                    fh,
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
+                pickle.dump(rows, fh, protocol=pickle.HIGHEST_PROTOCOL)
         manifest = {
             "columns": list(table.schema.names),
             "dtypes": [f.dtype for f in table.schema],

@@ -11,10 +11,16 @@ The reference runs *interpreted* (``compile_kernels=False``) while the
 default combos run with compiled kernels, so compiled-vs-interpreted
 equivalence is an axis of every fuzz case; dedicated serial combos
 additionally isolate the pure columnar-batch axis (unoptimized +
-columnar kernels), the pure row-codegen axis (unoptimized + row
+columnar kernels, which since the wide-stage lowering also runs
+broadcast joins, split routings and repartitions over columnar
+buffers), the narrow-only columnar axis (columnar kernels with the
+wide-stage exchange forced back to rows, separating wide-stage bugs
+from kernel bugs), the pure row-codegen axis (unoptimized + row
 kernels only) and the pure optimizer axis (optimized + interpreted).
 Together they pin the layout-differential identity
-``row-interpreted == row-compiled == columnar-batch`` on every case.
+``row-interpreted == row-compiled == columnar-narrow ==
+columnar-wide`` on every case, including its join/split/shuffle
+bucket assignments.
 
 Executors are cached per combo so one process pool serves the whole
 fuzz run; call :meth:`DifferentialOracle.close` (or use it as a context
@@ -47,6 +53,10 @@ class ComboSpec:
     (False). ``columnar`` selects the partition-layout axis: columnar
     batch kernels for pure Filter/Project chains (True), row kernels
     only (False), or the executor's environment default (None).
+    ``exchange`` selects the wide-stage axis: columnar partitions
+    crossing joins/shuffles (True), row exchange (False), or the
+    executor's default -- on exactly when both kernel layers are on
+    (None).
     """
 
     name: str
@@ -54,6 +64,7 @@ class ComboSpec:
     optimize: bool = True
     compile: bool = True
     columnar: object = None
+    exchange: object = None
     factory: object = None
 
     def build(self, parallelism):
@@ -65,6 +76,7 @@ class ComboSpec:
                 optimize_plans=self.optimize,
                 compile_kernels=self.compile,
                 columnar_kernels=self.columnar,
+                columnar_exchange=self.exchange,
             )
         if self.kind == "simulated":
             return SimulatedClusterExecutor(
@@ -73,6 +85,7 @@ class ComboSpec:
                 optimize_plans=self.optimize,
                 compile_kernels=self.compile,
                 columnar_kernels=self.columnar,
+                columnar_exchange=self.exchange,
             )
         if self.kind == "multiprocessing":
             return MultiprocessingExecutor(
@@ -81,6 +94,7 @@ class ComboSpec:
                 optimize_plans=self.optimize,
                 compile_kernels=self.compile,
                 columnar_kernels=self.columnar,
+                columnar_exchange=self.exchange,
                 retry_backoff=0.0,
             )
         raise ValueError("unknown executor kind {!r}".format(self.kind))
@@ -96,9 +110,17 @@ REFERENCE_COMBO = ComboSpec(
 DEFAULT_COMBOS = (
     ComboSpec("serial-optimized", "serial", optimize=True),
     # Pure columnar-batch axis: identical to the reference except that
-    # fuseable chains run as columnar kernels over column buffers.
+    # fuseable chains run as columnar kernels over column buffers --
+    # and, with the exchange default, joins/splits/shuffles run over
+    # columnar partitions too (the columnar-wide end of the layout
+    # axis).
     ComboSpec("serial-unoptimized-columnar", "serial", optimize=False,
               columnar=True),
+    # Narrow-only columnar axis: same kernels, wide stages forced back
+    # to the row exchange -- a wide-stage divergence shows up in the
+    # combo above but not in this one, a kernel divergence in both.
+    ComboSpec("serial-unoptimized-columnar-narrow", "serial",
+              optimize=False, columnar=True, exchange=False),
     # Pure row-codegen axis: identical to the reference except for row
     # kernels (columnar lowering disabled).
     ComboSpec("serial-unoptimized-row-compiled", "serial", optimize=False,

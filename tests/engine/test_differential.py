@@ -6,7 +6,9 @@ asserts zero divergences; separately proves the oracle is not vacuous
 by injecting a divergent mutant executor and shrinking the failure to a
 tiny reproducer. The matrix includes the layout-differential axis:
 dedicated serial combos pin row-interpreted == row-compiled ==
-columnar-batch on every case.
+columnar-narrow == columnar-wide on every case, so the generated
+joins/splits/repartitions exercise the columnar wide-stage exchange
+against the row reference on every seed.
 """
 
 import pytest
@@ -27,7 +29,7 @@ from repro.testing.fuzz import main as fuzz_main
 from repro.testing.fuzz import run_fuzz
 from repro.testing.oracle import DEFAULT_COMBOS
 
-#: Fixed tier-1 budget: 40 seeds x 9 combos (reference + 8) = 360.
+#: Fixed tier-1 budget: 40 seeds x 10 combos (reference + 9) = 400.
 TIER1_SEEDS = 40
 
 

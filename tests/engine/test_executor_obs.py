@@ -163,6 +163,19 @@ class TestColumnarCounters:
         counters = executor.obs.counters()
         assert counters["executor.columnar_tasks"] == 0
         assert counters["executor.columnar_fallbacks"] == 0
+        assert counters["executor.columnar_join_tasks"] == 0
+        assert counters["executor.columnar_shuffle_tasks"] == 0
+        assert counters["executor.columnar_exchange_bytes"] == 0
+
+    def test_wide_exchange_counters_increment(self):
+        ctx = EngineContext.serial(default_parallelism=2)
+        table = self._columnar_table(ctx)
+        table.filter(col("x") >= 0).repartition(3, keys=["x"]).collect()
+        counters = ctx.executor.obs.counters()
+        assert counters["executor.columnar_shuffle_tasks"] >= 1
+        assert counters["executor.columnar_exchange_bytes"] > 0
+        assert ctx.executor.metrics.columnar_shuffle_tasks >= 1
+        assert ctx.executor.metrics.columnar_exchange_bytes > 0
 
 
 def _echo_row(row):

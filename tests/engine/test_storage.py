@@ -49,6 +49,39 @@ class TestWriteRead:
         store.write("raw", t)
         assert store.read(ctx, "raw").collect() == [(b"\x00\xff\x10",)]
 
+    def test_row_partitions_pickle_without_a_copy(self, store, ctx,
+                                                  monkeypatch):
+        # Regression: write() used to wrap every partition in list(),
+        # duplicating row partitions that as_row_partition had already
+        # returned as lists. The exact list object must reach pickle.
+        import repro.engine.storage as storage_mod
+
+        produced = []
+        real_as_rows = storage_mod.as_row_partition
+
+        def spy_as_rows(part):
+            rows = real_as_rows(part)
+            if isinstance(rows, list):
+                produced.append(rows)
+            return rows
+
+        dumped = []
+        real_dump = storage_mod.pickle.dump
+
+        def spy_dump(obj, fh, protocol=None):
+            dumped.append(obj)
+            real_dump(obj, fh, protocol=protocol)
+
+        monkeypatch.setattr(storage_mod, "as_row_partition", spy_as_rows)
+        monkeypatch.setattr(storage_mod.pickle, "dump", spy_dump)
+        table = ctx.table_from_rows(
+            ["a"], [(i,) for i in range(6)], num_partitions=2
+        )
+        store.write("nocopy", table)
+        assert len(produced) == len(dumped) == 2
+        for rows, obj in zip(produced, dumped):
+            assert obj is rows
+
 
 class TestAtomicWrite:
     def test_crash_mid_overwrite_keeps_old_table(
